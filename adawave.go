@@ -1,0 +1,92 @@
+package adawave
+
+import (
+	"adawave/internal/core"
+	"adawave/internal/wavelet"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = core.Noise
+
+// Config holds AdaWave parameters; start from DefaultConfig. See the field
+// documentation on core.Config (re-exported here) for details.
+type Config = core.Config
+
+// Result is the outcome of one AdaWave run: per-point labels (Noise or
+// 0…NumClusters−1), the adaptively chosen threshold, the sorted density
+// curve it was chosen on, and cell-count diagnostics for each pipeline
+// stage.
+type Result = core.Result
+
+// ThresholdStrategy chooses the noise-filtering density threshold from the
+// descending sorted-density curve of the transformed grid.
+type ThresholdStrategy = core.ThresholdStrategy
+
+// Threshold strategies. ThreeSegmentFit is the paper's adaptive elbow
+// (default); SecondKnee is the turning-angle rendering of Algorithm 4;
+// QuantileThreshold and FixedThreshold are the non-adaptive baselines.
+type (
+	ThreeSegmentFit   = core.ThreeSegmentFit
+	SecondKnee        = core.SecondKnee
+	QuantileThreshold = core.QuantileThreshold
+	FixedThreshold    = core.FixedThreshold
+)
+
+// Basis is a wavelet filter bank in density-preserving (DC gain 1)
+// normalization.
+type Basis = wavelet.Basis
+
+// DefaultConfig returns the paper's default parameters: scale 128,
+// CDF(2,2) basis, one decomposition level, face connectivity, and the
+// adaptive three-segment threshold.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// AutoScale returns the automatic grid scale for n points in d dimensions
+// (used when Config.Scale is 0).
+func AutoScale(n, d int) int { return core.AutoScale(n, d) }
+
+// Cluster runs AdaWave on points (row-major, all rows the same length).
+// It is deterministic and does not modify points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	return core.Cluster(points, cfg)
+}
+
+// ClusterMultiResolution runs AdaWave at every wavelet decomposition level
+// from 1 to maxLevels in one pass, returning one Result per level: finer
+// levels separate nearby structures, coarser levels merge them.
+func ClusterMultiResolution(points [][]float64, cfg Config, maxLevels int) ([]*Result, error) {
+	return core.ClusterMultiResolution(points, cfg, maxLevels)
+}
+
+// AssignNoiseToNearest reassigns Noise-labeled points to the cluster with
+// the nearest centroid (recomputed iterations times) — the paper's
+// protocol for fully labeled datasets that contain no true noise class.
+func AssignNoiseToNearest(points [][]float64, labels []int, iterations int) []int {
+	return core.AssignNoiseToNearest(points, labels, iterations)
+}
+
+// HaarBasis returns the Haar wavelet basis. Its one-to-one cell mapping
+// makes it the right choice for high-dimensional data, where longer
+// filters densify the sparse grid.
+func HaarBasis() Basis { return wavelet.Haar() }
+
+// DB4Basis returns the 4-tap Daubechies wavelet basis.
+func DB4Basis() Basis { return wavelet.DB4() }
+
+// DB6Basis returns the 6-tap Daubechies wavelet basis (three vanishing
+// moments).
+func DB6Basis() Basis { return wavelet.DB6() }
+
+// CDF22Basis returns the Cohen-Daubechies-Feauveau (2,2) basis — the
+// paper's default.
+func CDF22Basis() Basis { return wavelet.CDF22() }
+
+// CDF13Basis returns the Cohen-Daubechies-Feauveau (1,3) basis.
+func CDF13Basis() Basis { return wavelet.CDF13() }
+
+// BasisByName returns the basis named "haar", "db4", "db6", "cdf22" or
+// "cdf13".
+func BasisByName(name string) (Basis, error) { return wavelet.ByName(name) }
+
+// Bases returns all built-in wavelet bases.
+func Bases() []Basis { return wavelet.Bases() }

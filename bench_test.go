@@ -1,0 +1,411 @@
+package adawave
+
+// One benchmark per table/figure of the paper's evaluation (§V), plus
+// ablation benches for the design choices DESIGN.md calls out. The benches
+// report AMI (and domain metrics) via b.ReportMetric, so `go test -bench=.`
+// doubles as a compact experiment regenerator; the full reports live in
+// cmd/experiments.
+
+import (
+	"fmt"
+	"testing"
+
+	"adawave/internal/baselines/dbscan"
+	"adawave/internal/baselines/kmeans"
+	"adawave/internal/baselines/skinnydip"
+	"adawave/internal/baselines/wavecluster"
+	"adawave/internal/core"
+	"adawave/internal/datasets"
+	"adawave/internal/grid"
+	"adawave/internal/metrics"
+	"adawave/internal/stats"
+	"adawave/internal/synth"
+	"adawave/internal/wavelet"
+)
+
+// BenchmarkFig2RunningExample times AdaWave on the Fig. 1/2 running example
+// and reports the AMI the paper headline-quotes (0.76).
+func BenchmarkFig2RunningExample(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	cfg := core.DefaultConfig()
+	var ami float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Cluster(ds.Points, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	}
+	b.ReportMetric(ami, "AMI")
+}
+
+// BenchmarkFig5Transform times the sparse 2-D DWT of the quantized running
+// example (the paper's Fig. 5 illustration) and reports the outlier-cell
+// reduction.
+func BenchmarkFig5Transform(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	q, err := grid.NewQuantizer(ds.Points, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := q.Quantize(ds.Points)
+	basis := wavelet.CDF22()
+	var kept int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := grid.Transform(g, basis)
+		kept = t.Len()
+	}
+	b.ReportMetric(float64(g.Len()), "cells-in")
+	b.ReportMetric(float64(kept), "cells-out")
+}
+
+// BenchmarkFig6Threshold times the adaptive threshold strategies on the
+// sorted density curve of the Fig. 7 data (the paper's Fig. 6).
+func BenchmarkFig6Threshold(b *testing.B) {
+	ds := synth.Evaluation(1000, 0.5, 1)
+	q, err := grid.NewQuantizer(ds.Points, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	curve := grid.Transform(q.Quantize(ds.Points), wavelet.CDF22()).SortedDensities()
+	for _, s := range []core.ThresholdStrategy{core.ThreeSegmentFit{}, core.SecondKnee{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			var idx int
+			for i := 0; i < b.N; i++ {
+				_, idx = s.Cut(curve)
+			}
+			b.ReportMetric(float64(idx), "cut-index")
+			b.ReportMetric(float64(len(curve)), "curve-cells")
+		})
+	}
+}
+
+// BenchmarkFig7Generate times generation of the synthetic evaluation
+// dataset at the paper's 50 % illustration noise.
+func BenchmarkFig7Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := synth.Evaluation(1000, 0.5, int64(i+1))
+		if ds.N() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkFig8NoiseSweep reproduces the Fig. 8 series in miniature: the
+// per-algorithm AMI at 20/50/80 % noise, reported as sub-benchmarks.
+func BenchmarkFig8NoiseSweep(b *testing.B) {
+	type alg struct {
+		name string
+		run  func(ds *synth.Dataset) ([]int, error)
+	}
+	algs := []alg{
+		{"AdaWave", func(ds *synth.Dataset) ([]int, error) {
+			r, err := core.Cluster(ds.Points, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Labels, nil
+		}},
+		{"SkinnyDip", func(ds *synth.Dataset) ([]int, error) {
+			r, err := skinnydip.Cluster(ds.Points, skinnydip.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Labels, nil
+		}},
+		{"DBSCAN", func(ds *synth.Dataset) ([]int, error) {
+			r, err := dbscan.Cluster(ds.Points, dbscan.Config{Eps: 0.03, MinPts: 8})
+			if err != nil {
+				return nil, err
+			}
+			return r.Labels, nil
+		}},
+		{"k-means", func(ds *synth.Dataset) ([]int, error) {
+			r, err := kmeans.Cluster(ds.Points, kmeans.Config{K: 5, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return r.Labels, nil
+		}},
+		{"WaveCluster", func(ds *synth.Dataset) ([]int, error) {
+			r, err := wavecluster.Cluster(ds.Points, wavecluster.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return r.Labels, nil
+		}},
+	}
+	for _, gamma := range []float64{0.2, 0.5, 0.8} {
+		ds := synth.Evaluation(400, gamma, 1)
+		for _, a := range algs {
+			b.Run(fmt.Sprintf("gamma=%.0f%%/%s", gamma*100, a.name), func(b *testing.B) {
+				var ami float64
+				for i := 0; i < b.N; i++ {
+					labels, err := a.run(ds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ami = metrics.AMINonNoise(ds.Labels, labels, synth.NoiseLabel)
+				}
+				b.ReportMetric(ami, "AMI")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1RealWorld times AdaWave (with the paper's noise-folding
+// protocol) on each Table I stand-in small enough to bench.
+func BenchmarkTable1RealWorld(b *testing.B) {
+	for _, name := range []string{"seeds", "iris", "glass", "dumdh", "dermatology", "motor", "wholesale"} {
+		ds, err := datasets.ByName(name, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Scale = 0
+			if ds.Dim() > 8 {
+				// The Table I protocol: long filters densify sparse
+				// high-dimensional grids, Haar does not (DESIGN.md §4).
+				cfg.Basis = wavelet.Haar()
+			}
+			var ami float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				labels := core.AssignNoiseToNearest(ds.Points, res.Labels, 3)
+				ami = metrics.AMI(ds.Labels, labels)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkTable2GlassCorrelation times the Table II computation: Pearson
+// correlation of every Glass attribute with the class.
+func BenchmarkTable2GlassCorrelation(b *testing.B) {
+	ds := datasets.Glass(1)
+	class := make([]float64, ds.N())
+	for i, l := range ds.Labels {
+		class[i] = float64(l + 1)
+	}
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for j, want := range datasets.GlassTargetCorrelations {
+			got := stats.Pearson(stats.Column(ds.Points, j), class)
+			if d := got - want; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-abs-deviation")
+}
+
+// BenchmarkFig9Roadmap times AdaWave on the simulated road network and
+// reports the case-study AMI (paper: 0.735).
+func BenchmarkFig9Roadmap(b *testing.B) {
+	ds := datasets.Roadmap(20000, 1)
+	cfg := core.DefaultConfig()
+	var ami float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Cluster(ds.Points, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	}
+	b.ReportMetric(ami, "AMI")
+}
+
+// BenchmarkFig10Runtime times AdaWave across growing n at the paper's 75 %
+// noise — the linear-growth claim of Fig. 10. ns/op across the
+// sub-benchmarks is the figure's AdaWave series.
+func BenchmarkFig10Runtime(b *testing.B) {
+	for _, per := range []int{250, 500, 1000, 2000} {
+		ds := synth.Evaluation(per, 0.75, 1)
+		b.Run(fmt.Sprintf("n=%d", ds.N()), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Cluster(ds.Points, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBasis compares the wavelet bases on the same workload —
+// the paper's “flexibility of choosing basis” property.
+func BenchmarkAblationBasis(b *testing.B) {
+	ds := synth.Evaluation(700, 0.5, 1)
+	for _, basis := range wavelet.Bases() {
+		b.Run(basis.Name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Basis = basis
+			var ami float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkAblationLevels compares decomposition depths (multi-resolution).
+func BenchmarkAblationLevels(b *testing.B) {
+	ds := synth.Evaluation(700, 0.5, 1)
+	for levels := 0; levels <= 3; levels++ {
+		b.Run(fmt.Sprintf("levels=%d", levels), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Levels = levels
+			var ami float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold compares the threshold strategies end to end —
+// the adaptive elbow against the paper-sequential knee and the non-adaptive
+// baselines (the core design choice AdaWave adds over WaveCluster).
+func BenchmarkAblationThreshold(b *testing.B) {
+	ds := synth.Evaluation(700, 0.7, 1)
+	strategies := []core.ThresholdStrategy{
+		core.ThreeSegmentFit{},
+		core.SecondKnee{},
+		core.QuantileThreshold{Q: 0.8},
+		core.FixedThreshold{Value: 5},
+	}
+	for _, s := range strategies {
+		b.Run(s.Name(), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Threshold = s
+			var ami float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkAblationConnectivity compares face vs full (diagonal included)
+// neighbor relations in component labeling.
+func BenchmarkAblationConnectivity(b *testing.B) {
+	ds := synth.Evaluation(700, 0.5, 1)
+	for _, tc := range []struct {
+		name string
+		conn grid.Connectivity
+	}{{"faces", grid.Faces}, {"full", grid.Full}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Connectivity = tc.conn
+			var ami float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkAblationSparseVsDense compares the sparse scatter DWT against
+// the dense per-row transform on the same occupied cells — the “grid
+// labeling” memory/time trade the paper claims.
+func BenchmarkAblationSparseVsDense(b *testing.B) {
+	ds := synth.Evaluation(700, 0.5, 1)
+	q, err := grid.NewQuantizer(ds.Points, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := q.Quantize(ds.Points)
+	basis := wavelet.CDF22()
+	b.Run("sparse-grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid.Transform(g, basis)
+		}
+	})
+	b.Run("dense-rows", func(b *testing.B) {
+		// Materialize the full 128×128 grid and run the dense separable
+		// transform — feasible only in low dimension.
+		dense := make([][]float64, 128)
+		for r := range dense {
+			dense[r] = make([]float64, 128)
+		}
+		for k, v := range g.Cells {
+			dense[k.Coord(1)][k.Coord(0)] = v
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Rows then columns.
+			rows := make([][]float64, len(dense))
+			for r := range dense {
+				rows[r] = wavelet.Approx(dense[r], basis)
+			}
+			w := len(rows[0])
+			col := make([]float64, len(rows))
+			for c := 0; c < w; c++ {
+				for r := range rows {
+					col[r] = rows[r][c]
+				}
+				wavelet.Approx(col, basis)
+			}
+		}
+	})
+}
+
+// BenchmarkQuantization times the linear-scan grid assignment (step 1).
+func BenchmarkQuantization(b *testing.B) {
+	ds := synth.Evaluation(1000, 0.5, 1)
+	q, err := grid.NewQuantizer(ds.Points, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := q.Quantize(ds.Points)
+		if g.Len() == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+}
+
+// BenchmarkAMI times the evaluation metric itself on a large labeling.
+func BenchmarkAMI(b *testing.B) {
+	ds := synth.Evaluation(1000, 0.5, 1)
+	res, err := core.Cluster(ds.Points, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	}
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates the tables and figures of the AdaWave
+// paper's evaluation section.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig8 [-quick] [-seed 1]
+//	experiments -run all  [-quick] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adawave/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id (fig2, fig5…fig10, table1, table2) or \"all\"")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "reduced workload sizes (CI scale)")
+		seed  = flag.Int64("seed", 1, "random seed for data generation")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n           paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := experiments.Options{Out: os.Stdout, Seed: *seed, Quick: *quick}
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			if err := e.Run(opt); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if err := experiments.Run(*run, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

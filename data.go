@@ -1,0 +1,30 @@
+package adawave
+
+import "adawave/internal/synth"
+
+// Dataset is a labeled point set: Labels[i] is the ground-truth cluster of
+// Points[i], or NoiseLabel for background noise.
+type Dataset = synth.Dataset
+
+// NoiseLabel marks ground-truth noise points in generated datasets.
+const NoiseLabel = synth.NoiseLabel
+
+// SyntheticEvaluation generates the paper's Fig. 7 benchmark: five clusters
+// of perCluster points each (a rotated ellipse, two rings whose axis
+// projections overlap, and two parallel sloping segments) plus uniform
+// background noise making up fraction gamma ∈ [0, 1) of the total. The
+// paper uses perCluster = 5600 and gamma from 0.20 to 0.90.
+func SyntheticEvaluation(perCluster int, gamma float64, seed int64) *Dataset {
+	return synth.Evaluation(perCluster, gamma, seed)
+}
+
+// RunningExample generates the paper's Fig. 1 running example: five
+// heterogeneous clusters (blob, nested blob+ring, large ring, two parallel
+// lines) in ~70 % uniform noise.
+func RunningExample(seed int64) *Dataset { return synth.RunningExample(seed) }
+
+// Blobs generates k well-separated Gaussian blobs in dim dimensions — a
+// generic easy benchmark.
+func Blobs(k, perCluster, dim int, std float64, seed int64) *Dataset {
+	return synth.Blobs(k, perCluster, dim, std, seed)
+}

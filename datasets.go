@@ -1,0 +1,31 @@
+package adawave
+
+import (
+	"adawave/internal/datasets"
+)
+
+// StandInNames lists the simulated UCI datasets of the paper's Table I in
+// paper order (seeds, roadmap, iris, glass, dumdh, htru2, dermatology,
+// motor, wholesale).
+func StandInNames() []string { return datasets.Names() }
+
+// StandIn generates the named Table I dataset stand-in deterministically
+// from seed. The generators reproduce the published (n, d, classes) shape
+// and difficulty profile of each dataset; see DESIGN.md §3.
+func StandIn(name string, seed int64) (*Dataset, error) {
+	return datasets.ByName(name, seed)
+}
+
+// RoadmapData simulates the paper's Fig. 9 North Jutland road network with
+// n road segments (0 selects the scaled default): dense city street grids
+// as ground-truth clusters, arterial roads and countryside as noise.
+func RoadmapData(n int, seed int64) *Dataset {
+	return datasets.Roadmap(n, seed)
+}
+
+// RoadmapCity is a populated place of the simulated road network.
+type RoadmapCity = datasets.City
+
+// RoadmapCityList returns the simulated cities of RoadmapData, heaviest
+// first (Aalborg, then the smaller towns).
+func RoadmapCityList() []RoadmapCity { return datasets.RoadmapCities() }

@@ -1,0 +1,47 @@
+// Highdim: the grid-labeling story. In 33 dimensions a dense 2³³-cell-per-
+// level grid is unthinkable, but the sparse “only store non-zero cells”
+// structure keeps AdaWave linear in the number of occupied cells — the
+// paper's Dermatology workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"adawave"
+)
+
+func main() {
+	data, err := adawave.StandIn("dermatology", 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d points in %d dimensions, %d classes\n\n",
+		data.N(), data.Dim(), data.NumClusters())
+
+	cfg := adawave.DefaultConfig()
+	cfg.Scale = 0 // automatic scale: high dimension needs coarse cells
+	// In high dimension the basis matters for sparsity: the default
+	// CDF(2,2) filter scatters every occupied cell into two cells per
+	// dimension (×2³³ here — the library aborts rather than letting the
+	// sparse grid densify). Haar maps each cell to exactly one, keeping
+	// the transform linear in the number of occupied cells.
+	cfg.Basis = adawave.HaarBasis()
+	res, err := adawave.Cluster(data.Points, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The memory argument of the paper: a dense grid would hold scaleᵈ
+	// cells; the sparse grid holds only the occupied ones.
+	dense := math.Pow(float64(res.Scale), float64(data.Dim()))
+	fmt.Printf("grid scale %d in %d-D → dense grid would need %.3g cells\n",
+		res.Scale, data.Dim(), dense)
+	fmt.Printf("sparse grid stores %d occupied cells (%.2g× smaller)\n\n",
+		res.CellsQuantized, dense/float64(res.CellsQuantized))
+
+	labels := adawave.AssignNoiseToNearest(data.Points, res.Labels, 3)
+	fmt.Printf("AdaWave: %d clusters, AMI %.3f (noise folded into clusters —\nthe paper's protocol for fully labeled data)\n",
+		res.NumClusters, adawave.AMI(data.Labels, labels))
+}

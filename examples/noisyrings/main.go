@@ -1,0 +1,53 @@
+// Noisyrings: the shape-insensitivity story of the paper. Two rings whose
+// axis projections overlap defeat both k-means (no noise concept, convex
+// bias) and SkinnyDip (needs unimodal projections); AdaWave separates them
+// because connected grid components carry no shape assumption.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adawave"
+)
+
+func main() {
+	// The evaluation mixture at 70 % noise — past the point where the
+	// paper shows DBSCAN collapsing.
+	data := adawave.SyntheticEvaluation(1200, 0.7, 7)
+	fmt.Printf("dataset: %d points, %.0f%% noise, rings + segments + ellipse\n\n",
+		data.N(), data.NoiseFraction()*100)
+
+	res, err := adawave.Cluster(data.Points, adawave.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ami := adawave.AMINonNoise(data.Labels, res.Labels, adawave.NoiseLabel)
+	fmt.Printf("AdaWave: %d clusters, AMI %.3f\n", res.NumClusters, ami)
+
+	// Ablation within the same pipeline: replace the adaptive threshold
+	// with WaveCluster's fixed cutoff and watch the rings drown.
+	fixed := adawave.DefaultConfig()
+	fixed.Threshold = adawave.FixedThreshold{Value: 5}
+	fres, err := adawave.Cluster(data.Points, fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fami := adawave.AMINonNoise(data.Labels, fres.Labels, adawave.NoiseLabel)
+	fmt.Printf("fixed threshold (WaveCluster-style): %d clusters, AMI %.3f\n", fres.NumClusters, fami)
+
+	// And with a quantile cutoff, the middle ground.
+	quant := adawave.DefaultConfig()
+	quant.Threshold = adawave.QuantileThreshold{Q: 0.8}
+	qres, err := adawave.Cluster(data.Points, quant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qami := adawave.AMINonNoise(data.Labels, qres.Labels, adawave.NoiseLabel)
+	fmt.Printf("quantile threshold (keep top 20%% cells): %d clusters, AMI %.3f\n\n", qres.NumClusters, qami)
+
+	fmt.Println("ground truth:")
+	fmt.Println(adawave.ScatterPlot(data.Points, data.Labels, 72, 20))
+	fmt.Println("AdaWave (adaptive threshold):")
+	fmt.Println(adawave.ScatterPlot(data.Points, res.Labels, 72, 20))
+}

@@ -1,0 +1,39 @@
+// Quickstart: generate the paper's synthetic benchmark at 50 % noise,
+// cluster it with AdaWave's parameter-free defaults, and score the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adawave"
+)
+
+func main() {
+	// Five clusters (ellipse, two overlapping rings, two parallel
+	// segments) of 1000 points each, plus 50 % uniform background noise.
+	data := adawave.SyntheticEvaluation(1000, 0.5, 42)
+	fmt.Printf("dataset: %d points, %d clusters, %.0f%% noise\n",
+		data.N(), data.NumClusters(), data.NoiseFraction()*100)
+
+	// AdaWave is parameter free: DefaultConfig reproduces the paper's
+	// settings (scale 128, CDF(2,2) wavelet, adaptive threshold).
+	result, err := adawave.Cluster(data.Points, adawave.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters, %d points labeled noise\n",
+		result.NumClusters, result.NoiseCount())
+	fmt.Printf("cluster sizes: %v\n", result.ClusterSizes())
+	fmt.Printf("adaptive threshold: %.3f (cell %d of %d on the density curve)\n",
+		result.Threshold, result.ThresholdIndex, len(result.Curve))
+
+	// The paper's metric: adjusted mutual information over true cluster
+	// points (noise excluded so methods without a noise notion compare
+	// fairly).
+	ami := adawave.AMINonNoise(data.Labels, result.Labels, adawave.NoiseLabel)
+	fmt.Printf("AMI vs ground truth: %.3f\n\n", ami)
+
+	fmt.Println(adawave.ScatterPlot(data.Points, result.Labels, 72, 22))
+}

@@ -1,0 +1,125 @@
+// Package dbscan implements DBSCAN (Ester, Kriegel, Sander & Xu 1996), the
+// density-based baseline of the paper's evaluation, with KD-tree region
+// queries, plus the ε-sweep protocol the paper uses to automate it.
+package dbscan
+
+import (
+	"errors"
+	"fmt"
+
+	"adawave/internal/index"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Config parameterizes a run.
+type Config struct {
+	// Eps is the neighborhood radius (required, > 0).
+	Eps float64
+	// MinPts is the core-point density threshold (required, ≥ 1).
+	MinPts int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Labels assigns every point a cluster 0…NumClusters−1 or Noise.
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+	// CorePoints counts points with ≥ MinPts neighbors.
+	CorePoints int
+}
+
+// Cluster runs DBSCAN on points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return nil, errors.New("dbscan: no points")
+	}
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("dbscan: Eps must be > 0, got %v", cfg.Eps)
+	}
+	if cfg.MinPts < 1 {
+		return nil, fmt.Errorf("dbscan: MinPts must be ≥ 1, got %d", cfg.MinPts)
+	}
+	n := len(points)
+	tree := index.Build(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	res := &Result{Labels: labels}
+
+	var neighbors []int
+	collect := func(q []float64) []int {
+		neighbors = neighbors[:0]
+		tree.Radius(q, cfg.Eps, func(j int) { neighbors = append(neighbors, j) })
+		return neighbors
+	}
+
+	cluster := 0
+	queue := make([]int, 0, 64)
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		nb := collect(points[i])
+		if len(nb) < cfg.MinPts {
+			continue // border or noise; may be claimed by a later core
+		}
+		res.CorePoints++
+		labels[i] = cluster
+		queue = append(queue[:0], nb...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = cluster
+			nb2 := collect(points[j])
+			if len(nb2) >= cfg.MinPts {
+				res.CorePoints++
+				queue = append(queue, nb2...)
+			}
+		}
+		cluster++
+	}
+	res.NumClusters = cluster
+	return res, nil
+}
+
+// SweepResult records one parameter setting of a sweep.
+type SweepResult struct {
+	Eps    float64
+	Result *Result
+	Score  float64
+}
+
+// Sweep runs DBSCAN for every ε in eps (fixed MinPts) and returns the run
+// maximizing score(result). This is the paper's automation protocol: “we
+// fix minPts = 8 and run DBSCAN for all ε ∈ {0.01 … 0.2}, reporting the
+// best AMI”.
+func Sweep(points [][]float64, eps []float64, minPts int, score func(*Result) float64) (*SweepResult, error) {
+	if len(eps) == 0 {
+		return nil, errors.New("dbscan: empty eps sweep")
+	}
+	var best *SweepResult
+	for _, e := range eps {
+		res, err := Cluster(points, Config{Eps: e, MinPts: minPts})
+		if err != nil {
+			return nil, err
+		}
+		s := score(res)
+		if best == nil || s > best.Score {
+			best = &SweepResult{Eps: e, Result: res, Score: s}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,132 @@
+package dbscan
+
+import (
+	"testing"
+
+	"adawave/internal/metrics"
+	"adawave/internal/synth"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{Eps: 1, MinPts: 2}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	pts := [][]float64{{0, 0}}
+	if _, err := Cluster(pts, Config{Eps: 0, MinPts: 2}); err == nil {
+		t.Fatal("eps=0 should error")
+	}
+	if _, err := Cluster(pts, Config{Eps: 1, MinPts: 0}); err == nil {
+		t.Fatal("minPts=0 should error")
+	}
+}
+
+func TestTwoCleanClusters(t *testing.T) {
+	ds := synth.Blobs(2, 300, 2, 0.02, 1)
+	res, err := Cluster(ds.Points, Config{Eps: 0.05, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+	if ami := metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel); ami < 0.95 {
+		t.Fatalf("AMI = %v", ami)
+	}
+}
+
+func TestAllNoiseWhenEpsTiny(t *testing.T) {
+	ds := synth.Blobs(2, 100, 2, 0.05, 2)
+	res, err := Cluster(ds.Points, Config{Eps: 1e-9, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Fatalf("tiny eps found %d clusters", res.NumClusters)
+	}
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("expected all noise")
+		}
+	}
+}
+
+func TestSingleClusterWhenEpsHuge(t *testing.T) {
+	ds := synth.Blobs(3, 100, 2, 0.05, 3)
+	res, err := Cluster(ds.Points, Config{Eps: 100, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("huge eps found %d clusters", res.NumClusters)
+	}
+}
+
+func TestRingsAreFound(t *testing.T) {
+	// DBSCAN's strength: arbitrary shapes in low noise.
+	ds := synth.Evaluation(1000, 0.0, 4)
+	res, err := Cluster(ds.Points, Config{Eps: 0.03, MinPts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami := metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel); ami < 0.9 {
+		t.Fatalf("AMI = %v on clean shapes (clusters=%d)", ami, res.NumClusters)
+	}
+}
+
+func TestDegradesWithNoise(t *testing.T) {
+	// The paper's observation: DBSCAN collapses as noise grows (random
+	// noise locally exceeds the density threshold).
+	low := synth.Evaluation(800, 0.20, 5)
+	high := synth.Evaluation(800, 0.85, 5)
+	score := func(ds *synth.Dataset) float64 {
+		best, err := Sweep(ds.Points, epsGrid(), 8, func(r *Result) float64 {
+			return metrics.AMINonNoise(ds.Labels, r.Labels, synth.NoiseLabel)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Score
+	}
+	sLow, sHigh := score(low), score(high)
+	if sLow < 0.6 {
+		t.Fatalf("low-noise AMI = %v, want ≥ 0.6", sLow)
+	}
+	if sHigh > sLow-0.2 {
+		t.Fatalf("expected sharp degradation: low %v vs high %v", sLow, sHigh)
+	}
+}
+
+func epsGrid() []float64 {
+	var out []float64
+	for e := 0.01; e <= 0.201; e += 0.01 {
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep([][]float64{{0}}, nil, 3, func(*Result) float64 { return 0 }); err == nil {
+		t.Fatal("empty sweep should error")
+	}
+}
+
+func TestBorderPointAssignment(t *testing.T) {
+	// A line of points spaced 1 apart with minPts=3 and eps=1.1: all
+	// should join one cluster (border points claimed by cores).
+	var pts [][]float64
+	for i := 0; i < 10; i++ {
+		pts = append(pts, []float64{float64(i), 0})
+	}
+	res, err := Cluster(pts, Config{Eps: 1.1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("chain should be one cluster, got %d", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Fatalf("point %d labeled %d", i, l)
+		}
+	}
+}

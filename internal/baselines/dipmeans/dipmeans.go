@@ -1,0 +1,193 @@
+// Package dipmeans implements dip-means (Kalogeratos & Likas, NIPS 2012),
+// the incremental model-selection baseline of the paper's evaluation: start
+// from one k-means cluster, and as long as some cluster looks multimodal —
+// judged by “viewers” applying the Hartigan dip test to their distance
+// distributions — split it with 2-means and refine globally.
+package dipmeans
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"adawave/internal/baselines/kmeans"
+	"adawave/internal/linalg"
+	"adawave/internal/stats"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// MaxK caps the number of clusters (default 16).
+	MaxK int
+	// Alpha is the dip-test significance level for a viewer (default 0.05).
+	Alpha float64
+	// SplitShare is the fraction of viewers that must reject unimodality
+	// for a cluster to be split (default 0.01, as in the original paper).
+	SplitShare float64
+	// MaxViewers subsamples viewers per cluster to bound the O(n²) dip
+	// screening (default 128).
+	MaxViewers int
+	// Seed drives k-means and viewer subsampling.
+	Seed int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Labels assigns every point a cluster 0…K−1 (dip-means has no noise
+	// concept).
+	Labels []int
+	// K is the selected number of clusters.
+	K int
+	// Splits records how many split rounds were performed.
+	Splits int
+}
+
+// Cluster runs dip-means on points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("dipmeans: no points")
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 16
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.05
+	}
+	if cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("dipmeans: Alpha must be in (0,1), got %v", cfg.Alpha)
+	}
+	if cfg.SplitShare <= 0 {
+		cfg.SplitShare = 0.01
+	}
+	if cfg.MaxViewers <= 0 {
+		cfg.MaxViewers = 128
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	labels := make([]int, n)
+	k := 1
+	splits := 0
+	for k < cfg.MaxK {
+		// Gather cluster member lists.
+		members := make([][]int, k)
+		for i, l := range labels {
+			members[l] = append(members[l], i)
+		}
+		// Find the most multimodal cluster (largest share of rejecting
+		// viewers).
+		splitTarget, bestShare := -1, 0.0
+		for c := 0; c < k; c++ {
+			if len(members[c]) < 8 {
+				continue
+			}
+			share := rejectingViewerShare(points, members[c], cfg, rng)
+			if share >= cfg.SplitShare && share > bestShare {
+				splitTarget, bestShare = c, share
+			}
+		}
+		if splitTarget < 0 {
+			break // every cluster looks unimodal
+		}
+		// Split the target with 2-means on its members.
+		sub := make([][]float64, len(members[splitTarget]))
+		for i, idx := range members[splitTarget] {
+			sub[i] = points[idx]
+		}
+		two, err := kmeans.Cluster(sub, kmeans.Config{K: 2, Seed: rng.Int63(), Restarts: 3})
+		if err != nil {
+			return nil, fmt.Errorf("dipmeans: split: %w", err)
+		}
+		for i, idx := range members[splitTarget] {
+			if two.Labels[i] == 1 {
+				labels[idx] = k
+			}
+		}
+		k++
+		splits++
+		// Global refinement with the current k (seeded from the split).
+		labels = refine(points, labels, k)
+	}
+	return &Result{Labels: labels, K: k, Splits: splits}, nil
+}
+
+// rejectingViewerShare estimates the fraction of cluster members whose
+// distance distribution to the other members is significantly multimodal.
+func rejectingViewerShare(points [][]float64, members []int, cfg Config, rng *rand.Rand) float64 {
+	viewers := members
+	if len(viewers) > cfg.MaxViewers {
+		viewers = make([]int, cfg.MaxViewers)
+		perm := rng.Perm(len(members))
+		for i := 0; i < cfg.MaxViewers; i++ {
+			viewers[i] = members[perm[i]]
+		}
+	}
+	dists := make([]float64, len(members))
+	rejecting := 0
+	for _, v := range viewers {
+		for i, m := range members {
+			dists[i] = linalg.Dist(points[v], points[m])
+		}
+		sort.Float64s(dists)
+		dip := stats.DipSorted(dists).Dip
+		if dip > stats.DipCriticalValue(len(dists), cfg.Alpha) {
+			rejecting++
+		}
+	}
+	return float64(rejecting) / float64(len(viewers))
+}
+
+// refine runs Lloyd iterations from the current labeling (no reseeding, so
+// the split survives).
+func refine(points [][]float64, labels []int, k int) []int {
+	d := len(points[0])
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range centroids {
+		centroids[c] = make([]float64, d)
+	}
+	for iter := 0; iter < 20; iter++ {
+		for c := range centroids {
+			counts[c] = 0
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		changed := false
+		for i, p := range points {
+			best, bestD := labels[i], linalg.SqDist(p, centroids[labels[i]])
+			for c := 0; c < k; c++ {
+				if counts[c] == 0 {
+					continue
+				}
+				if dd := linalg.SqDist(p, centroids[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if best != labels[i] {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels
+}

@@ -1,0 +1,109 @@
+package dipmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"adawave/internal/metrics"
+	"adawave/internal/synth"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := Cluster([][]float64{{1, 2}}, Config{Alpha: 1.5}); err == nil {
+		t.Fatal("alpha ≥ 1 should error")
+	}
+}
+
+func TestSingleBlobStaysOne(t *testing.T) {
+	ds := synth.Blobs(1, 400, 2, 0.05, 1)
+	res, err := Cluster(ds.Points, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 || res.Splits != 0 {
+		t.Fatalf("one Gaussian blob split into K=%d (splits=%d), want 1", res.K, res.Splits)
+	}
+}
+
+func TestSplitsSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var pts [][]float64
+	var truth []int
+	for c, ctr := range [][]float64{{0, 0}, {8, 0}, {4, 7}} {
+		for i := 0; i < 300; i++ {
+			pts = append(pts, []float64{ctr[0] + rng.NormFloat64()*0.3, ctr[1] + rng.NormFloat64()*0.3})
+			truth = append(truth, c)
+		}
+	}
+	res, err := Cluster(pts, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("K = %d, want 3", res.K)
+	}
+	if ami := metrics.AMI(truth, res.Labels); ami < 0.95 {
+		t.Fatalf("AMI = %v on three separated blobs, want ≥ 0.95", ami)
+	}
+}
+
+func TestMaxKCap(t *testing.T) {
+	ds := synth.Blobs(6, 150, 2, 0.01, 3)
+	res, err := Cluster(ds.Points, Config{MaxK: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 4 {
+		t.Fatalf("K = %d exceeded MaxK 4", res.K)
+	}
+}
+
+func TestLabelsInRange(t *testing.T) {
+	ds := synth.Evaluation(200, 0.5, 4)
+	res, err := Cluster(ds.Points, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != ds.N() {
+		t.Fatalf("labels cover %d points, want %d", len(res.Labels), ds.N())
+	}
+	for i, l := range res.Labels {
+		if l < 0 || l >= res.K {
+			t.Fatalf("label[%d] = %d outside [0,%d)", i, l, res.K)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := synth.Blobs(3, 200, 2, 0.05, 5)
+	a, err := Cluster(ds.Points, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(ds.Points, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestStrugglesOnRings(t *testing.T) {
+	// The AdaWave paper's Table I shows DipMeans failing on non-Gaussian
+	// shapes; viewer distances inside a ring are unimodal enough that the
+	// ring rarely splits correctly. Verify it runs and underperforms.
+	ds := synth.Evaluation(400, 0.3, 6)
+	res, err := Cluster(ds.Points, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami := metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel); ami > 0.9 {
+		t.Fatalf("DipMeans unexpectedly solved the ring benchmark: AMI %v", ami)
+	}
+}

@@ -1,0 +1,223 @@
+// Package em implements a diagonal-covariance Gaussian mixture fitted by
+// expectation-maximization (Celeux & Govaert 1992) — the model-based
+// baseline of the paper's evaluation. Responsibilities are computed in log
+// space with log-sum-exp for numerical stability; initialization uses
+// k-means++ centroids, so runs are deterministic given a seed.
+package em
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"adawave/internal/baselines/kmeans"
+)
+
+// Config parameterizes a fit.
+type Config struct {
+	// K is the number of mixture components (required, ≥ 1).
+	K int
+	// MaxIter bounds EM iterations (default 100).
+	MaxIter int
+	// Tol stops when the mean log-likelihood improves by less (default 1e-6).
+	Tol float64
+	// Reg is added to variances for stability (default 1e-6 × data variance).
+	Reg float64
+	// Seed drives the k-means++ initialization.
+	Seed int64
+}
+
+// Result is a fitted mixture.
+type Result struct {
+	// Labels assigns every point to its maximum-responsibility component.
+	Labels []int
+	// Means, Vars and Weights are the mixture parameters (diagonal
+	// covariance).
+	Means   [][]float64
+	Vars    [][]float64
+	Weights []float64
+	// LogLik is the final total log-likelihood.
+	LogLik float64
+	// Iterations is the number of EM iterations performed.
+	Iterations int
+}
+
+// Cluster fits the mixture and returns hard assignments.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("em: no points")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("em: K must be ≥ 1, got %d", cfg.K)
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("em: K=%d exceeds n=%d", cfg.K, n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	d := len(points[0])
+	k := cfg.K
+
+	// Data variance per dimension for initialization and regularization.
+	mean := make([]float64, d)
+	for _, p := range points {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	dataVar := make([]float64, d)
+	for _, p := range points {
+		for j, v := range p {
+			dv := v - mean[j]
+			dataVar[j] += dv * dv
+		}
+	}
+	var avgVar float64
+	for j := range dataVar {
+		dataVar[j] /= float64(n)
+		if dataVar[j] <= 0 {
+			dataVar[j] = 1e-12
+		}
+		avgVar += dataVar[j]
+	}
+	avgVar /= float64(d)
+	reg := cfg.Reg
+	if reg <= 0 {
+		reg = 1e-6 * avgVar
+		if reg <= 0 {
+			reg = 1e-12
+		}
+	}
+
+	// Initialize from k-means.
+	km, err := kmeans.Cluster(points, kmeans.Config{K: k, MaxIter: 20, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("em: init: %w", err)
+	}
+	res := &Result{
+		Means:   km.Centroids,
+		Vars:    make([][]float64, k),
+		Weights: make([]float64, k),
+	}
+	counts := make([]float64, k)
+	for _, l := range km.Labels {
+		counts[l]++
+	}
+	for c := 0; c < k; c++ {
+		res.Weights[c] = (counts[c] + 1) / float64(n+k)
+		res.Vars[c] = append([]float64(nil), dataVar...)
+	}
+
+	logResp := make([][]float64, n)
+	for i := range logResp {
+		logResp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		// E-step.
+		var ll float64
+		for i, p := range points {
+			row := logResp[i]
+			for c := 0; c < k; c++ {
+				row[c] = math.Log(res.Weights[c]) + logGaussDiag(p, res.Means[c], res.Vars[c])
+			}
+			lse := logSumExp(row)
+			ll += lse
+			for c := range row {
+				row[c] -= lse
+			}
+		}
+		res.LogLik = ll
+		if ll-prevLL < cfg.Tol*float64(n) && iter > 0 {
+			break
+		}
+		prevLL = ll
+		// M-step.
+		for c := 0; c < k; c++ {
+			var nk float64
+			mu := res.Means[c]
+			va := res.Vars[c]
+			for j := range mu {
+				mu[j] = 0
+			}
+			for i, p := range points {
+				r := math.Exp(logResp[i][c])
+				nk += r
+				for j, v := range p {
+					mu[j] += r * v
+				}
+			}
+			if nk < 1e-10 {
+				nk = 1e-10
+			}
+			for j := range mu {
+				mu[j] /= nk
+			}
+			for j := range va {
+				va[j] = 0
+			}
+			for i, p := range points {
+				r := math.Exp(logResp[i][c])
+				for j, v := range p {
+					dv := v - mu[j]
+					va[j] += r * dv * dv
+				}
+			}
+			for j := range va {
+				va[j] = va[j]/nk + reg
+			}
+			res.Weights[c] = nk / float64(n)
+		}
+	}
+	res.Iterations = iter
+
+	// Hard assignment.
+	res.Labels = make([]int, n)
+	for i := range points {
+		best, bestV := 0, logResp[i][0]
+		for c := 1; c < k; c++ {
+			if logResp[i][c] > bestV {
+				best, bestV = c, logResp[i][c]
+			}
+		}
+		res.Labels[i] = best
+	}
+	return res, nil
+}
+
+// logGaussDiag is the log density of a diagonal-covariance Gaussian.
+func logGaussDiag(x, mu, va []float64) float64 {
+	s := -0.5 * float64(len(x)) * math.Log(2*math.Pi)
+	for j, v := range x {
+		s -= 0.5 * math.Log(va[j])
+		d := v - mu[j]
+		s -= 0.5 * d * d / va[j]
+	}
+	return s
+}
+
+func logSumExp(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}

@@ -1,0 +1,125 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"adawave/internal/metrics"
+	"adawave/internal/synth"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{K: 2}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := Cluster(pts, Config{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := Cluster(pts, Config{K: 5}); err == nil {
+		t.Fatal("K>n should error")
+	}
+}
+
+func TestTwoGaussians(t *testing.T) {
+	ds := synth.Blobs(2, 400, 2, 0.03, 1)
+	res, err := Cluster(ds.Points, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami := metrics.AMI(ds.Labels, res.Labels); ami < 0.95 {
+		t.Fatalf("AMI = %v", ami)
+	}
+	// Weights sum to 1.
+	var sum float64
+	for _, w := range res.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	for _, vs := range res.Vars {
+		for _, v := range vs {
+			if v <= 0 {
+				t.Fatal("non-positive variance")
+			}
+		}
+	}
+}
+
+func TestLogLikelihoodMonotone(t *testing.T) {
+	// Run twice with different iteration caps: more iterations must not
+	// decrease the final log-likelihood (EM's defining property).
+	ds := synth.Blobs(3, 200, 3, 0.05, 2)
+	short, err := Cluster(ds.Points, Config{K: 3, Seed: 3, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Cluster(ds.Points, Config{K: 3, Seed: 3, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.LogLik < short.LogLik-1e-6 {
+		t.Fatalf("log-likelihood decreased: %v → %v", short.LogLik, long.LogLik)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := synth.Blobs(2, 150, 2, 0.05, 4)
+	a, _ := Cluster(ds.Points, Config{K: 2, Seed: 5})
+	b, _ := Cluster(ds.Points, Config{K: 2, Seed: 5})
+	if a.LogLik != b.LogLik {
+		t.Fatalf("non-deterministic: %v vs %v", a.LogLik, b.LogLik)
+	}
+}
+
+func TestSingleComponent(t *testing.T) {
+	ds := synth.Blobs(1, 200, 2, 0.05, 6)
+	res, err := Cluster(ds.Points, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("single component should label everything 0")
+		}
+	}
+	if math.Abs(res.Weights[0]-1) > 1e-9 {
+		t.Fatalf("weight = %v", res.Weights[0])
+	}
+}
+
+func TestDegenerateIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{2, 2}
+	}
+	res, err := Cluster(pts, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 50 {
+		t.Fatal("labels missing")
+	}
+	for _, vs := range res.Vars {
+		for _, v := range vs {
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("bad variance %v", v)
+			}
+		}
+	}
+}
+
+func TestStrugglesOnRings(t *testing.T) {
+	// The paper's observation: model-based EM fails when shapes don't fit
+	// the Gaussian assumption (rings).
+	ds := synth.Evaluation(800, 0.3, 7)
+	res, err := Cluster(ds.Points, Config{K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ami := metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	if ami > 0.9 {
+		t.Fatalf("EM unexpectedly solved ring shapes: AMI %v", ami)
+	}
+}

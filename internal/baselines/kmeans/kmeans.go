@@ -1,0 +1,178 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding — the
+// centroid-based baseline of the paper's evaluation (Steinhaus 1957, Forgy
+// 1965; seeding per Arthur & Vassilvitskii 2007). Runs are deterministic
+// given a seed.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"adawave/internal/linalg"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// K is the number of clusters (required, ≥ 1).
+	K int
+	// MaxIter bounds Lloyd iterations (default 100).
+	MaxIter int
+	// Restarts re-runs the whole algorithm and keeps the lowest-inertia
+	// solution (default 1).
+	Restarts int
+	// Seed drives the k-means++ seeding.
+	Seed int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Labels assigns every point to a centroid 0…K−1.
+	Labels []int
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Inertia is the sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations of the best restart.
+	Iterations int
+}
+
+// Cluster runs k-means on points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("kmeans: no points")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: K must be ≥ 1, got %d", cfg.K)
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("kmeans: K=%d exceeds n=%d", cfg.K, n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := lloyd(points, cfg.K, cfg.MaxIter, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func lloyd(points [][]float64, k, maxIter int, rng *rand.Rand) *Result {
+	n, d := len(points), len(points[0])
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, n)
+	counts := make([]int, k)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, linalg.SqDist(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if dd := linalg.SqDist(p, centroids[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			counts[c] = 0
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: reseat on the point farthest from its
+				// centroid (a standard, deterministic repair).
+				centroids[c] = append([]float64(nil), points[farthestPoint(points, centroids, labels)]...)
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		_ = d
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += linalg.SqDist(p, centroids[labels[i]])
+	}
+	return &Result{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ (squared-distance
+// weighted sampling).
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+	dist := make([]float64, n)
+	for i, p := range points {
+		dist[i] = linalg.SqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, dd := range dist {
+			total += dd
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points coincide with a centroid
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, dd := range dist {
+				acc += dd
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[pick]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if dd := linalg.SqDist(p, c); dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+	return centroids
+}
+
+// farthestPoint returns the index of the point farthest from its assigned
+// centroid.
+func farthestPoint(points [][]float64, centroids [][]float64, labels []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		if dd := linalg.SqDist(p, centroids[labels[i]]); dd > bestD {
+			best, bestD = i, dd
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"adawave/internal/metrics"
+	"adawave/internal/synth"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{K: 2}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := Cluster(pts, Config{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := Cluster(pts, Config{K: 3}); err == nil {
+		t.Fatal("K>n should error")
+	}
+}
+
+func TestTwoCleanClusters(t *testing.T) {
+	ds := synth.Blobs(2, 300, 2, 0.02, 1)
+	res, err := Cluster(ds.Points, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami := metrics.AMI(ds.Labels, res.Labels); ami < 0.99 {
+		t.Fatalf("AMI = %v on trivially separable blobs", ami)
+	}
+	if len(res.Centroids) != 2 || res.Inertia <= 0 {
+		t.Fatalf("result malformed: %+v", res)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	res, err := Cluster(pts, Config{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("K=n should give singletons, labels %v", res.Labels)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("inertia %v, want 0", res.Inertia)
+	}
+}
+
+func TestDeterminismAndRestarts(t *testing.T) {
+	ds := synth.Blobs(3, 200, 2, 0.05, 3)
+	a, err := Cluster(ds.Points, Config{K: 3, Seed: 7, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(ds.Points, Config{K: 3, Seed: 7, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatalf("non-deterministic inertia: %v vs %v", a.Inertia, b.Inertia)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("non-deterministic labels")
+		}
+	}
+	// More restarts can only improve (weakly) the inertia.
+	one, _ := Cluster(ds.Points, Config{K: 3, Seed: 7, Restarts: 1})
+	if a.Inertia > one.Inertia+1e-9 {
+		t.Fatalf("restarts worsened inertia: %v vs %v", a.Inertia, one.Inertia)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := Cluster(pts, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia %v", res.Inertia)
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	ds := synth.Blobs(4, 100, 2, 0.1, 5)
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		res, err := Cluster(ds.Points, Config{K: k, Seed: 11, Restarts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Fatalf("inertia increased at k=%d: %v > %v", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}

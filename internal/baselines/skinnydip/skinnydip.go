@@ -1,0 +1,366 @@
+// Package skinnydip implements SkinnyDip (Maurus & Plant, KDD 2016), the
+// extreme-noise baseline of the paper's evaluation. UniDip recursively
+// extracts modal intervals from a one-dimensional sample using the
+// Hartigan & Hartigan dip test; SkinnyDip intersects the modal intervals
+// dimension by dimension, so every cluster is an axis-aligned hypercube and
+// everything outside is noise. The method assumes cluster projections are
+// unimodal in every dimension — the assumption the AdaWave paper exploits
+// with its ring-shaped clusters.
+package skinnydip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"adawave/internal/stats"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Config parameterizes a run.
+type Config struct {
+	// Alpha is the dip-test significance level (default 0.05).
+	Alpha float64
+	// MaxModes caps the number of modal intervals extracted per dimension
+	// (default 16) as a safety valve against pathological recursions.
+	MaxModes int
+}
+
+// Interval is a closed modal interval on one dimension.
+type Interval struct{ Lo, Hi float64 }
+
+// Result is the outcome of a run.
+type Result struct {
+	// Labels assigns every point a hypercube cluster 0…NumClusters−1 or
+	// Noise.
+	Labels []int
+	// NumClusters is the number of non-empty hypercube clusters.
+	NumClusters int
+}
+
+// Cluster runs SkinnyDip on points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return nil, errors.New("skinnydip: no points")
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.05
+	}
+	if cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("skinnydip: Alpha must be in (0,1), got %v", cfg.Alpha)
+	}
+	if cfg.MaxModes <= 0 {
+		cfg.MaxModes = 16
+	}
+	d := len(points[0])
+	n := len(points)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	next := 0
+	skinnyRec(points, idx, 0, d, cfg, labels, &next)
+	return &Result{Labels: labels, NumClusters: next}, nil
+}
+
+// skinnyRec processes dimension dim for the subset of point indices idx;
+// when all dimensions are consumed the subset is one hypercube cluster.
+func skinnyRec(points [][]float64, idx []int, dim, d int, cfg Config, labels []int, next *int) {
+	if len(idx) == 0 {
+		return
+	}
+	if dim == d {
+		for _, i := range idx {
+			labels[i] = *next
+		}
+		*next++
+		return
+	}
+	// Sort the subset by the current coordinate.
+	sort.Slice(idx, func(a, b int) bool { return points[idx[a]][dim] < points[idx[b]][dim] })
+	vals := make([]float64, len(idx))
+	for i, id := range idx {
+		vals[i] = points[id][dim]
+	}
+	intervals := UniDip(vals, cfg.Alpha, cfg.MaxModes)
+	for _, iv := range intervals {
+		// Select the points inside the modal interval.
+		lo := sort.SearchFloat64s(vals, iv.Lo)
+		hi := sort.SearchFloat64s(vals, iv.Hi)
+		for hi < len(vals) && vals[hi] == iv.Hi {
+			hi++
+		}
+		if hi <= lo {
+			continue
+		}
+		sub := append([]int(nil), idx[lo:hi]...)
+		skinnyRec(points, sub, dim+1, d, cfg, labels, next)
+	}
+}
+
+// UniDip extracts modal intervals from a one-dimensional sample (need not
+// be sorted; it is copied). It returns at least one interval.
+func UniDip(sample []float64, alpha float64, maxModes int) []Interval {
+	x := append([]float64(nil), sample...)
+	sort.Float64s(x)
+	return mergeUnimodal(x, uniDip(x, alpha, maxModes, true, 0), alpha)
+}
+
+// mergeUnimodal coalesces adjacent intervals whose joint sample (everything
+// from the first's Lo to the second's Hi) passes the dip test as unimodal —
+// fragments of one mode that the flank recursion split apart. Intervals
+// whose joint sample is genuinely multimodal (separate modes, or modes with
+// a noise valley between them) stay separate.
+func mergeUnimodal(x []float64, ivs []Interval, alpha float64) []Interval {
+	for len(ivs) > 1 {
+		merged := false
+		for i := 0; i+1 < len(ivs); i++ {
+			lo := sort.SearchFloat64s(x, ivs[i].Lo)
+			hi := sort.SearchFloat64s(x, ivs[i+1].Hi)
+			for hi < len(x) && x[hi] == ivs[i+1].Hi {
+				hi++
+			}
+			sub := x[lo:hi]
+			if len(sub) < 4 || stats.DipSorted(sub).Dip <= stats.DipCriticalValue(len(sub), alpha) {
+				ivs[i] = Interval{ivs[i].Lo, ivs[i+1].Hi}
+				ivs = append(ivs[:i+1], ivs[i+2:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	return ivs
+}
+
+// maxDepth caps the UniDip recursion. Mirrored flank samples are up to
+// twice the flank length, so the sample size alone does not bound the
+// recursion; the paper's data (noise everywhere) can otherwise drive it
+// arbitrarily deep while every level re-runs an O(n) dip test.
+const maxDepth = 24
+
+// uniDip is the recursion of Maurus & Plant's Algorithm 2 on sorted data.
+// isModal records that x is already known to be (contained in) a modal
+// region: a unimodal sample then reports its full range as the mode's
+// support, while an unflagged unimodal sample reports only its dip modal
+// interval. Multimodal samples recurse into the modal interval (flagged
+// modal) and into each flank, where the flank is tested with the modal
+// interval attached so the dip can “see” a mode sitting on the boundary.
+func uniDip(x []float64, alpha float64, maxModes int, isModal bool, depth int) []Interval {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n < 4 {
+		return []Interval{{x[0], x[n-1]}}
+	}
+	res := stats.DipSorted(x)
+	crit := stats.DipCriticalValue(n, alpha)
+	lo, hi := res.LowIdx, res.HighIdx
+	if res.Dip <= crit {
+		if isModal {
+			return []Interval{{x[0], x[n-1]}}
+		}
+		return []Interval{{x[lo], x[hi]}}
+	}
+	if depth >= maxDepth {
+		// Recursion exhausted: report the modal interval as a single mode.
+		return []Interval{{x[lo], x[hi]}}
+	}
+	if lo == 0 && hi == n-1 {
+		// The dip is significant but the modal interval is the whole
+		// sample, so recursing into it cannot make progress (this happens
+		// on clean multimodal samples with no tails beyond the outer
+		// modes). Split at the widest gap between consecutive values —
+		// with multiple well-separated modes that gap lies between two of
+		// them — and treat each side as its own (potentially modal) sample.
+		g := widestGap(x)
+		out := uniDip(x[:g+1], alpha, maxModes, isModal, depth+1)
+		for _, iv := range uniDip(x[g+1:], alpha, maxModes, isModal, depth+1) {
+			if len(out) >= maxModes {
+				break
+			}
+			out = append(out, iv)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Lo < out[b].Lo })
+		return merge(out)
+	}
+	// Multimodal: recurse inside the modal interval. The recursion is told
+	// the sample is a modal region (isModal=true): if it turns out
+	// unimodal, the full interval [x[lo], x[hi]] is the mode's support —
+	// returning the inner dip interval instead would shrink every mode to
+	// a sliver around its peak (Maurus & Plant, Alg. 2).
+	out := uniDip(x[lo:hi+1], alpha, maxModes, true, depth+1)
+	if len(out) > maxModes {
+		out = out[:maxModes]
+	}
+	// Left flank (tested with the modal interval attached so the dip can
+	// “see” a mode sitting on the boundary; localized with mirroring so a
+	// boundary mode keeps its full width).
+	if lo > 0 && len(out) < maxModes {
+		leftWithMode := x[:hi+1]
+		if stats.DipSorted(leftWithMode).Dip > stats.DipCriticalValue(len(leftWithMode), alpha) {
+			for _, iv := range flankModes(x[:lo], alpha, maxModes, true, depth+1) {
+				if len(out) >= maxModes {
+					break
+				}
+				out = append(out, iv)
+			}
+		}
+	}
+	// Right flank (mode expected at its left boundary).
+	if hi < n-1 && len(out) < maxModes {
+		rightWithMode := x[lo:]
+		if stats.DipSorted(rightWithMode).Dip > stats.DipCriticalValue(len(rightWithMode), alpha) {
+			for _, iv := range flankModes(x[hi+1:], alpha, maxModes, false, depth+1) {
+				if len(out) >= maxModes {
+					break
+				}
+				out = append(out, iv)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Lo < out[b].Lo })
+	return merge(out)
+}
+
+// flankModes extracts modes from a flank of a removed modal interval. The
+// flank is reflected about the boundary that faced the modal interval (its
+// right end when modeAtRight, else its left end) so a mode cut off at that
+// boundary becomes an interior mode of the symmetric sample; a single dip
+// test on the mirrored sample then locates a modal region, which is mapped
+// back to flank indices and recursed on in original space. Recursing fully
+// on the mirrored sample instead would re-mirror its own flanks and blow up
+// both depth and width.
+func flankModes(x []float64, alpha float64, maxModes int, modeAtRight bool, depth int) []Interval {
+	n := len(x)
+	if n < 4 {
+		// Too few points to localize a mode; reporting them as one would
+		// fabricate sliver clusters out of leftover noise.
+		return nil
+	}
+	if depth >= maxDepth {
+		return []Interval{{x[0], x[n-1]}}
+	}
+	// Build the symmetric sample (2n−1 values, pivot kept once).
+	z := make([]float64, 0, 2*n-1)
+	if modeAtRight {
+		pivot := x[n-1]
+		z = append(z, x...)
+		for i := n - 2; i >= 0; i-- {
+			z = append(z, 2*pivot-x[i])
+		}
+	} else {
+		pivot := x[0]
+		for i := n - 1; i >= 1; i-- {
+			z = append(z, 2*pivot-x[i])
+		}
+		z = append(z, x...)
+	}
+	res := stats.DipSorted(z)
+	// Map a z index back to an x index (reflection folds in half).
+	toX := func(zi int) int {
+		if modeAtRight {
+			if zi < n {
+				return zi
+			}
+			return 2*(n-1) - zi
+		}
+		if zi >= n-1 {
+			return zi - (n - 1)
+		}
+		return n - 1 - zi
+	}
+	a, b := toX(res.LowIdx), toX(res.HighIdx)
+	if a > b {
+		a, b = b, a
+	}
+	// A modal interval crossing the pivot covers everything from the fold
+	// to the nearer mapped endpoint.
+	if modeAtRight && res.LowIdx < n-1 && res.HighIdx > n-1 {
+		b = n - 1
+	}
+	if !modeAtRight && res.LowIdx < n-1 && res.HighIdx > n-1 {
+		a = 0
+	}
+	if res.Dip <= stats.DipCriticalValue(len(z), alpha) {
+		// The flank holds one mode (possibly folded on the boundary); the
+		// mapped modal interval is its support.
+		return []Interval{{x[a], x[b]}}
+	}
+	if a == 0 && b == n-1 {
+		// Mirror did not localize anything smaller; fall back to the plain
+		// recursion, which makes progress by modal-interval splitting.
+		return uniDip(x, alpha, maxModes, true, depth+1)
+	}
+	// Recurse into the localized modal region as a known-modal sample and
+	// into the remainders as flanks — but only when a dip test on the
+	// remainder joined with the modal region still signals multimodality,
+	// the same gate uniDip applies to its own flanks. Without the gate
+	// every leftover noise stretch would surface as a sliver mode.
+	out := uniDip(x[a:b+1], alpha, maxModes, true, depth+1)
+	if a > 0 && len(out) < maxModes {
+		withMode := x[:b+1]
+		if stats.DipSorted(withMode).Dip > stats.DipCriticalValue(len(withMode), alpha) {
+			for _, iv := range flankModes(x[:a], alpha, maxModes, true, depth+1) {
+				if len(out) >= maxModes {
+					break
+				}
+				out = append(out, iv)
+			}
+		}
+	}
+	if b < n-1 && len(out) < maxModes {
+		withMode := x[a:]
+		if stats.DipSorted(withMode).Dip > stats.DipCriticalValue(len(withMode), alpha) {
+			for _, iv := range flankModes(x[b+1:], alpha, maxModes, false, depth+1) {
+				if len(out) >= maxModes {
+					break
+				}
+				out = append(out, iv)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Lo < out[b].Lo })
+	return merge(out)
+}
+
+// widestGap returns the index g maximizing x[g+1]−x[g] on sorted x
+// (len(x) ≥ 2).
+func widestGap(x []float64) int {
+	g, best := 0, x[1]-x[0]
+	for i := 1; i < len(x)-1; i++ {
+		if d := x[i+1] - x[i]; d > best {
+			g, best = i, d
+		}
+	}
+	return g
+}
+
+// merge coalesces overlapping intervals (possible when flank recursions
+// touch the modal interval boundary).
+func merge(ivs []Interval) []Interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package skinnydip
+
+import (
+	"math/rand"
+	"testing"
+
+	"adawave/internal/metrics"
+	"adawave/internal/synth"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := Cluster([][]float64{{1}}, Config{Alpha: 2}); err == nil {
+		t.Fatal("alpha ≥ 1 should error")
+	}
+}
+
+func TestUniDipUnimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ivs := UniDip(x, 0.05, 16)
+	if len(ivs) != 1 {
+		t.Fatalf("unimodal sample produced %d intervals", len(ivs))
+	}
+}
+
+func TestUniDipTwoModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 1000)
+	for i := 0; i < 500; i++ {
+		x[i] = rng.NormFloat64() * 0.3
+	}
+	for i := 500; i < 1000; i++ {
+		x[i] = 10 + rng.NormFloat64()*0.3
+	}
+	ivs := UniDip(x, 0.05, 16)
+	if len(ivs) != 2 {
+		t.Fatalf("bimodal sample produced %d intervals: %v", len(ivs), ivs)
+	}
+	// One interval near 0, one near 10, neither spanning the gap.
+	for _, iv := range ivs {
+		if iv.Lo < 3 && iv.Hi > 7 {
+			t.Fatalf("interval %v spans both modes", iv)
+		}
+	}
+}
+
+func TestUniDipThreeModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x []float64
+	for _, c := range []float64{0, 10, 20} {
+		for i := 0; i < 400; i++ {
+			x = append(x, c+rng.NormFloat64()*0.3)
+		}
+	}
+	ivs := UniDip(x, 0.05, 16)
+	if len(ivs) != 3 {
+		t.Fatalf("trimodal sample produced %d intervals: %v", len(ivs), ivs)
+	}
+}
+
+func TestUniDipNoiseBetweenModes(t *testing.T) {
+	// SkinnyDip's home turf: modes in a sea of uniform noise.
+	rng := rand.New(rand.NewSource(4))
+	var x []float64
+	for i := 0; i < 400; i++ {
+		x = append(x, 2+rng.NormFloat64()*0.05)
+	}
+	for i := 0; i < 400; i++ {
+		x = append(x, 8+rng.NormFloat64()*0.05)
+	}
+	for i := 0; i < 1600; i++ { // 67% noise
+		x = append(x, rng.Float64()*10)
+	}
+	ivs := UniDip(x, 0.05, 16)
+	if len(ivs) < 2 {
+		t.Fatalf("found %d intervals, want ≥ 2 (modes at 2 and 8)", len(ivs))
+	}
+	found2, found8 := false, false
+	for _, iv := range ivs {
+		if iv.Lo <= 2 && iv.Hi >= 2 && iv.Hi-iv.Lo < 3 {
+			found2 = true
+		}
+		if iv.Lo <= 8 && iv.Hi >= 8 && iv.Hi-iv.Lo < 3 {
+			found8 = true
+		}
+	}
+	if !found2 || !found8 {
+		t.Fatalf("modes not localized: %v", ivs)
+	}
+}
+
+func TestUniDipTinySample(t *testing.T) {
+	ivs := UniDip([]float64{1, 2, 3}, 0.05, 16)
+	if len(ivs) != 1 || ivs[0].Lo != 1 || ivs[0].Hi != 3 {
+		t.Fatalf("tiny sample: %v", ivs)
+	}
+	if got := UniDip(nil, 0.05, 16); got != nil {
+		t.Fatalf("empty sample: %v", got)
+	}
+}
+
+func TestGaussianGridClusters(t *testing.T) {
+	// Axis-aligned Gaussian blobs with unimodal projections: SkinnyDip's
+	// favorable case (even with heavy noise).
+	rng := rand.New(rand.NewSource(5))
+	ds := &synth.Dataset{Name: "grid"}
+	var pts [][]float64
+	var labels []int
+	centers := [][]float64{{2, 2}, {2, 8}, {8, 2}, {8, 8}}
+	for c, ctr := range centers {
+		for i := 0; i < 500; i++ {
+			pts = append(pts, []float64{ctr[0] + rng.NormFloat64()*0.15, ctr[1] + rng.NormFloat64()*0.15})
+			labels = append(labels, c)
+		}
+	}
+	for i := 0; i < 3000; i++ { // 60% noise
+		pts = append(pts, []float64{rng.Float64() * 10, rng.Float64() * 10})
+		labels = append(labels, synth.NoiseLabel)
+	}
+	ds.Points, ds.Labels = pts, labels
+	res, err := Cluster(ds.Points, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ami := metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	if ami < 0.8 {
+		t.Fatalf("AMI = %v on grid blobs in noise (clusters=%d), want ≥ 0.8", ami, res.NumClusters)
+	}
+}
+
+func TestFailsOnRings(t *testing.T) {
+	// The AdaWave paper's argument: ring projections are not unimodal per
+	// dimension, so SkinnyDip cannot localize them.
+	ds := synth.Evaluation(1500, 0.5, 6)
+	res, err := Cluster(ds.Points, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ami := metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	if ami > 0.75 {
+		t.Fatalf("SkinnyDip unexpectedly solved ring shapes: AMI %v", ami)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := synth.Evaluation(500, 0.5, 7)
+	a, _ := Cluster(ds.Points, Config{})
+	b, _ := Cluster(ds.Points, Config{})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("non-deterministic")
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package stsc implements self-tuning spectral clustering (Zelnik-Manor &
+// Perona, NIPS 2004), the automated spectral baseline of the paper's
+// evaluation. Affinities use local scaling (σᵢ = distance to the LocalK-th
+// neighbor), the number of clusters is selected by minimizing the
+// rotation-alignment cost of the top eigenvectors (the paper's Givens
+// gradient descent), and points are clustered by k-means on the
+// row-normalized spectral embedding. Because the affinity matrix is O(n²)
+// and the eigensolver O(n³), large inputs are deterministically subsampled
+// and the remaining points inherit the label of their nearest sample.
+package stsc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"adawave/internal/baselines/kmeans"
+	"adawave/internal/index"
+	"adawave/internal/linalg"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// K fixes the number of clusters. 0 selects K automatically in
+	// [2, KMax] by rotation-alignment cost.
+	K int
+	// KMax caps automatic selection (default 8).
+	KMax int
+	// LocalK is the neighbor rank defining the local scale σᵢ (default 7,
+	// the value of the original paper).
+	LocalK int
+	// MaxN subsamples larger inputs before building the O(n²) affinity
+	// matrix (default 400). Non-sampled points take the label of their
+	// nearest sampled point.
+	MaxN int
+	// Seed drives subsampling and the embedding k-means.
+	Seed int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Labels assigns every point a cluster 0…K−1 (spectral clustering has
+	// no noise concept).
+	Labels []int
+	// K is the number of clusters used.
+	K int
+	// AlignCost maps each candidate k to its rotation-alignment cost
+	// (present only when K was selected automatically).
+	AlignCost map[int]float64
+	// Sampled is the number of points that entered the eigenproblem.
+	Sampled int
+}
+
+// Cluster runs self-tuning spectral clustering on points.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("stsc: no points")
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("stsc: K must be ≥ 0, got %d", cfg.K)
+	}
+	if cfg.KMax <= 1 {
+		cfg.KMax = 8
+	}
+	if cfg.LocalK <= 0 {
+		cfg.LocalK = 7
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 400
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("stsc: K=%d exceeds n=%d", cfg.K, n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Deterministic subsample for the eigenproblem.
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	if n > cfg.MaxN {
+		rng.Shuffle(n, func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+		sample = sample[:cfg.MaxN]
+		sort.Ints(sample)
+	}
+	sub := make([][]float64, len(sample))
+	for i, idx := range sample {
+		sub[i] = points[idx]
+	}
+
+	a, err := affinity(sub, cfg.LocalK)
+	if err != nil {
+		return nil, err
+	}
+	l := normalize(a)
+	eig, err := linalg.JacobiEigen(l, 0)
+	if err != nil {
+		return nil, fmt.Errorf("stsc: eigendecomposition: %w", err)
+	}
+
+	m := len(sub)
+	k := cfg.K
+	var costs map[int]float64
+	if k == 0 {
+		kMax := cfg.KMax
+		if kMax > m {
+			kMax = m
+		}
+		k, costs = selectK(eig, m, kMax)
+	}
+	if k > m {
+		k = m
+	}
+
+	emb := embedding(eig, m, k)
+	rowNormalize(emb)
+	km, err := kmeans.Cluster(emb, kmeans.Config{K: k, Seed: rng.Int63(), Restarts: 5})
+	if err != nil {
+		return nil, fmt.Errorf("stsc: embedding k-means: %w", err)
+	}
+
+	labels := make([]int, n)
+	if len(sample) == n {
+		copy(labels, km.Labels)
+	} else {
+		// Non-sampled points inherit the label of their nearest sample.
+		tree := index.Build(sub)
+		inSample := make(map[int]int, len(sample))
+		for i, idx := range sample {
+			inSample[idx] = i
+		}
+		for i := range points {
+			if si, ok := inSample[i]; ok {
+				labels[i] = km.Labels[si]
+				continue
+			}
+			nb := tree.KNN(points[i], 1)
+			labels[i] = km.Labels[nb[0].Index]
+		}
+	}
+	return &Result{Labels: labels, K: k, AlignCost: costs, Sampled: len(sample)}, nil
+}
+
+// affinity builds the locally scaled affinity matrix
+// Aᵢⱼ = exp(−d²(i,j)/(σᵢσⱼ)) with zero diagonal.
+func affinity(points [][]float64, localK int) (*linalg.Matrix, error) {
+	m := len(points)
+	d2 := make([][]float64, m)
+	for i := range d2 {
+		d2[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := linalg.SqDist(points[i], points[j])
+			d2[i][j], d2[j][i] = v, v
+		}
+	}
+	// σᵢ = distance to the localK-th nearest neighbor (excluding self).
+	sigma := make([]float64, m)
+	buf := make([]float64, m)
+	for i := 0; i < m; i++ {
+		copy(buf, d2[i])
+		sort.Float64s(buf)
+		rank := localK
+		if rank >= m {
+			rank = m - 1
+		}
+		s := math.Sqrt(buf[rank]) // buf[0] is the zero self-distance
+		if s <= 0 {
+			s = 1e-12
+		}
+		sigma[i] = s
+	}
+	a := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := math.Exp(-d2[i][j] / (sigma[i] * sigma[j]))
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a, nil
+}
+
+// normalize returns the symmetric normalized affinity D^(−1/2) A D^(−1/2)
+// whose top eigenvectors span the cluster indicator space.
+func normalize(a *linalg.Matrix) *linalg.Matrix {
+	m := a.Rows
+	dinv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			s += a.At(i, j)
+		}
+		if s <= 0 {
+			s = 1e-12
+		}
+		dinv[i] = 1 / math.Sqrt(s)
+	}
+	l := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			l.Set(i, j, dinv[i]*a.At(i, j)*dinv[j])
+		}
+	}
+	return l
+}
+
+// embedding returns the m×k matrix of the top-k eigenvectors (largest
+// eigenvalues) as rows of points.
+func embedding(eig *linalg.Eigen, m, k int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		row := make([]float64, k)
+		for c := 0; c < k; c++ {
+			// Eigenvalues ascend; column m−1−c holds the c-th largest.
+			row[c] = eig.Vectors.At(i, m-1-c)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// rowNormalize scales every row to unit Euclidean norm in place (zero rows
+// are left untouched).
+func rowNormalize(points [][]float64) {
+	for _, p := range points {
+		n := linalg.Norm2(p)
+		if n == 0 {
+			continue
+		}
+		for j := range p {
+			p[j] /= n
+		}
+	}
+}
+
+// selectK chooses the number of clusters by the paper's rotation-alignment
+// criterion: for each candidate k, gradient-descend Givens angles to align
+// the top-k eigenvector matrix with a canonical axis indicator structure,
+// and keep the largest k whose aligned cost is within tolerance of the
+// minimum. Returns the choice and the per-candidate costs.
+func selectK(eig *linalg.Eigen, m, kMax int) (int, map[int]float64) {
+	costs := make(map[int]float64, kMax)
+	bestCost := math.Inf(1)
+	for k := 2; k <= kMax; k++ {
+		z := embedding(eig, m, k)
+		c := alignCost(z)
+		costs[k] = c
+		if c < bestCost {
+			bestCost = c
+		}
+	}
+	// “In case of ties take the largest k” — with a small relative slack
+	// so nearly equal costs count as ties (the cost is scale-free in
+	// [1, k]).
+	choice := 2
+	for k := 2; k <= kMax; k++ {
+		if costs[k] <= bestCost*(1+1e-3) {
+			choice = k
+		}
+	}
+	return choice, costs
+}
+
+// alignCost minimizes J(R) = Σᵢⱼ (ZR)ᵢⱼ² / maxⱼ(ZR)ᵢⱼ² over rotations R via
+// gradient descent on the K(K−1)/2 Givens angles, per Zelnik-Manor & Perona;
+// it returns J/m − 1 ∈ [0, k−1], which is 0 when every embedded point lies
+// exactly on one axis (perfectly separable clusters).
+func alignCost(z [][]float64) float64 {
+	m, k := len(z), len(z[0])
+	nAngles := k * (k - 1) / 2
+	theta := make([]float64, nAngles)
+	cur := cost(z, theta)
+	const (
+		step     = 0.1
+		maxIter  = 200
+		minDelta = 1e-4
+	)
+	grad := make([]float64, nAngles)
+	for iter := 0; iter < maxIter; iter++ {
+		for a := 0; a < nAngles; a++ {
+			h := 1e-4
+			theta[a] += h
+			up := cost(z, theta)
+			theta[a] -= 2 * h
+			dn := cost(z, theta)
+			theta[a] += h
+			grad[a] = (up - dn) / (2 * h)
+		}
+		for a := 0; a < nAngles; a++ {
+			theta[a] -= step * grad[a]
+		}
+		next := cost(z, theta)
+		if cur-next < minDelta {
+			if next < cur {
+				cur = next
+			}
+			break
+		}
+		cur = next
+	}
+	return cur/float64(m) - 1
+}
+
+// cost evaluates the alignment objective for the rotation given by theta.
+func cost(z [][]float64, theta []float64) float64 {
+	k := len(z[0])
+	r := givensProduct(k, theta)
+	var j float64
+	row := make([]float64, k)
+	for _, p := range z {
+		var mx float64
+		for c := 0; c < k; c++ {
+			var v float64
+			for t := 0; t < k; t++ {
+				v += p[t] * r.At(t, c)
+			}
+			row[c] = v * v
+			if row[c] > mx {
+				mx = row[c]
+			}
+		}
+		if mx <= 1e-300 {
+			// A zero embedding row means a cluster is invisible at this k
+			// (the eigenvectors of its component were truncated): charge
+			// the worst possible alignment so the candidate loses to
+			// larger k, instead of silently skipping the point.
+			j += float64(k)
+			continue
+		}
+		for c := 0; c < k; c++ {
+			j += row[c] / mx
+		}
+	}
+	return j
+}
+
+// givensProduct composes the k×k rotation from the K(K−1)/2 Givens angles.
+func givensProduct(k int, theta []float64) *linalg.Matrix {
+	r := linalg.NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		r.Set(i, i, 1)
+	}
+	a := 0
+	for i := 0; i < k-1; i++ {
+		for j := i + 1; j < k; j++ {
+			c, s := math.Cos(theta[a]), math.Sin(theta[a])
+			a++
+			// r = r × G(i,j,θ): only columns i and j change.
+			for t := 0; t < k; t++ {
+				ri, rj := r.At(t, i), r.At(t, j)
+				r.Set(t, i, c*ri-s*rj)
+				r.Set(t, j, s*ri+c*rj)
+			}
+		}
+	}
+	return r
+}

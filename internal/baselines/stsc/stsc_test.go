@@ -1,0 +1,243 @@
+package stsc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adawave/internal/linalg"
+	"adawave/internal/metrics"
+	"adawave/internal/synth"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(nil, Config{}); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := Cluster([][]float64{{1, 2}}, Config{K: -1}); err == nil {
+		t.Fatal("negative K should error")
+	}
+	if _, err := Cluster([][]float64{{1, 2}, {3, 4}}, Config{K: 5}); err == nil {
+		t.Fatal("K > n should error")
+	}
+}
+
+func TestTwoBlobsAutoK(t *testing.T) {
+	ds := synth.Blobs(2, 100, 2, 0.02, 1)
+	res, err := Cluster(ds.Points, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("auto-K selected %d clusters, want 2 (costs %v)", res.K, res.AlignCost)
+	}
+	if ami := metrics.AMI(ds.Labels, res.Labels); ami < 0.95 {
+		t.Fatalf("AMI = %v on two separated blobs, want ≥ 0.95", ami)
+	}
+}
+
+func TestThreeBlobsAutoK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var pts [][]float64
+	var labels []int
+	for c, ctr := range [][]float64{{0, 0}, {4, 0}, {2, 4}} {
+		for i := 0; i < 80; i++ {
+			pts = append(pts, []float64{ctr[0] + rng.NormFloat64()*0.15, ctr[1] + rng.NormFloat64()*0.15})
+			labels = append(labels, c)
+		}
+	}
+	res, err := Cluster(pts, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("auto-K selected %d clusters, want 3 (costs %v)", res.K, res.AlignCost)
+	}
+	if ami := metrics.AMI(labels, res.Labels); ami < 0.95 {
+		t.Fatalf("AMI = %v on three separated blobs, want ≥ 0.95", ami)
+	}
+}
+
+func TestFixedK(t *testing.T) {
+	ds := synth.Blobs(4, 60, 3, 0.02, 3)
+	res, err := Cluster(ds.Points, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("K = %d, want the fixed 4", res.K)
+	}
+	if res.AlignCost != nil {
+		t.Fatal("fixed K should not compute alignment costs")
+	}
+	if ami := metrics.AMI(ds.Labels, res.Labels); ami < 0.9 {
+		t.Fatalf("AMI = %v on four blobs with fixed K, want ≥ 0.9", ami)
+	}
+}
+
+func TestConcentricRings(t *testing.T) {
+	// Local scaling is exactly what lets spectral clustering separate
+	// concentric structures in the clean case — the headline example of
+	// Zelnik-Manor & Perona.
+	rng := rand.New(rand.NewSource(4))
+	var pts [][]float64
+	var labels []int
+	for i := 0; i < 150; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		r := 0.2 + rng.NormFloat64()*0.005
+		pts = append(pts, []float64{r * math.Cos(theta), r * math.Sin(theta)})
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 150; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		r := 1.0 + rng.NormFloat64()*0.005
+		pts = append(pts, []float64{r * math.Cos(theta), r * math.Sin(theta)})
+		labels = append(labels, 1)
+	}
+	res, err := Cluster(pts, Config{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami := metrics.AMI(labels, res.Labels); ami < 0.9 {
+		t.Fatalf("AMI = %v on clean concentric rings, want ≥ 0.9", ami)
+	}
+}
+
+func TestSubsampling(t *testing.T) {
+	ds := synth.Blobs(2, 400, 2, 0.02, 5)
+	res, err := Cluster(ds.Points, Config{K: 2, MaxN: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampled != 100 {
+		t.Fatalf("Sampled = %d, want 100", res.Sampled)
+	}
+	if len(res.Labels) != ds.N() {
+		t.Fatalf("labels cover %d points, want %d", len(res.Labels), ds.N())
+	}
+	if ami := metrics.AMI(ds.Labels, res.Labels); ami < 0.95 {
+		t.Fatalf("AMI = %v with subsampling, want ≥ 0.95", ami)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := synth.Blobs(3, 200, 2, 0.05, 6)
+	a, err := Cluster(ds.Points, Config{Seed: 7, MaxN: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(ds.Points, Config{Seed: 7, MaxN: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestAffinityProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	a, err := affinity(pts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Fatal("affinity matrix must be symmetric")
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.At(i, i) != 0 {
+			t.Fatalf("affinity diagonal A[%d][%d] = %v, want 0", i, i, a.At(i, i))
+		}
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); v < 0 || v > 1 {
+				t.Fatalf("affinity A[%d][%d] = %v outside [0,1]", i, j, v)
+			}
+		}
+	}
+}
+
+func TestAffinityDuplicatePoints(t *testing.T) {
+	// Duplicate points give σᵢ = 0 for small localK; the clamp must keep
+	// the matrix finite.
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}, {5, 5}, {9, 9}}
+	a, err := affinity(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("affinity A[%d][%d] = %v with duplicate points", i, j, v)
+			}
+		}
+	}
+}
+
+func TestAlignCostAxisEmbedding(t *testing.T) {
+	// Points exactly on coordinate axes have zero alignment cost.
+	z := [][]float64{{1, 0}, {1, 0}, {0, 1}, {0, -1}, {-1, 0}}
+	if c := alignCost(z); c > 1e-6 {
+		t.Fatalf("alignCost(axis embedding) = %v, want ≈ 0", c)
+	}
+}
+
+func TestAlignCostRotatedEmbedding(t *testing.T) {
+	// A rotated axis embedding must be re-aligned by the Givens descent to
+	// (near) zero cost.
+	theta := 0.4
+	c, s := math.Cos(theta), math.Sin(theta)
+	base := [][]float64{{1, 0}, {1, 0}, {1, 0}, {0, 1}, {0, 1}, {0, 1}}
+	z := make([][]float64, len(base))
+	for i, p := range base {
+		z[i] = []float64{c*p[0] - s*p[1], s*p[0] + c*p[1]}
+	}
+	if got := alignCost(z); got > 0.05 {
+		t.Fatalf("alignCost(rotated axis embedding) = %v, want ≈ 0 after alignment", got)
+	}
+}
+
+func TestGivensProductOrthogonal(t *testing.T) {
+	theta := []float64{0.3, -1.2, 0.7}
+	r := givensProduct(3, theta)
+	rt := r.T()
+	p, err := rt.Mul(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(p.At(i, j)-want) > 1e-12 {
+				t.Fatalf("RᵀR[%d][%d] = %v, want %v", i, j, p.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestNormalizeRowSums(t *testing.T) {
+	// The normalized affinity of a fully connected graph has largest
+	// eigenvalue 1 with eigenvector D^(1/2)·1.
+	pts := synth.Blobs(1, 30, 2, 0.1, 9).Points
+	a, err := affinity(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := normalize(a)
+	eig, err := linalg.JacobiEigen(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := eig.Values[len(eig.Values)-1]
+	if math.Abs(top-1) > 1e-6 {
+		t.Fatalf("largest eigenvalue of normalized affinity = %v, want 1", top)
+	}
+}

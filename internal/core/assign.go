@@ -1,0 +1,87 @@
+package core
+
+import "adawave/internal/linalg"
+
+// AssignNoiseToNearest implements the paper's protocol for fully labeled
+// real-world data (“we run the k-means iteration (based on Euclidean
+// distance) on the final AdaWave result to assign every detected noise
+// object to a ‘true’ cluster”): cluster centroids are computed from the
+// non-noise points and every Noise point is reassigned to its nearest
+// centroid; with iterations > 1 the centroids are recomputed and the former
+// noise points reassigned again. Returns a new label slice; the input is
+// not modified. If labels contains no clusters at all, every point is
+// assigned to a single cluster 0.
+func AssignNoiseToNearest(points [][]float64, labels []int, iterations int) []int {
+	out := append([]int(nil), labels...)
+	if len(points) == 0 {
+		return out
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	k := 0
+	for _, l := range out {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	if k == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	d := len(points[0])
+	wasNoise := make([]bool, len(out))
+	for i, l := range out {
+		wasNoise[i] = l == Noise
+	}
+	for it := 0; it < iterations; it++ {
+		centroids := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range centroids {
+			centroids[c] = make([]float64, d)
+		}
+		for i, l := range out {
+			if l == Noise {
+				continue
+			}
+			counts[l]++
+			for j, v := range points[i] {
+				centroids[l][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		changed := false
+		for i := range out {
+			if !wasNoise[i] {
+				continue
+			}
+			best, bestD := 0, -1.0
+			for c := range centroids {
+				if counts[c] == 0 {
+					continue
+				}
+				dist := linalg.SqDist(points[i], centroids[c])
+				if bestD < 0 || dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if out[i] != best {
+				out[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}

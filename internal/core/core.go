@@ -1,0 +1,312 @@
+// Package core implements AdaWave, the adaptive wavelet clustering
+// algorithm of Chen et al. (ICDE 2019): quantize the feature space into a
+// sparse grid, run a separable discrete wavelet transform keeping the
+// scale-space (low-pass) subband, filter noise cells with an adaptively
+// chosen density threshold, label connected components, and map points back
+// through the lookup table. The algorithm is deterministic, linear in the
+// number of points, input-order insensitive and shape insensitive.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"adawave/internal/grid"
+	"adawave/internal/wavelet"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = -1
+
+// Config holds AdaWave parameters. The zero value is not valid; start from
+// DefaultConfig. The paper calls AdaWave “parameter free” because every
+// field has a data-independent default that was used for all experiments.
+type Config struct {
+	// Scale is the number of grid cells per dimension (paper default 128
+	// for the 2-D experiments). 0 selects an automatic scale from the
+	// data size and dimension: the smallest power of two ≥ (n/4)^(1/d),
+	// clamped to [4, 256], so that high-dimensional data still produces
+	// multi-point cells.
+	Scale int
+	// Basis is the wavelet filter bank (paper default CDF(2,2)).
+	Basis wavelet.Basis
+	// Levels is the number of wavelet decomposition levels (≥ 0; 0 skips
+	// the transform entirely, which degrades AdaWave to plain grid
+	// clustering and exists for ablation).
+	Levels int
+	// Connectivity selects the neighbor relation for connected components.
+	Connectivity grid.Connectivity
+	// CoeffEpsilon is the paper's preliminary “coefficient denoising”
+	// (“remove … the low value of scaling coefficients”): transformed
+	// cells with density below CoeffEpsilon × (max cell density) are
+	// discarded before the adaptive threshold is estimated. Must be in
+	// [0, 1). This also removes the small positive satellites produced by
+	// the negative filter taps around isolated cells.
+	CoeffEpsilon float64
+	// Threshold picks the adaptive noise threshold from the sorted
+	// density curve.
+	Threshold ThresholdStrategy
+	// MinClusterCells demotes connected components with fewer cells than
+	// this to noise (1 disables the filter).
+	MinClusterCells int
+	// MinClusterMass demotes connected components carrying less than this
+	// fraction of the heaviest component's density mass to noise
+	// (0 disables). This suppresses fringe satellites without a fixed
+	// cell-count assumption: real clusters carry mass comparable to each
+	// other, satellites carry a sliver. The heaviest component is never
+	// demoted, so a non-empty grid always yields at least one cluster.
+	MinClusterMass float64
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{
+		Scale:        128,
+		Basis:        wavelet.CDF22(),
+		Levels:       1,
+		Connectivity: grid.Faces,
+		// 0.01 keeps the low-density ring/segment cells that a larger
+		// epsilon wipes out at low noise (calibrated on the paper's Fig. 8
+		// sweep: 0.05 costs ≈0.2 AMI at γ=20 %, 0 breaks at γ=90 % because
+		// filter satellites survive into the threshold estimate).
+		CoeffEpsilon:    0.01,
+		Threshold:       ThreeSegmentFit{},
+		MinClusterCells: 1,
+		MinClusterMass:  0.05,
+	}
+}
+
+// AutoScale returns the automatic grid scale for n points in d dimensions:
+// the smallest power of two ≥ (n/4)^(1/d), clamped to [4, 256].
+func AutoScale(n, d int) int {
+	if n < 1 || d < 1 {
+		return 4
+	}
+	target := powNthRoot(float64(n)/4, d)
+	s := 4
+	for s < 256 && float64(s) < target {
+		s <<= 1
+	}
+	return s
+}
+
+func powNthRoot(x float64, d int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// x^(1/d) via exp/log without importing math for one call is not
+	// worth it; keep it simple.
+	return math.Pow(x, 1/float64(d))
+}
+
+// Result is the outcome of one AdaWave run.
+type Result struct {
+	// Labels holds one label per input point: 0…NumClusters−1, or Noise.
+	Labels []int
+	// NumClusters is the number of detected clusters.
+	NumClusters int
+	// Threshold is the adaptive density threshold in transformed space.
+	Threshold float64
+	// ThresholdIndex is the cut position on Curve.
+	ThresholdIndex int
+	// Curve is the descending sorted-density curve the threshold was
+	// chosen on (paper Fig. 6). Shared, do not modify.
+	Curve []float64
+	// CellsQuantized, CellsTransformed and CellsKept count occupied grid
+	// cells after quantization, after the wavelet transform (and
+	// coefficient denoising), and after threshold filtering.
+	CellsQuantized   int
+	CellsTransformed int
+	CellsKept        int
+	// Levels and Scale echo the effective configuration.
+	Levels int
+	Scale  int
+}
+
+// ClusterSizes returns the number of points in each cluster label
+// (excluding noise).
+func (r *Result) ClusterSizes() map[int]int {
+	out := make(map[int]int)
+	for _, l := range r.Labels {
+		if l != Noise {
+			out[l]++
+		}
+	}
+	return out
+}
+
+// NoiseCount returns the number of points labeled Noise.
+func (r *Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Scale != 0 && c.Scale < 2 {
+		return fmt.Errorf("core: Scale must be 0 (auto) or ≥ 2, got %d", c.Scale)
+	}
+	if c.Levels < 0 {
+		return fmt.Errorf("core: Levels must be ≥ 0, got %d", c.Levels)
+	}
+	if c.Scale != 0 && c.Scale>>uint(c.Levels) < 2 {
+		return fmt.Errorf("core: Scale %d too small for %d levels", c.Scale, c.Levels)
+	}
+	if len(c.Basis.Lo) == 0 {
+		return errors.New("core: Basis is unset (use DefaultConfig)")
+	}
+	if c.CoeffEpsilon < 0 || c.CoeffEpsilon >= 1 {
+		return fmt.Errorf("core: CoeffEpsilon must be in [0,1), got %v", c.CoeffEpsilon)
+	}
+	if c.Threshold == nil {
+		return errors.New("core: Threshold strategy is unset (use DefaultConfig)")
+	}
+	if c.MinClusterCells < 1 {
+		return fmt.Errorf("core: MinClusterCells must be ≥ 1, got %d", c.MinClusterCells)
+	}
+	if c.MinClusterMass < 0 || c.MinClusterMass >= 1 {
+		return fmt.Errorf("core: MinClusterMass must be in [0,1), got %v", c.MinClusterMass)
+	}
+	return nil
+}
+
+// Cluster runs AdaWave on points (row-major, equal dimension) and returns
+// per-point labels plus diagnostics. Points are not modified.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, grid.ErrNoPoints
+	}
+	cfg = resolveScale(cfg, points)
+
+	// Step 1 — quantization (Alg. 2): sparse density grid, only occupied
+	// cells stored.
+	q, err := grid.NewQuantizer(points, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	g := q.Quantize(points)
+	cellsQuantized := g.Len()
+
+	// Step 2 — wavelet decomposition (Alg. 3): keep the scale-space
+	// subband of each level; the detail subbands are the discarded
+	// “wavelet coefficients close to zero … the noise part”.
+	t := g
+	if cfg.Levels > 0 {
+		levels, err := grid.TransformLevels(g, cfg.Basis, cfg.Levels)
+		if err != nil {
+			return nil, err
+		}
+		t = levels[len(levels)-1]
+	}
+	dropLowCoefficients(t, cfg.CoeffEpsilon)
+
+	// Steps 3–6 — adaptive threshold (Alg. 4 / Fig. 6), noise filtering,
+	// connected components, and the lookup table mapping points through
+	// their base cell to its transformed-space ancestor (coordinates
+	// right-shifted once per level — the dyadic downsampling
+	// correspondence).
+	out, err := finishClustering(t, q.CellOfPoint(points), cfg.Levels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.CellsQuantized = cellsQuantized
+	return out, nil
+}
+
+// resolveScale substitutes the automatic scale for Scale == 0 and clamps
+// Levels so every dimension keeps at least two cells after decomposition.
+func resolveScale(cfg Config, points [][]float64) Config {
+	if cfg.Scale == 0 {
+		d := 1
+		if len(points) > 0 {
+			d = len(points[0])
+		}
+		cfg.Scale = AutoScale(len(points), d)
+		for cfg.Levels > 0 && cfg.Scale>>uint(cfg.Levels) < 2 {
+			cfg.Levels--
+		}
+	}
+	return cfg
+}
+
+// dropLowCoefficients implements the paper's “remove … the low value of
+// scaling coefficients”: cells below eps × (max density) are discarded.
+func dropLowCoefficients(t *grid.Grid, eps float64) {
+	var maxD float64
+	for _, v := range t.Cells {
+		if v > maxD {
+			maxD = v
+		}
+	}
+	cut := eps * maxD
+	if cut <= 0 {
+		cut = 1e-12 // always remove zero/negative coefficients
+	}
+	t.DropBelow(cut)
+}
+
+// relabelBySize renumbers component labels 0…k−1 in decreasing mass order
+// (so label 0 is always the heaviest cluster — convenient and
+// deterministic) and demotes components below the cell-count or
+// mass-fraction floor to Noise. If every component would be demoted, the
+// heaviest survives: a non-empty grid always yields at least one cluster.
+func relabelBySize(kept *grid.Grid, cells map[grid.Key]int, minCells int, minMassFrac float64) map[grid.Key]int {
+	type comp struct {
+		label, cells int
+		mass         float64
+	}
+	byLabel := make(map[int]*comp)
+	for k, l := range cells {
+		c := byLabel[l]
+		if c == nil {
+			c = &comp{label: l}
+			byLabel[l] = c
+		}
+		c.cells++
+		c.mass += kept.Density(k)
+	}
+	comps := make([]*comp, 0, len(byLabel))
+	for _, c := range byLabel {
+		comps = append(comps, c)
+	}
+	// Sort by mass descending, breaking ties by original label for
+	// determinism.
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].mass != comps[j].mass {
+			return comps[i].mass > comps[j].mass
+		}
+		return comps[i].label < comps[j].label
+	})
+	remap := make(map[int]int, len(comps))
+	next := 0
+	var heaviest float64
+	if len(comps) > 0 {
+		heaviest = comps[0].mass
+	}
+	for i, c := range comps {
+		tooSmall := c.cells < minCells || (minMassFrac > 0 && c.mass < minMassFrac*heaviest)
+		if tooSmall && i > 0 {
+			remap[c.label] = Noise
+			continue
+		}
+		remap[c.label] = next
+		next++
+	}
+	out := make(map[grid.Key]int, len(cells))
+	for k, l := range cells {
+		if nl := remap[l]; nl != Noise {
+			out[k] = nl
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"adawave/internal/grid"
+)
+
+// ClusterMultiResolution runs the AdaWave pipeline at every decomposition
+// level from 1 to maxLevels in a single pass (quantizing and transforming
+// once), returning one Result per level — the paper's multi-resolution
+// property: coarser levels merge nearby structures, finer levels separate
+// them. cfg.Levels is ignored.
+func ClusterMultiResolution(points [][]float64, cfg Config, maxLevels int) ([]*Result, error) {
+	cfg.Levels = 1 // validate against the weakest requirement
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxLevels < 1 {
+		maxLevels = 1
+	}
+	if len(points) == 0 {
+		return nil, grid.ErrNoPoints
+	}
+	cfg = resolveScale(cfg, points)
+	q, err := grid.NewQuantizer(points, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	g := q.Quantize(points)
+	baseCells := q.CellOfPoint(points)
+
+	out := make([]*Result, 0, maxLevels)
+	cur := g
+	for level := 1; level <= maxLevels; level++ {
+		tooSmall := false
+		for _, s := range cur.Size {
+			if s < 2 {
+				tooSmall = true
+				break
+			}
+		}
+		if tooSmall {
+			break
+		}
+		cur = grid.Transform(cur, cfg.Basis)
+		t := cur.Clone()
+		dropLowCoefficients(t, cfg.CoeffEpsilon)
+		res, err := finishClustering(t, baseCells, level, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.CellsQuantized = g.Len()
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// finishClustering performs threshold filtering, component labeling and
+// point assignment on an already-transformed grid (steps 3–6 of Alg. 1).
+func finishClustering(t *grid.Grid, baseCells []grid.Key, levels int, cfg Config) (*Result, error) {
+	res := &Result{
+		CellsTransformed: t.Len(),
+		Levels:           levels,
+		Scale:            cfg.Scale,
+	}
+	res.Labels = make([]int, len(baseCells))
+	if t.Len() == 0 {
+		for i := range res.Labels {
+			res.Labels[i] = Noise
+		}
+		return res, nil
+	}
+	res.Curve = t.SortedDensities()
+	res.Threshold, res.ThresholdIndex = cfg.Threshold.Cut(res.Curve)
+	kept := t.Threshold(res.Threshold)
+	if kept.Len() == 0 {
+		kept = t
+	}
+	res.CellsKept = kept.Len()
+	cells, err := grid.Components(kept, cfg.Connectivity)
+	if err != nil {
+		return nil, err
+	}
+	labels := relabelBySize(kept, cells, cfg.MinClusterCells, cfg.MinClusterMass)
+	numClusters := 0
+	for _, l := range labels {
+		if l+1 > numClusters {
+			numClusters = l + 1
+		}
+	}
+	res.NumClusters = numClusters
+	for i, bk := range baseCells {
+		tk := grid.ShiftKey(bk, levels)
+		if l, ok := labels[tk]; ok {
+			res.Labels[i] = l
+		} else {
+			res.Labels[i] = Noise
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+)
+
+// ThresholdStrategy chooses the noise-filtering density threshold from the
+// descending sorted-density curve of the transformed grid (paper Fig. 6 and
+// Algorithm 4). Implementations must be deterministic.
+type ThresholdStrategy interface {
+	// Name identifies the strategy in results and benchmarks.
+	Name() string
+	// Cut returns the density value at the chosen cut and its index into
+	// the descending curve. Cells with density ≥ value are kept.
+	Cut(desc []float64) (value float64, index int)
+}
+
+// ThreeSegmentFit is the default adaptive strategy and the closest
+// executable rendering of the paper's intent: the sorted density curve
+// after low-pass filtering splits into a “signal” line, a “middle” line and
+// a near-horizontal “noise” line, and “the position where the middle line
+// and the noise line intersects is generally the best threshold”. We fit
+// the best piecewise-linear three-segment approximation (least squares,
+// exact dynamic program over both breakpoints with prefix sums) to the
+// curve normalized to the unit square and cut at the second breakpoint.
+type ThreeSegmentFit struct {
+	// MaxSamples bounds the O(k²) breakpoint search; the curve is
+	// subsampled evenly to at most this many points. 0 means 512.
+	MaxSamples int
+}
+
+// Name implements ThresholdStrategy.
+func (ThreeSegmentFit) Name() string { return "three-segment-fit" }
+
+// Cut implements ThresholdStrategy.
+func (s ThreeSegmentFit) Cut(desc []float64) (float64, int) {
+	m := len(desc)
+	if m == 0 {
+		return 0, 0
+	}
+	if m < 8 || desc[0] == desc[m-1] {
+		return desc[m-1], m - 1 // degenerate curve: keep everything
+	}
+	maxS := s.MaxSamples
+	if maxS <= 0 {
+		maxS = 512
+	}
+	// Subsample the curve evenly (always including both endpoints).
+	k := m
+	if k > maxS {
+		k = maxS
+	}
+	idx := make([]int, k)
+	xs := make([]float64, k)
+	ys := make([]float64, k)
+	span := desc[0] - desc[m-1]
+	for t := 0; t < k; t++ {
+		i := t * (m - 1) / (k - 1)
+		idx[t] = i
+		xs[t] = float64(t) / float64(k-1)
+		ys[t] = (desc[i] - desc[m-1]) / span
+	}
+	f := newSegmentFitter(xs, ys)
+	best := math.Inf(1)
+	b2best := k - 3
+	// Each segment needs ≥ 2 points: b1 ∈ [1, k−5], b2 ∈ [b1+2, k−3]
+	// (segments are [0,b1], [b1,b2], [b2,k−1] sharing breakpoints).
+	for b1 := 1; b1 <= k-5; b1++ {
+		left := f.sse(0, b1)
+		if left >= best {
+			continue // later terms only add cost
+		}
+		for b2 := b1 + 2; b2 <= k-3; b2++ {
+			cost := left + f.sse(b1, b2) + f.sse(b2, k-1)
+			if cost < best {
+				best = cost
+				b2best = b2
+			}
+		}
+	}
+	return desc[idx[b2best]], idx[b2best]
+}
+
+// SecondKnee renders the paper's Algorithm 4 mechanics (turning angles on
+// the sorted density curve, running maximum θ₀, the θ₀/Ratio test)
+// executable: angles are computed on the curve normalized to the unit
+// square over a smoothing window, the sharpest knee defines θ₀, and the cut
+// is placed at the strongest knee after it whose angle still exceeds
+// θ₀/Ratio (falling back to the sharpest knee itself when the curve has
+// only two segments).
+type SecondKnee struct {
+	// Ratio is the paper's θ₀/3 factor. 0 means 3.
+	Ratio float64
+	// Window is the smoothing window for direction vectors, as a fraction
+	// denominator of the curve length (window = max(1, m/Window)).
+	// 0 means 100.
+	Window int
+}
+
+// Name implements ThresholdStrategy.
+func (SecondKnee) Name() string { return "second-knee" }
+
+// Cut implements ThresholdStrategy.
+func (s SecondKnee) Cut(desc []float64) (float64, int) {
+	m := len(desc)
+	if m == 0 {
+		return 0, 0
+	}
+	if m < 8 || desc[0] == desc[m-1] {
+		return desc[m-1], m - 1
+	}
+	ratio := s.Ratio
+	if ratio <= 0 {
+		ratio = 3
+	}
+	wdiv := s.Window
+	if wdiv <= 0 {
+		wdiv = 100
+	}
+	w := m / wdiv
+	if w < 1 {
+		w = 1
+	}
+	span := desc[0] - desc[m-1]
+	px := func(i int) float64 { return float64(i) / float64(m-1) }
+	py := func(i int) float64 { return (desc[i] - desc[m-1]) / span }
+	angle := func(i int) float64 {
+		ux, uy := px(i)-px(i-w), py(i)-py(i-w)
+		vx, vy := px(i+w)-px(i), py(i+w)-py(i)
+		nu := math.Hypot(ux, uy)
+		nv := math.Hypot(vx, vy)
+		if nu == 0 || nv == 0 {
+			return 0
+		}
+		c := (ux*vx + uy*vy) / (nu * nv)
+		if c > 1 {
+			c = 1
+		}
+		if c < -1 {
+			c = -1
+		}
+		return math.Acos(c)
+	}
+	// Sharpest knee overall.
+	i1, theta0 := w, 0.0
+	for i := w; i < m-w; i++ {
+		if a := angle(i); a > theta0 {
+			theta0 = a
+			i1 = i
+		}
+	}
+	// Strongest knee strictly after the first one.
+	i2, theta2 := -1, 0.0
+	for i := i1 + w; i < m-w; i++ {
+		if a := angle(i); a > theta2 {
+			theta2 = a
+			i2 = i
+		}
+	}
+	if i2 >= 0 && theta2 >= theta0/ratio {
+		return desc[i2], i2
+	}
+	return desc[i1], i1
+}
+
+// QuantileThreshold keeps cells whose density is at or above the given
+// upper quantile of the curve — the non-adaptive baseline WaveCluster uses.
+type QuantileThreshold struct {
+	// Q is the fraction of cells to drop from the bottom, e.g. 0.8 keeps
+	// the densest 20 % of cells.
+	Q float64
+}
+
+// Name implements ThresholdStrategy.
+func (q QuantileThreshold) Name() string { return "quantile" }
+
+// Cut implements ThresholdStrategy.
+func (q QuantileThreshold) Cut(desc []float64) (float64, int) {
+	m := len(desc)
+	if m == 0 {
+		return 0, 0
+	}
+	i := int(math.Round(float64(m) * (1 - q.Q)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= m {
+		i = m - 1
+	}
+	return desc[i], i
+}
+
+// FixedThreshold keeps cells with density ≥ Value regardless of the curve.
+type FixedThreshold struct{ Value float64 }
+
+// Name implements ThresholdStrategy.
+func (FixedThreshold) Name() string { return "fixed" }
+
+// Cut implements ThresholdStrategy.
+func (f FixedThreshold) Cut(desc []float64) (float64, int) {
+	for i, v := range desc {
+		if v < f.Value {
+			return f.Value, i
+		}
+	}
+	return f.Value, len(desc) - 1
+}
+
+// segmentFitter computes least-squares line-fit residuals over index ranges
+// of a point sequence in O(1) per query via prefix sums.
+type segmentFitter struct {
+	sx, sy, sxx, syy, sxy []float64
+}
+
+func newSegmentFitter(xs, ys []float64) *segmentFitter {
+	n := len(xs)
+	f := &segmentFitter{
+		sx:  make([]float64, n+1),
+		sy:  make([]float64, n+1),
+		sxx: make([]float64, n+1),
+		syy: make([]float64, n+1),
+		sxy: make([]float64, n+1),
+	}
+	for i := 0; i < n; i++ {
+		f.sx[i+1] = f.sx[i] + xs[i]
+		f.sy[i+1] = f.sy[i] + ys[i]
+		f.sxx[i+1] = f.sxx[i] + xs[i]*xs[i]
+		f.syy[i+1] = f.syy[i] + ys[i]*ys[i]
+		f.sxy[i+1] = f.sxy[i] + xs[i]*ys[i]
+	}
+	return f
+}
+
+// sse returns the least-squares residual of fitting one line to points
+// i..j inclusive.
+func (f *segmentFitter) sse(i, j int) float64 {
+	n := float64(j - i + 1)
+	sx := f.sx[j+1] - f.sx[i]
+	sy := f.sy[j+1] - f.sy[i]
+	sxx := f.sxx[j+1] - f.sxx[i]
+	syy := f.syy[j+1] - f.syy[i]
+	sxy := f.sxy[j+1] - f.sxy[i]
+	cxx := sxx - sx*sx/n
+	cyy := syy - sy*sy/n
+	cxy := sxy - sx*sy/n
+	if cxx < 1e-18 {
+		if cyy < 0 {
+			return 0
+		}
+		return cyy
+	}
+	sse := cyy - cxy*cxy/cxx
+	if sse < 0 {
+		return 0
+	}
+	return sse
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// threeSegmentCurve builds a synthetic descending density curve with the
+// paper's Fig. 6 shape: a steep “signal” line, a “middle” line, and a long
+// near-flat “noise” line. It returns the curve and the index where the
+// noise segment begins (the ideal cut position).
+func threeSegmentCurve(nSignal, nMiddle, nNoise int, rng *rand.Rand) ([]float64, int) {
+	var curve []float64
+	v := 1000.0
+	for i := 0; i < nSignal; i++ {
+		curve = append(curve, v)
+		v -= 8 + rng.Float64()
+	}
+	for i := 0; i < nMiddle; i++ {
+		curve = append(curve, v)
+		v -= 1.5 + rng.Float64()*0.2
+	}
+	for i := 0; i < nNoise; i++ {
+		curve = append(curve, v)
+		v -= 0.01 + rng.Float64()*0.005
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(curve)))
+	return curve, nSignal + nMiddle
+}
+
+func TestThreeSegmentFitFindsNoiseJunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	curve, ideal := threeSegmentCurve(60, 120, 800, rng)
+	_, idx := ThreeSegmentFit{}.Cut(curve)
+	// Allow 15% slack around the ideal junction.
+	slack := len(curve) * 15 / 100
+	if idx < ideal-slack || idx > ideal+slack {
+		t.Fatalf("cut at %d, ideal %d (curve length %d)", idx, ideal, len(curve))
+	}
+}
+
+func TestSecondKneeFindsNoiseJunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	curve, ideal := threeSegmentCurve(60, 120, 800, rng)
+	_, idx := SecondKnee{}.Cut(curve)
+	slack := len(curve) * 15 / 100
+	if idx < ideal-slack || idx > ideal+slack {
+		t.Fatalf("cut at %d, ideal %d (curve length %d)", idx, ideal, len(curve))
+	}
+}
+
+func TestStrategiesAgreeOnThreeSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	curve, _ := threeSegmentCurve(80, 150, 1500, rng)
+	_, i1 := ThreeSegmentFit{}.Cut(curve)
+	_, i2 := SecondKnee{}.Cut(curve)
+	diff := i1 - i2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > len(curve)/8 {
+		t.Fatalf("strategies disagree: %d vs %d on %d-long curve", i1, i2, len(curve))
+	}
+}
+
+func TestThresholdDegenerateCurves(t *testing.T) {
+	strategies := []ThresholdStrategy{ThreeSegmentFit{}, SecondKnee{}, QuantileThreshold{Q: 0.5}}
+	for _, s := range strategies {
+		if v, _ := s.Cut(nil); v != 0 {
+			t.Errorf("%s: empty curve should cut at 0, got %v", s.Name(), v)
+		}
+		// Constant curve: keep everything.
+		flat := []float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5}
+		v, _ := s.Cut(flat)
+		if v > 5 {
+			t.Errorf("%s: constant curve cut %v would drop all cells", s.Name(), v)
+		}
+		// Tiny curves must not panic.
+		for n := 1; n < 8; n++ {
+			small := make([]float64, n)
+			for i := range small {
+				small[i] = float64(10 - i)
+			}
+			s.Cut(small)
+		}
+	}
+}
+
+func TestTwoSegmentCurveFallsBackToFirstKnee(t *testing.T) {
+	// Steep drop then flat: a two-segment curve; SecondKnee must not
+	// invent a junction far into the tail.
+	var curve []float64
+	v := 100.0
+	for i := 0; i < 50; i++ {
+		curve = append(curve, v)
+		v -= 1.9
+	}
+	for i := 0; i < 500; i++ {
+		curve = append(curve, v)
+		v -= 0.001
+	}
+	_, idx := SecondKnee{}.Cut(curve)
+	if idx > 120 {
+		t.Fatalf("cut at %d, expected near the single knee (~50)", idx)
+	}
+}
+
+func TestQuantileThreshold(t *testing.T) {
+	curve := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	v, idx := QuantileThreshold{Q: 0.8}.Cut(curve)
+	if idx != 2 || v != 8 {
+		t.Fatalf("Q=0.8 cut = %v at %d", v, idx)
+	}
+	v, _ = QuantileThreshold{Q: 0}.Cut(curve)
+	if v != 1 {
+		t.Fatalf("Q=0 should keep everything, cut %v", v)
+	}
+}
+
+func TestFixedThreshold(t *testing.T) {
+	curve := []float64{10, 8, 6, 4, 2}
+	v, idx := FixedThreshold{Value: 5}.Cut(curve)
+	if v != 5 || idx != 3 {
+		t.Fatalf("fixed cut = %v at %d", v, idx)
+	}
+	v, idx = FixedThreshold{Value: 0.5}.Cut(curve)
+	if v != 0.5 || idx != len(curve)-1 {
+		t.Fatalf("below-min fixed cut = %v at %d", v, idx)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[string]ThresholdStrategy{
+		"three-segment-fit": ThreeSegmentFit{},
+		"second-knee":       SecondKnee{},
+		"quantile":          QuantileThreshold{},
+		"fixed":             FixedThreshold{},
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestSegmentFitterExactLine(t *testing.T) {
+	// Points exactly on a line have zero residual on any sub-range.
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3*float64(i) - 7
+	}
+	f := newSegmentFitter(xs, ys)
+	for _, r := range [][2]int{{0, 49}, {5, 20}, {30, 45}} {
+		if sse := f.sse(r[0], r[1]); sse > 1e-9 {
+			t.Errorf("sse(%d,%d) = %v on exact line", r[0], r[1], sse)
+		}
+	}
+	// A V-shape has positive residual over the whole range.
+	for i := range ys {
+		if i > 25 {
+			ys[i] = 3*50 - 3*float64(i) - 7
+		}
+	}
+	f2 := newSegmentFitter(xs, ys)
+	if f2.sse(0, 49) < 1 {
+		t.Error("V-shape should have large residual")
+	}
+}

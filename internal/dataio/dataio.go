@@ -1,0 +1,138 @@
+// Package dataio reads and writes point sets as CSV, the interchange format
+// of the cmd tools: coordinates in columns x0…x(d−1) plus an optional
+// trailing integer “label” column (−1 marks noise).
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes points, one row each, with a header x0…x(d−1). When
+// labels is non-nil it must be parallel to points and is appended as a
+// final “label” column.
+func WriteCSV(w io.Writer, points [][]float64, labels []int) error {
+	if labels != nil && len(labels) != len(points) {
+		return fmt.Errorf("dataio: %d labels for %d points", len(labels), len(points))
+	}
+	cw := csv.NewWriter(w)
+	d := 0
+	if len(points) > 0 {
+		d = len(points[0])
+	}
+	header := make([]string, 0, d+1)
+	for j := 0; j < d; j++ {
+		header = append(header, fmt.Sprintf("x%d", j))
+	}
+	if labels != nil {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataio: write header: %w", err)
+	}
+	row := make([]string, 0, d+1)
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("dataio: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		row = row[:0]
+		for _, v := range p {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if labels != nil {
+			row = append(row, strconv.Itoa(labels[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataio: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a point set written by WriteCSV or any compatible CSV: an
+// optional header row (detected by its first field not parsing as a
+// number), coordinate columns, and labels when the header's last column is
+// named “label”. Without a header every column is a coordinate. The
+// returned labels slice is nil when the file carries none.
+func ReadCSV(r io.Reader) (points [][]float64, labels []int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil, nil
+	}
+	start := 0
+	hasLabels := false
+	if _, err := strconv.ParseFloat(records[0][0], 64); err != nil {
+		// Header row.
+		start = 1
+		last := records[0][len(records[0])-1]
+		hasLabels = last == "label"
+	}
+	if start == len(records) {
+		return nil, nil, nil
+	}
+	width := len(records[start])
+	d := width
+	if hasLabels {
+		d--
+	}
+	if d < 1 {
+		return nil, nil, fmt.Errorf("dataio: no coordinate columns (width %d)", width)
+	}
+	for i, rec := range records[start:] {
+		if len(rec) != width {
+			return nil, nil, fmt.Errorf("dataio: row %d has %d fields, want %d", i+start+1, len(rec), width)
+		}
+		p := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataio: row %d column %d: %w", i+start+1, j, err)
+			}
+			p[j] = v
+		}
+		points = append(points, p)
+		if hasLabels {
+			l, err := strconv.Atoi(rec[d])
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataio: row %d label: %w", i+start+1, err)
+			}
+			labels = append(labels, l)
+		}
+	}
+	return points, labels, nil
+}
+
+// WriteFile writes points (and optional labels) to a CSV file.
+func WriteFile(path string, points [][]float64, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	if err := WriteCSV(f, points, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataio: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile reads a CSV file written by WriteFile (or compatible).
+func ReadFile(path string) (points [][]float64, labels []int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,127 @@
+package dataio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripWithLabels(t *testing.T) {
+	points := [][]float64{{1.5, -2.25}, {0, 3e-9}, {math.Pi, 42}}
+	labels := []int{0, -1, 2}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, points, labels); err != nil {
+		t.Fatal(err)
+	}
+	gotP, gotL, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotP) != len(points) || len(gotL) != len(labels) {
+		t.Fatalf("got %d points / %d labels, want %d / %d", len(gotP), len(gotL), len(points), len(labels))
+	}
+	for i := range points {
+		for j := range points[i] {
+			if gotP[i][j] != points[i][j] {
+				t.Fatalf("point %d col %d: %v != %v", i, j, gotP[i][j], points[i][j])
+			}
+		}
+		if gotL[i] != labels[i] {
+			t.Fatalf("label %d: %d != %d", i, gotL[i], labels[i])
+		}
+	}
+}
+
+func TestRoundTripWithoutLabels(t *testing.T) {
+	points := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, points, nil); err != nil {
+		t.Fatal(err)
+	}
+	gotP, gotL, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotL != nil {
+		t.Fatalf("expected nil labels, got %v", gotL)
+	}
+	if len(gotP) != 2 || len(gotP[0]) != 3 {
+		t.Fatalf("unexpected shape %dx%d", len(gotP), len(gotP[0]))
+	}
+}
+
+func TestReadHeaderless(t *testing.T) {
+	in := "1.0,2.0\n3.5,4.5\n"
+	points, labels, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != nil {
+		t.Fatal("headerless csv should have no labels")
+	}
+	if len(points) != 2 || points[1][1] != 4.5 {
+		t.Fatalf("parsed %v", points)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad float":     "x0,x1\n1.0,oops\n",
+		"bad label":     "x0,label\n1.0,oops\n",
+		"ragged row":    "x0,x1\n1.0,2.0\n3.0\n",
+		"no coordinate": "label\n3\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, [][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Fatal("mismatched labels should error")
+	}
+	if err := WriteCSV(&buf, [][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Fatal("ragged points should error")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	points, labels, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != nil || labels != nil {
+		t.Fatalf("expected empty result, got %v %v", points, labels)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	points := [][]float64{{0.5, 1.5}, {2.5, 3.5}}
+	labels := []int{1, 0}
+	if err := WriteFile(path, points, labels); err != nil {
+		t.Fatal(err)
+	}
+	gotP, gotL, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotP) != 2 || gotL[0] != 1 || gotP[1][0] != 2.5 {
+		t.Fatalf("round trip mismatch: %v %v", gotP, gotL)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.csv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,110 @@
+// Package datasets provides deterministic stand-ins for the nine UCI
+// datasets of the paper's Table I and the North Jutland road network of its
+// Fig. 9 case study. The module is offline, so the real files cannot be
+// downloaded; each generator reproduces the published shape of its dataset —
+// the same number of points, dimensions and classes, and a comparable
+// difficulty profile (class separability, attribute-class correlation,
+// imbalance) — so that the ranking pressure on the clustering algorithms is
+// preserved even though absolute metric values differ from the paper.
+// See DESIGN.md §3 for the substitution rationale.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adawave/internal/synth"
+)
+
+// Meta describes one Table I dataset: the published size and class count
+// plus the number of clusters a clustering algorithm should be asked for.
+type Meta struct {
+	// Name is the paper's dataset name (lowercase key).
+	Name string
+	// N and D are the published point count and dimensionality.
+	N, D int
+	// Classes is the published number of semantic classes.
+	Classes int
+	// Description summarizes what the stand-in mimics.
+	Description string
+}
+
+// registry lists the Table I datasets in paper order.
+var registry = []struct {
+	meta Meta
+	gen  func(seed int64) *synth.Dataset
+}{
+	{Meta{"seeds", 210, 7, 3, "three moderately overlapping wheat varieties"}, Seeds},
+	{Meta{"roadmap", 434874, 2, 9, "road network: dense city clusters in structured background (scaled default; see Roadmap)"},
+		func(seed int64) *synth.Dataset { return Roadmap(DefaultRoadmapN, seed) }},
+	{Meta{"iris", 150, 4, 3, "one separable class, two entangled"}, Iris},
+	{Meta{"glass", 214, 9, 6, "weak per-attribute class correlation (Table II profile)"}, Glass},
+	{Meta{"dumdh", 869, 13, 4, "mid-size, mid-dimension, heavy class overlap"}, DUMDH},
+	{Meta{"htru2", 17898, 9, 2, "pulsar screening: 9:1 class imbalance"}, HTRU2},
+	{Meta{"dermatology", 366, 33, 6, "high-dimensional clinical profiles, block-correlated attributes"}, Dermatology},
+	{Meta{"motor", 94, 3, 3, "trivially separable (every working method scores 1.0)"}, Motor},
+	{Meta{"wholesale", 440, 8, 2, "two spending profiles with shared mass"}, Wholesale},
+}
+
+// Names returns the dataset keys in Table I order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.meta.Name
+	}
+	return out
+}
+
+// Describe returns the Meta for a dataset key.
+func Describe(name string) (Meta, error) {
+	key := strings.ToLower(name)
+	for _, e := range registry {
+		if e.meta.Name == key {
+			return e.meta, nil
+		}
+	}
+	return Meta{}, fmt.Errorf("datasets: unknown dataset %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// ByName generates the stand-in for a dataset key. Generation is
+// deterministic in the seed.
+func ByName(name string, seed int64) (*synth.Dataset, error) {
+	key := strings.ToLower(name)
+	for _, e := range registry {
+		if e.meta.Name == key {
+			return e.gen(seed), nil
+		}
+	}
+	return nil, fmt.Errorf("datasets: unknown dataset %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// All generates every Table I stand-in in paper order.
+func All(seed int64) []*synth.Dataset {
+	out := make([]*synth.Dataset, len(registry))
+	for i, e := range registry {
+		out[i] = e.gen(seed)
+	}
+	return out
+}
+
+// ClassSizes returns the per-class point counts of a labeled dataset in
+// ascending label order (noise excluded).
+func ClassSizes(d *synth.Dataset) []int {
+	counts := make(map[int]int)
+	for _, l := range d.Labels {
+		if l != synth.NoiseLabel {
+			counts[l]++
+		}
+	}
+	labels := make([]int, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		out[i] = counts[l]
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"adawave/internal/stats"
+	"adawave/internal/synth"
+)
+
+func TestRegistryShapes(t *testing.T) {
+	// Every stand-in must reproduce the published (n, d, classes) of
+	// Table I. Roadmap's n is configurable (the registry default is the
+	// scaled-down size), so it is checked separately.
+	for _, name := range Names() {
+		meta, err := Describe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN := meta.N
+		if name == "roadmap" {
+			wantN = DefaultRoadmapN
+		}
+		if got := ds.N(); got < wantN*95/100 || got > wantN*105/100 {
+			t.Errorf("%s: n = %d, want ≈ %d", name, got, wantN)
+		}
+		if got := ds.Dim(); got != meta.D {
+			t.Errorf("%s: d = %d, want %d", name, got, meta.D)
+		}
+		if got := ds.NumClusters(); got != meta.Classes {
+			t.Errorf("%s: classes = %d, want %d", name, got, meta.Classes)
+		}
+	}
+}
+
+func TestExactSizes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"seeds", 210}, {"iris", 150}, {"glass", 214}, {"dumdh", 869},
+		{"htru2", 17898}, {"dermatology", 366}, {"motor", 94}, {"wholesale", 440},
+	} {
+		ds, err := ByName(tc.name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.N() != tc.n {
+			t.Errorf("%s: n = %d, want exactly %d", tc.name, ds.N(), tc.n)
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"seeds", "glass", "motor"} {
+		a, _ := ByName(name, 7)
+		b, _ := ByName(name, 7)
+		if a.N() != b.N() {
+			t.Fatalf("%s: sizes differ across identical seeds", name)
+		}
+		for i := range a.Points {
+			for j := range a.Points[i] {
+				if a.Points[i][j] != b.Points[i][j] {
+					t.Fatalf("%s: point %d differs across identical seeds", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a, _ := ByName("seeds", 1)
+	b, _ := ByName("seeds", 2)
+	same := true
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGlassCorrelationsMatchTableII(t *testing.T) {
+	// The Glass stand-in is built so that each attribute's correlation
+	// with the numeric class matches the paper's Table II. With n = 214
+	// the sampling error of a correlation is ≈ 1/√214 ≈ 0.07.
+	ds := Glass(5)
+	class := make([]float64, ds.N())
+	for i, l := range ds.Labels {
+		class[i] = float64(l + 1)
+	}
+	for j, want := range GlassTargetCorrelations {
+		got := stats.Pearson(stats.Column(ds.Points, j), class)
+		if math.Abs(got-want) > 0.12 {
+			t.Errorf("attribute %s: correlation %.4f, want %.4f ± 0.12",
+				GlassAttributes[j], got, want)
+		}
+	}
+}
+
+func TestGlassClassSizes(t *testing.T) {
+	ds := Glass(1)
+	sizes := ClassSizes(ds)
+	want := []int{70, 76, 17, 13, 9, 29}
+	if len(sizes) != len(want) {
+		t.Fatalf("got %d classes, want %d", len(sizes), len(want))
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("class sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestHTRU2Imbalance(t *testing.T) {
+	ds := HTRU2(1)
+	sizes := ClassSizes(ds)
+	if len(sizes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(sizes))
+	}
+	if sizes[0] != 16259 || sizes[1] != 1639 {
+		t.Fatalf("class sizes %v, want [16259 1639]", sizes)
+	}
+}
+
+func TestDermatologyClassSizes(t *testing.T) {
+	sizes := ClassSizes(Dermatology(1))
+	want := []int{112, 61, 72, 49, 52, 20}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("class sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestRoadmapStructure(t *testing.T) {
+	ds := Roadmap(20000, 2)
+	if got := ds.N(); got < 19000 || got > 21000 {
+		t.Fatalf("n = %d, want ≈ 20000", got)
+	}
+	if ds.Dim() != 2 {
+		t.Fatalf("d = %d, want 2", ds.Dim())
+	}
+	if got := ds.NumClusters(); got != len(RoadmapCities()) {
+		t.Fatalf("clusters = %d, want %d cities", got, len(RoadmapCities()))
+	}
+	// The majority of segments must be noise (arterials + countryside).
+	if frac := ds.NoiseFraction(); frac < 0.5 || frac > 0.8 {
+		t.Fatalf("noise fraction = %.2f, want within [0.5, 0.8]", frac)
+	}
+	// All points inside the bounding box (up to city-blob Gaussian tails).
+	out := 0
+	for _, p := range ds.Points {
+		if p[0] < roadmapMin[0]-0.3 || p[0] > roadmapMax[0]+0.3 ||
+			p[1] < roadmapMin[1]-0.3 || p[1] > roadmapMax[1]+0.3 {
+			out++
+		}
+	}
+	if out > ds.N()/100 {
+		t.Fatalf("%d points far outside the bounding box", out)
+	}
+}
+
+func TestRoadmapDefaultN(t *testing.T) {
+	ds := Roadmap(0, 1)
+	if got := ds.N(); got < DefaultRoadmapN*95/100 || got > DefaultRoadmapN*105/100 {
+		t.Fatalf("default n = %d, want ≈ %d", got, DefaultRoadmapN)
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	all := All(1)
+	if len(all) != 9 {
+		t.Fatalf("All returned %d datasets, want 9", len(all))
+	}
+}
+
+func TestClassSizesIgnoresNoise(t *testing.T) {
+	d := &synth.Dataset{
+		Labels: []int{0, 0, 1, synth.NoiseLabel, 1, 1},
+		Points: make([][]float64, 6),
+	}
+	sizes := ClassSizes(d)
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 3 {
+		t.Fatalf("ClassSizes = %v, want [2 3]", sizes)
+	}
+}

@@ -1,0 +1,129 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"adawave/internal/synth"
+)
+
+// DefaultRoadmapN is the default size of the generated road network. The
+// real dataset has 434 874 segments; the default keeps tests and examples
+// quick while the benchmark harness generates the full size.
+const DefaultRoadmapN = 40000
+
+// RoadmapFullN is the published size of the North Jutland road network.
+const RoadmapFullN = 434874
+
+// City is a populated place of the simulated road network. Weight is
+// proportional to its share of urban road segments.
+type City struct {
+	Name     string
+	Lon, Lat float64
+	Weight   float64
+}
+
+// roadmapCities approximates the real geography of North Jutland, Denmark
+// (the Fig. 9 case study): the three cities the paper names as detected
+// clusters plus smaller towns that thicken the urban share.
+var roadmapCities = []City{
+	{"Aalborg", 9.92, 57.05, 5.0},
+	{"Hjørring", 9.98, 57.46, 1.4},
+	{"Frederikshavn", 10.54, 57.44, 1.3},
+	{"Thisted", 8.69, 56.96, 0.9},
+	{"Brønderslev", 9.95, 57.27, 0.7},
+	{"Hobro", 9.79, 56.64, 0.7},
+	{"Sæby", 10.52, 57.33, 0.5},
+	{"Aars", 9.51, 56.80, 0.5},
+	{"Skagen", 10.58, 57.72, 0.4},
+}
+
+// roadmapEdges are the arterial connections between city indices.
+var roadmapEdges = [][2]int{
+	{0, 1}, {1, 2}, {0, 4}, {4, 1}, {2, 6}, {0, 6}, {0, 5}, {5, 7},
+	{0, 7}, {3, 7}, {2, 8}, {1, 8},
+}
+
+// roadmap bounding box (lon, lat).
+var (
+	roadmapMin = []float64{8.15, 56.55}
+	roadmapMax = []float64{10.65, 57.78}
+)
+
+// RoadmapCities returns the simulated cities (copy; safe to modify).
+func RoadmapCities() []City {
+	return append([]City(nil), roadmapCities...)
+}
+
+// Roadmap simulates the North Jutland 2-D road network of the paper's
+// Fig. 9 case study with n road segments: dense city street grids (the
+// ground-truth clusters — the paper verifies AdaWave's output against
+// populated areas), arterial roads connecting the cities, and sparse
+// countryside roads. Arterials and countryside are ground-truth noise: “the
+// majority of road segments can be termed as noise: long arterials
+// connecting cities, or less-dense road networks in the … countryside”.
+func Roadmap(n int, seed int64) *synth.Dataset {
+	if n <= 0 {
+		n = DefaultRoadmapN
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &synth.Dataset{Name: "roadmap"}
+
+	nCity := n * 38 / 100
+	nArterial := n * 34 / 100
+	nCountry := n - nCity - nArterial
+
+	// City street grids: anisotropic Gaussian clouds sized by weight.
+	var totalW float64
+	for _, c := range roadmapCities {
+		totalW += c.Weight
+	}
+	for ci, c := range roadmapCities {
+		share := int(float64(nCity) * c.Weight / totalW)
+		if share < 1 {
+			share = 1
+		}
+		// Streets spread further along the coastline axis than inland.
+		std := []float64{0.020 + 0.006*c.Weight/5, 0.012 + 0.004*c.Weight/5}
+		pts := synth.GaussianBlob(rng, share, []float64{c.Lon, c.Lat}, std)
+		for _, p := range pts {
+			d.Points = append(d.Points, p)
+			d.Labels = append(d.Labels, ci)
+		}
+	}
+
+	// Arterials: points along the city-to-city segments with jitter —
+	// structured noise, the hard part of the case study.
+	perEdge := nArterial / len(roadmapEdges)
+	for _, e := range roadmapEdges {
+		a, b := roadmapCities[e[0]], roadmapCities[e[1]]
+		pts := synth.Segment(rng, perEdge, a.Lon, a.Lat, b.Lon, b.Lat, 0.004)
+		for _, p := range pts {
+			d.Points = append(d.Points, p)
+			d.Labels = append(d.Labels, synth.NoiseLabel)
+		}
+	}
+
+	// Countryside: a blend of sparse uniform coverage and short rural road
+	// stubs.
+	nStub := nCountry / 2
+	nUniform := nCountry - nStub
+	for _, p := range synth.UniformBox(rng, nUniform, roadmapMin, roadmapMax) {
+		d.Points = append(d.Points, p)
+		d.Labels = append(d.Labels, synth.NoiseLabel)
+	}
+	stubs := nStub / 25
+	if stubs < 1 {
+		stubs = 1
+	}
+	for s := 0; s < stubs; s++ {
+		x := roadmapMin[0] + rng.Float64()*(roadmapMax[0]-roadmapMin[0])
+		y := roadmapMin[1] + rng.Float64()*(roadmapMax[1]-roadmapMin[1])
+		dx := (rng.Float64() - 0.5) * 0.2
+		dy := (rng.Float64() - 0.5) * 0.2
+		for _, p := range synth.Segment(rng, 25, x, y, x+dx, y+dy, 0.002) {
+			d.Points = append(d.Points, p)
+			d.Labels = append(d.Labels, synth.NoiseLabel)
+		}
+	}
+	return d
+}

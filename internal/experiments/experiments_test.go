@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	ids := []string{"fig2", "fig5", "fig6", "fig7", "fig8", "table1", "table2", "fig9", "fig10"}
+	all := All()
+	if len(all) != len(ids) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(ids))
+	}
+	for i, want := range ids {
+		if all[i].ID != want {
+			t.Fatalf("registry[%d] = %s, want %s", i, all[i].ID, want)
+		}
+		if all[i].Title == "" || all[i].Paper == "" || all[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", want)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+	if err := Run("fig99", Options{}); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestByIDCaseInsensitive(t *testing.T) {
+	e, err := ByID("FIG2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "fig2" {
+		t.Fatalf("got %s", e.ID)
+	}
+}
+
+// runQuick executes one experiment in quick mode and returns its report.
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, Options{Out: &buf, Seed: 1, Quick: true}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, strings.ToUpper(id)) {
+		t.Fatalf("%s: report missing header:\n%s", id, out)
+	}
+	return out
+}
+
+func TestFig2(t *testing.T) {
+	out := runQuick(t, "fig2")
+	for _, want := range []string{"AdaWave", "DBSCAN", "SkinnyDip", "k-means", "raw data", "AdaWave clustering"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	out := runQuick(t, "fig5")
+	for _, want := range []string{"occupied cells", "sparse (outlier) cells", "transformed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig5 report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Fatalf("fig5: outliers did not decrease:\n%s", out)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	out := runQuick(t, "fig6")
+	for _, want := range []string{"adaptive threshold", "sorted density curve", "threshold cut"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	out := runQuick(t, "fig7")
+	if !strings.Contains(out, "cluster sizes") {
+		t.Fatalf("fig7 report missing sizes:\n%s", out)
+	}
+	if !strings.Contains(out, "noise=50%") {
+		t.Fatalf("fig7 should use 50%% noise:\n%s", out)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	out := runQuick(t, "fig8")
+	for _, want := range []string{"AdaWave", "WaveCluster", "shape check", "AMI vs noise"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := runQuick(t, "table1")
+	for _, want := range []string{"AdaWave", "RIC", "DipMean", "STSC", "AVG", "shape check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out := runQuick(t, "table2")
+	for _, want := range []string{"RI", "Fe", "measured", "paper", "largest deviation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	out := runQuick(t, "fig9")
+	for _, want := range []string{"Aalborg", "Hjørring", "Frederikshavn", "AMI"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig9 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	out := runQuick(t, "fig10")
+	for _, want := range []string{"milliseconds", "size grew", "runtime vs n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig10 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Fatalf("default seed = %d, want 1", o.seed())
+	}
+	if o.perCluster() != 5600 {
+		t.Fatalf("default perCluster = %d, want the paper's 5600", o.perCluster())
+	}
+	if o.out() == nil {
+		t.Fatal("default writer must not be nil")
+	}
+	q := Options{Quick: true}
+	if q.perCluster() != 400 {
+		t.Fatalf("quick perCluster = %d, want 400", q.perCluster())
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adawave/internal/plot"
+	"adawave/internal/synth"
+)
+
+// RunFig10 reproduces Fig. 10: wall-clock runtime against the number of
+// objects at a fixed 75 % noise level for AdaWave, SkinnyDip, DBSCAN,
+// k-means and EM. As in the paper (which mixes Python, R and Java
+// implementations), absolute times are incomparable across methods — “we
+// focus only on the asymptotic trends”: AdaWave must grow linearly while
+// the distance-based methods grow superlinearly.
+func RunFig10(opt Options) error {
+	w := opt.out()
+	header(w, mustExperiment("fig10"))
+
+	perClusters := []int{500, 1000, 2000, 4000, 8000}
+	if opt.Quick {
+		perClusters = []int{100, 200, 400}
+	}
+	// A single mid-grid ε: the sweep protocol would time 20 DBSCAN runs.
+	dbscanOne := dbscanAlg([]float64{0.05})
+	algs := []Algorithm{
+		adaWaveAlg(false),
+		skinnyDipAlg(),
+		dbscanOne,
+		kmeansAlg(),
+		emAlg(),
+	}
+
+	type row struct {
+		n  int
+		ms map[string]float64
+	}
+	rows := make([]row, 0, len(perClusters))
+	for _, per := range perClusters {
+		ds := synth.Evaluation(per, 0.75, opt.seed())
+		r := row{n: ds.N(), ms: make(map[string]float64, len(algs))}
+		for _, a := range algs {
+			start := time.Now()
+			if _, err := a.Run(ds.Points, ds.NumClusters(), ds.Labels, opt.seed()); err != nil {
+				return fmt.Errorf("fig10 %s at n=%d: %w", a.Name, ds.N(), err)
+			}
+			r.ms[a.Name] = float64(time.Since(start).Microseconds()) / 1000
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Fprintf(w, "%-10s", "n")
+	for _, a := range algs {
+		fmt.Fprintf(w, "%14s", a.Name)
+	}
+	fmt.Fprintln(w, "   (milliseconds)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d", r.n)
+		for _, a := range algs {
+			fmt.Fprintf(w, "%14.1f", r.ms[a.Name])
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Growth factors across the sweep: time ratio vs size ratio. A
+	// linear-time method's ratio tracks the size ratio.
+	first, last := rows[0], rows[len(rows)-1]
+	sizeRatio := float64(last.n) / float64(first.n)
+	fmt.Fprintf(w, "\nsize grew ×%.1f; runtime growth per method:\n", sizeRatio)
+	for _, a := range algs {
+		ratio := last.ms[a.Name] / first.ms[a.Name]
+		verdict := "≈ linear"
+		if ratio > 1.8*sizeRatio {
+			verdict = "superlinear"
+		} else if ratio < 0.55*sizeRatio {
+			verdict = "sublinear"
+		}
+		fmt.Fprintf(w, "  %-12s ×%-8.1f %s\n", a.Name, ratio, verdict)
+	}
+
+	series := make([]plot.Line, 0, len(algs))
+	for _, a := range algs {
+		xs := make([]float64, len(rows))
+		ys := make([]float64, len(rows))
+		for i, r := range rows {
+			xs[i] = float64(r.n)
+			ys[i] = r.ms[a.Name]
+		}
+		series = append(series, plot.Line{Name: a.Name, X: xs, Y: ys})
+	}
+	fmt.Fprintf(w, "\nruntime vs n:\n%s", plot.Chart(series, 64, 16))
+	return nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adawave/internal/datasets"
+	"adawave/internal/stats"
+)
+
+// RunTable2 reproduces Table II: each Glass attribute's Pearson correlation
+// with the class. The stand-in generator is constructed to match the
+// published correlations, so this experiment doubles as its calibration
+// check.
+func RunTable2(opt Options) error {
+	w := opt.out()
+	header(w, mustExperiment("table2"))
+
+	ds := datasets.Glass(opt.seed())
+	class := make([]float64, ds.N())
+	for i, l := range ds.Labels {
+		class[i] = float64(l + 1)
+	}
+
+	fmt.Fprintf(w, "%-10s  %10s  %10s  %10s\n", "attribute", "measured", "paper", "|Δ|")
+	var worst float64
+	for j, name := range datasets.GlassAttributes {
+		got := stats.Pearson(stats.Column(ds.Points, j), class)
+		want := datasets.GlassTargetCorrelations[j]
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+		fmt.Fprintf(w, "%-10s  %10.4f  %10.4f  %10.4f\n", name, got, want, diff)
+	}
+	fmt.Fprintf(w, "\nlargest deviation %.4f (sampling error at n=214 is ≈ 0.07)\n", worst)
+	fmt.Fprintf(w, "the weak per-attribute correlations are why projection-based methods\nstruggle on Glass while AdaWave's connected 9-D grids do not (paper §V-D)\n")
+	return nil
+}

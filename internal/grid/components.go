@@ -1,0 +1,124 @@
+package grid
+
+import "fmt"
+
+// Connectivity selects which cells count as neighbors during
+// connected-component labeling.
+type Connectivity int
+
+const (
+	// Faces connects cells that differ by ±1 in exactly one dimension
+	// (2d neighbors; 4-connectivity in 2-D). This is the default and the
+	// only option that scales to high dimension.
+	Faces Connectivity = iota
+	// Full connects cells that differ by at most 1 in every dimension
+	// (3ᵈ−1 neighbors; 8-connectivity in 2-D). Limited to d ≤ 8.
+	Full
+)
+
+// maxFullDim bounds Full connectivity: 3⁸−1 = 6560 neighbor offsets is the
+// largest fan-out we allow per cell.
+const maxFullDim = 8
+
+// Components labels the occupied cells of g with consecutive component ids
+// starting at 0, using breadth-first search over the chosen connectivity.
+// Iteration order is made deterministic by visiting cells in sorted key
+// order, so the same grid always yields the same labeling (the paper's
+// order-insensitivity property).
+func Components(g *Grid, conn Connectivity) (map[Key]int, error) {
+	if conn == Full && g.Dim() > maxFullDim {
+		return nil, fmt.Errorf("grid: Full connectivity limited to %d dimensions, grid has %d", maxFullDim, g.Dim())
+	}
+	labels := make(map[Key]int, g.Len())
+	next := 0
+	var queue []Key
+	coords := make([]int, g.Dim())
+	for _, start := range g.SortedKeys() {
+		if _, seen := labels[start]; seen {
+			continue
+		}
+		labels[start] = next
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			visit := func(nb Key) {
+				if _, ok := g.Cells[nb]; !ok {
+					return
+				}
+				if _, seen := labels[nb]; seen {
+					return
+				}
+				labels[nb] = next
+				queue = append(queue, nb)
+			}
+			switch conn {
+			case Faces:
+				for j := 0; j < g.Dim(); j++ {
+					c := cur.Coord(j)
+					if c > 0 {
+						visit(cur.With(j, c-1))
+					}
+					if c+1 < g.Size[j] {
+						visit(cur.With(j, c+1))
+					}
+				}
+			case Full:
+				for j := range coords {
+					coords[j] = -1
+				}
+				for {
+					// Skip the all-zero offset.
+					allZero := true
+					for _, o := range coords {
+						if o != 0 {
+							allZero = false
+							break
+						}
+					}
+					if !allZero {
+						nb, ok := offsetKey(cur, coords, g.Size)
+						if ok {
+							visit(nb)
+						}
+					}
+					// Advance mixed-radix counter over {-1,0,1}ᵈ.
+					j := 0
+					for ; j < len(coords); j++ {
+						coords[j]++
+						if coords[j] <= 1 {
+							break
+						}
+						coords[j] = -1
+					}
+					if j == len(coords) {
+						break
+					}
+				}
+			}
+		}
+		next++
+	}
+	return labels, nil
+}
+
+// offsetKey returns cur shifted by off, reporting false if out of bounds.
+func offsetKey(cur Key, off []int, size []int) (Key, bool) {
+	coords := cur.Coords()
+	for j, o := range off {
+		coords[j] += o
+		if coords[j] < 0 || coords[j] >= size[j] {
+			return "", false
+		}
+	}
+	return MakeKey(coords), true
+}
+
+// ComponentSizes returns the total density mass of each component label.
+func ComponentSizes(g *Grid, labels map[Key]int) map[int]float64 {
+	out := make(map[int]float64)
+	for k, l := range labels {
+		out[l] += g.Cells[k]
+	}
+	return out
+}

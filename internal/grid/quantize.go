@@ -1,0 +1,139 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Quantizer maps d-dimensional points into grid cells (paper Alg. 2).
+// The bounding box is padded by a tiny epsilon on the upper side so the
+// maxima land in the last cell (cells are right-open intervals [l, h)).
+type Quantizer struct {
+	Mins, Maxs []float64
+	Scale      int // M: number of cells per dimension
+	inv        []float64
+}
+
+// ErrNoPoints is returned when a quantizer is requested for an empty set.
+var ErrNoPoints = errors.New("grid: no points to quantize")
+
+// NewQuantizer computes the bounding box of points and prepares a quantizer
+// with scale cells per dimension. All points must share the same dimension.
+func NewQuantizer(points [][]float64, scale int) (*Quantizer, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if scale < 2 {
+		return nil, fmt.Errorf("grid: scale must be ≥ 2, got %d", scale)
+	}
+	if scale > 0xFFFF {
+		return nil, fmt.Errorf("grid: scale %d exceeds the 65535 cells/dimension key limit", scale)
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, errors.New("grid: zero-dimensional points")
+	}
+	q := &Quantizer{
+		Mins:  append([]float64(nil), points[0]...),
+		Maxs:  append([]float64(nil), points[0]...),
+		Scale: scale,
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("grid: inconsistent dimensions %d and %d", d, len(p))
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// A single NaN/Inf would silently poison the bounding box
+				// and funnel every point into one clamped edge cell.
+				return nil, fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j)
+			}
+			if v < q.Mins[j] {
+				q.Mins[j] = v
+			}
+			if v > q.Maxs[j] {
+				q.Maxs[j] = v
+			}
+		}
+	}
+	q.inv = make([]float64, d)
+	for j := range q.inv {
+		w := q.Maxs[j] - q.Mins[j]
+		if w <= 0 {
+			// Degenerate (constant) dimension: everything in cell 0.
+			q.inv[j] = 0
+			continue
+		}
+		q.inv[j] = float64(scale) / w
+	}
+	return q, nil
+}
+
+// Dim returns the quantizer's dimensionality.
+func (q *Quantizer) Dim() int { return len(q.Mins) }
+
+// CellCoords returns the cell coordinates of point p (clamped to the grid).
+func (q *Quantizer) CellCoords(p []float64, out []int) []int {
+	if out == nil {
+		out = make([]int, q.Dim())
+	}
+	for j := range q.Mins {
+		c := int((p[j] - q.Mins[j]) * q.inv[j])
+		if c < 0 {
+			c = 0
+		}
+		if c >= q.Scale {
+			c = q.Scale - 1
+		}
+		out[j] = c
+	}
+	return out
+}
+
+// Cell returns the grid key of point p.
+func (q *Quantizer) Cell(p []float64) Key {
+	return MakeKey(q.CellCoords(p, nil))
+}
+
+// Quantize builds the sparse density grid of points (each point adds mass 1
+// to its cell). This is the paper's Algorithm 2: linear in n, storing only
+// occupied cells.
+func (q *Quantizer) Quantize(points [][]float64) *Grid {
+	size := make([]int, q.Dim())
+	for j := range size {
+		size[j] = q.Scale
+	}
+	g := New(size)
+	coords := make([]int, q.Dim())
+	for _, p := range points {
+		q.CellCoords(p, coords)
+		g.Cells[MakeKey(coords)] += 1
+	}
+	return g
+}
+
+// CellOfPoint returns, for every point, the key of its cell at the
+// quantizer's base resolution — the first half of the paper's lookup table.
+func (q *Quantizer) CellOfPoint(points [][]float64) []Key {
+	out := make([]Key, len(points))
+	coords := make([]int, q.Dim())
+	for i, p := range points {
+		q.CellCoords(p, coords)
+		out[i] = MakeKey(coords)
+	}
+	return out
+}
+
+// ShiftKey maps a base-resolution cell key to its ancestor cell after
+// `levels` dyadic downsamplings (coordinates right-shifted) — the second
+// half of the lookup table: a transformed-space cell at level ℓ covers the
+// base cells whose coordinates shift down to it.
+func ShiftKey(k Key, levels int) Key {
+	d := k.Dim()
+	coords := make([]int, d)
+	for j := 0; j < d; j++ {
+		coords[j] = k.Coord(j) >> uint(levels)
+	}
+	return MakeKey(coords)
+}

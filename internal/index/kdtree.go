@@ -1,0 +1,207 @@
+// Package index provides a KD-tree over d-dimensional points with radius
+// and k-nearest-neighbor queries — the spatial-index substrate for the
+// DBSCAN and spectral-clustering baselines. Build is O(n log n); queries
+// prune by bounding box, degrading gracefully toward linear scans in high
+// dimension (correctness never depends on pruning).
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"adawave/internal/linalg"
+)
+
+// KDTree is an immutable spatial index over a point set. The tree holds
+// indices into the original slice; points are not copied.
+type KDTree struct {
+	points [][]float64
+	idx    []int // permutation of 0…n−1, partitioned recursively
+	nodes  []node
+	dim    int
+}
+
+type node struct {
+	lo, hi      int // range into idx
+	split       int // splitting dimension, -1 for leaf
+	mid         int // index (into idx) of the median element
+	left, right int // child node offsets, -1 for none
+	min, max    []float64
+}
+
+const leafSize = 16
+
+// Build constructs a KD-tree. It panics on ragged input; an empty input
+// yields an empty tree whose queries return nothing.
+func Build(points [][]float64) *KDTree {
+	t := &KDTree{points: points}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	t.idx = make([]int, len(points))
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	t.build(0, len(points))
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.points) }
+
+func (t *KDTree) build(lo, hi int) int {
+	nd := node{lo: lo, hi: hi, split: -1, left: -1, right: -1}
+	nd.min = make([]float64, t.dim)
+	nd.max = make([]float64, t.dim)
+	for j := 0; j < t.dim; j++ {
+		nd.min[j] = math.Inf(1)
+		nd.max[j] = math.Inf(-1)
+	}
+	for _, i := range t.idx[lo:hi] {
+		p := t.points[i]
+		for j, v := range p {
+			if v < nd.min[j] {
+				nd.min[j] = v
+			}
+			if v > nd.max[j] {
+				nd.max[j] = v
+			}
+		}
+	}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, nd)
+	if hi-lo <= leafSize {
+		return self
+	}
+	// Split on the widest dimension at the median.
+	split := 0
+	width := nd.max[0] - nd.min[0]
+	for j := 1; j < t.dim; j++ {
+		if w := nd.max[j] - nd.min[j]; w > width {
+			split, width = j, w
+		}
+	}
+	if width == 0 {
+		return self // all points identical: keep as leaf
+	}
+	mid := (lo + hi) / 2
+	sub := t.idx[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		return t.points[sub[a]][split] < t.points[sub[b]][split]
+	})
+	left := t.build(lo, mid)
+	right := t.build(mid, hi)
+	t.nodes[self].split = split
+	t.nodes[self].mid = mid
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Radius calls fn with the index of every point within Euclidean distance r
+// of q (including a point equal to q itself if indexed).
+func (t *KDTree) Radius(q []float64, r float64, fn func(i int)) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	r2 := r * r
+	t.radius(0, q, r, r2, fn)
+}
+
+func (t *KDTree) radius(n int, q []float64, r, r2 float64, fn func(i int)) {
+	nd := &t.nodes[n]
+	if boxDist2(q, nd.min, nd.max) > r2 {
+		return
+	}
+	if nd.split < 0 {
+		for _, i := range t.idx[nd.lo:nd.hi] {
+			if linalg.SqDist(q, t.points[i]) <= r2 {
+				fn(i)
+			}
+		}
+		return
+	}
+	t.radius(nd.left, q, r, r2, fn)
+	t.radius(nd.right, q, r, r2, fn)
+}
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+// KNN returns the k nearest neighbors of q in ascending distance order
+// (fewer if the tree holds fewer points). A point equal to q is included.
+func (t *KDTree) KNN(q []float64, k int) []Neighbor {
+	if len(t.nodes) == 0 || k <= 0 {
+		return nil
+	}
+	h := &nnHeap{}
+	t.knn(0, q, k, h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+func (t *KDTree) knn(n int, q []float64, k int, h *nnHeap) {
+	nd := &t.nodes[n]
+	if h.Len() == k && boxDist2(q, nd.min, nd.max) > (*h)[0].Dist {
+		return
+	}
+	if nd.split < 0 {
+		for _, i := range t.idx[nd.lo:nd.hi] {
+			d := linalg.SqDist(q, t.points[i])
+			if h.Len() < k {
+				heap.Push(h, Neighbor{Index: i, Dist: d})
+			} else if d < (*h)[0].Dist {
+				(*h)[0] = Neighbor{Index: i, Dist: d}
+				heap.Fix(h, 0)
+			}
+		}
+		return
+	}
+	// Visit the child containing q first for better pruning.
+	first, second := nd.left, nd.right
+	if q[nd.split] > t.points[t.idx[nd.mid]][nd.split] {
+		first, second = second, first
+	}
+	t.knn(first, q, k, h)
+	t.knn(second, q, k, h)
+}
+
+// boxDist2 is the squared distance from q to the axis-aligned box
+// [min, max] (0 if inside).
+func boxDist2(q, min, max []float64) float64 {
+	var s float64
+	for j, v := range q {
+		if v < min[j] {
+			d := min[j] - v
+			s += d * d
+		} else if v > max[j] {
+			d := v - max[j]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// nnHeap is a max-heap on squared distance (root = farthest of the current
+// k best).
+type nnHeap []Neighbor
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

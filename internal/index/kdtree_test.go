@@ -1,0 +1,173 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adawave/internal/linalg"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func bruteRadius(pts [][]float64, q []float64, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if linalg.Dist(q, p) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree length")
+	}
+	called := false
+	tr.Radius([]float64{0}, 1, func(int) { called = true })
+	if called {
+		t.Fatal("radius on empty tree called fn")
+	}
+	if nn := tr.KNN([]float64{0}, 3); nn != nil {
+		t.Fatal("knn on empty tree should be nil")
+	}
+}
+
+func TestRadiusMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rng.Int31n(300))
+		d := 1 + int(rng.Int31n(4))
+		pts := randomPoints(rng, n, d)
+		tr := Build(pts)
+		for trial := 0; trial < 5; trial++ {
+			q := randomPoints(rng, 1, d)[0]
+			r := rng.Float64() * 2
+			var got []int
+			tr.Radius(q, r, func(i int) { got = append(got, i) })
+			sort.Ints(got)
+			want := bruteRadius(pts, q, r)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rng.Int31n(300))
+		d := 1 + int(rng.Int31n(4))
+		pts := randomPoints(rng, n, d)
+		tr := Build(pts)
+		k := 1 + int(rng.Int31n(10))
+		q := randomPoints(rng, 1, d)[0]
+		got := tr.KNN(q, k)
+		// Brute force: sort all by distance.
+		type pd struct {
+			i int
+			d float64
+		}
+		all := make([]pd, n)
+		for i, p := range pts {
+			all[i] = pd{i, linalg.SqDist(q, p)}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			// Compare distances (indices may tie).
+			if math.Abs(got[i].Dist-all[i].d) > 1e-12 {
+				return false
+			}
+		}
+		// Ascending order.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{1, 2, 3}
+	}
+	tr := Build(pts)
+	count := 0
+	tr.Radius([]float64{1, 2, 3}, 0.1, func(int) { count++ })
+	if count != 100 {
+		t.Fatalf("found %d of 100 identical points", count)
+	}
+	nn := tr.KNN([]float64{1, 2, 3}, 5)
+	if len(nn) != 5 || nn[0].Dist != 0 {
+		t.Fatalf("knn on identical points: %v", nn)
+	}
+}
+
+func TestHighDimensional(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 500, 33)
+	tr := Build(pts)
+	q := pts[42]
+	nn := tr.KNN(q, 1)
+	if len(nn) != 1 || nn[0].Index != 42 || nn[0].Dist != 0 {
+		t.Fatalf("nearest to an indexed point should be itself: %v", nn)
+	}
+}
+
+func BenchmarkRadius10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 10000, 2)
+	tr := Build(pts)
+	q := []float64{0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Radius(q, 0.1, func(int) { n++ })
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 10000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}

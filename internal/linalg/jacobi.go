@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is the
+// i-th eigenvalue (ascending) and Vectors.Row(i) is NOT its eigenvector —
+// eigenvectors are stored column-wise: column i of Vectors corresponds to
+// Values[i].
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // column i ↔ Values[i]
+}
+
+// JacobiEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix using the cyclic Jacobi rotation method. The input is not modified.
+// Eigenvalues are returned in ascending order.
+func JacobiEigen(m *Matrix, maxSweeps int) (*Eigen, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: eigendecomposition of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	if !m.IsSymmetric(1e-9) {
+		return nil, fmt.Errorf("linalg: JacobiEigen requires a symmetric matrix")
+	}
+	n := m.Rows
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	a := m.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off < 1e-13 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = a.At(i, i)
+	}
+	sort.Slice(order, func(x, y int) bool { return diag[order[x]] < diag[order[y]] })
+	for rank, col := range order {
+		eig.Values[rank] = diag[col]
+		for r := 0; r < n; r++ {
+			eig.Vectors.Set(r, rank, v.At(r, col))
+		}
+	}
+	return eig, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to a (two-sided) and v
+// (one-sided, accumulating eigenvectors).
+func rotate(a, v *Matrix, p, q int, c, s float64) {
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, c*aip-s*aiq)
+		a.Set(i, q, s*aip+c*aiq)
+	}
+	for j := 0; j < n; j++ {
+		apj, aqj := a.At(p, j), a.At(q, j)
+		a.Set(p, j, c*apj-s*aqj)
+		a.Set(q, j, s*apj+c*aqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(a *Matrix) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Cols; j++ {
+			s += a.At(i, j) * a.At(i, j)
+		}
+	}
+	return math.Sqrt(2 * s)
+}

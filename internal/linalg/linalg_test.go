@@ -1,0 +1,270 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, -4.5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != -4.5 {
+		t.Fatalf("At/Set round trip failed: %+v", m)
+	}
+	if m.At(0, 1) != 0 {
+		t.Fatalf("fresh matrix not zeroed")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected matrix %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Fatalf("empty FromRows: %v %+v", err, empty)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != -1 || v[1] != -1 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if Dist(a, b) != 5 {
+		t.Fatalf("Dist = %v, want 5", Dist(a, b))
+	}
+	if SqDist(a, b) != 25 {
+		t.Fatalf("SqDist = %v, want 25", SqDist(a, b))
+	}
+	if Norm2(b) != 5 {
+		t.Fatalf("Norm2 = %v, want 5", Norm2(b))
+	}
+	if Dot(a, b) != 0 {
+		t.Fatalf("Dot = %v, want 0", Dot(a, b))
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	// A = L0·L0ᵀ is positive definite by construction.
+	l0, _ := FromRows([][]float64{{2, 0, 0}, {1, 3, 0}, {-1, 0.5, 1.5}})
+	a, _ := l0.Mul(l0.T())
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := l.Mul(l.T())
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(back.At(i, j), a.At(i, j), 1e-10) {
+				t.Fatalf("L·Lᵀ mismatch at %d,%d: %v vs %v", i, j, back.At(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square should error")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveCholesky(l, []float64{8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	b, _ := a.MulVec(x)
+	if !almostEq(b[0], 8, 1e-10) || !almostEq(b[1], 7, 1e-10) {
+		t.Fatalf("solve failed: A·x = %v", b)
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// diag(1, 2, 3) rotated is easy; use a matrix with known spectrum.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}}) // eigenvalues 1 and 3
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(eig.Values[0], 1, 1e-10) || !almostEq(eig.Values[1], 3, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [1 3]", eig.Values)
+	}
+}
+
+func TestJacobiEigenResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A·v_i = λ_i·v_i for every eigenpair.
+	for k := 0; k < n; k++ {
+		vec := make([]float64, n)
+		for r := 0; r < n; r++ {
+			vec[r] = eig.Vectors.At(r, k)
+		}
+		av, _ := a.MulVec(vec)
+		for r := 0; r < n; r++ {
+			if !almostEq(av[r], eig.Values[k]*vec[r], 1e-8) {
+				t.Fatalf("eigenpair %d residual at row %d: %v vs %v", k, r, av[r], eig.Values[k]*vec[r])
+			}
+		}
+	}
+	// Eigenvalues ascending.
+	for k := 1; k < n; k++ {
+		if eig.Values[k] < eig.Values[k-1] {
+			t.Fatalf("eigenvalues not ascending: %v", eig.Values)
+		}
+	}
+}
+
+func TestJacobiEigenErrors(t *testing.T) {
+	if _, err := JacobiEigen(NewMatrix(2, 3), 0); err == nil {
+		t.Fatal("non-square should error")
+	}
+	m, _ := FromRows([][]float64{{0, 1}, {2, 0}})
+	if _, err := JacobiEigen(m, 0); err == nil {
+		t.Fatal("asymmetric should error")
+	}
+}
+
+// Property: the trace of a symmetric matrix equals the sum of its
+// eigenvalues (invariant of the Jacobi rotations).
+func TestJacobiTraceInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rng.Int31n(5))
+		a := NewMatrix(n, n)
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+			trace += a.At(i, i)
+		}
+		eig, err := JacobiEigen(a, 0)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, l := range eig.Values {
+			sum += l
+		}
+		return almostEq(sum, trace, 1e-8*(1+math.Abs(trace)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky round-trips A = L·Lᵀ for random SPD matrices.
+func TestCholeskyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rng.Int31n(4))
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		// A = BᵀB + n·I is SPD.
+		a, _ := b.T().Mul(b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		back, _ := l.Mul(l.T())
+		for i := range a.Data {
+			if !almostEq(a.Data[i], back.Data[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package metrics implements external cluster-validity indices used by the
+// evaluation harness: mutual-information measures (MI, NMI, and AMI with the
+// exact expected mutual information under the hypergeometric permutation
+// model, following Vinh, Epps & Bailey 2010), the adjusted Rand index, and
+// purity.
+//
+// All functions take two equal-length integer label slices. Label values are
+// arbitrary; they are only compared for equality. The paper's fairness rule
+// (evaluate only over ground-truth non-noise points) is provided by Filter.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Contingency is the R×C contingency table of two labelings together with
+// its marginals.
+type Contingency struct {
+	N         int     // total number of points
+	RowSums   []int   // a_i: size of each cluster of the first labeling
+	ColSums   []int   // b_j: size of each cluster of the second labeling
+	Counts    [][]int // Counts[i][j]: points in row-cluster i and col-cluster j
+	rowOf     map[int]int
+	colOf     map[int]int
+	RowLabels []int
+	ColLabels []int
+}
+
+// NewContingency builds the contingency table of labelings u and v.
+func NewContingency(u, v []int) (*Contingency, error) {
+	if len(u) != len(v) {
+		return nil, fmt.Errorf("metrics: labelings have different lengths %d and %d", len(u), len(v))
+	}
+	c := &Contingency{
+		N:     len(u),
+		rowOf: make(map[int]int),
+		colOf: make(map[int]int),
+	}
+	for _, l := range u {
+		if _, ok := c.rowOf[l]; !ok {
+			c.rowOf[l] = len(c.RowLabels)
+			c.RowLabels = append(c.RowLabels, l)
+		}
+	}
+	for _, l := range v {
+		if _, ok := c.colOf[l]; !ok {
+			c.colOf[l] = len(c.ColLabels)
+			c.ColLabels = append(c.ColLabels, l)
+		}
+	}
+	r, cols := len(c.RowLabels), len(c.ColLabels)
+	c.Counts = make([][]int, r)
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, cols)
+	}
+	c.RowSums = make([]int, r)
+	c.ColSums = make([]int, cols)
+	for k := range u {
+		i, j := c.rowOf[u[k]], c.colOf[v[k]]
+		c.Counts[i][j]++
+		c.RowSums[i]++
+		c.ColSums[j]++
+	}
+	return c, nil
+}
+
+// Entropy returns the Shannon entropy (nats) of a cluster-size marginal.
+func Entropy(sizes []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	var h float64
+	for _, s := range sizes {
+		if s == 0 {
+			continue
+		}
+		p := float64(s) / float64(n)
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// MI returns the mutual information (nats) of the contingency table.
+func (c *Contingency) MI() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	n := float64(c.N)
+	var mi float64
+	for i, row := range c.Counts {
+		a := float64(c.RowSums[i])
+		for j, nij := range row {
+			if nij == 0 {
+				continue
+			}
+			b := float64(c.ColSums[j])
+			p := float64(nij) / n
+			mi += p * math.Log(n*float64(nij)/(a*b))
+		}
+	}
+	if mi < 0 { // numerical guard
+		mi = 0
+	}
+	return mi
+}
+
+// EMI returns the expected mutual information of two random labelings with
+// the table's marginals, under the hypergeometric permutation model
+// (Vinh et al. 2010, eq. 24a). Cost is O(R·C·min(a_i,b_j)).
+func (c *Contingency) EMI() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	n := float64(c.N)
+	lgN, _ := math.Lgamma(n + 1)
+	var emi float64
+	for _, ai := range c.RowSums {
+		a := float64(ai)
+		lgA, _ := math.Lgamma(a + 1)
+		lgNA, _ := math.Lgamma(n - a + 1)
+		for _, bj := range c.ColSums {
+			b := float64(bj)
+			lgB, _ := math.Lgamma(b + 1)
+			lgNB, _ := math.Lgamma(n - b + 1)
+			lo := ai + bj - c.N
+			if lo < 1 {
+				lo = 1
+			}
+			hi := ai
+			if bj < hi {
+				hi = bj
+			}
+			for nij := lo; nij <= hi; nij++ {
+				x := float64(nij)
+				// log hypergeometric pmf
+				l1, _ := math.Lgamma(x + 1)
+				l2, _ := math.Lgamma(a - x + 1)
+				l3, _ := math.Lgamma(b - x + 1)
+				l4, _ := math.Lgamma(n - a - b + x + 1)
+				logP := lgA + lgB + lgNA + lgNB - lgN - l1 - l2 - l3 - l4
+				term := x / n * math.Log(n*x/(a*b))
+				emi += math.Exp(logP) * term
+			}
+		}
+	}
+	return emi
+}
+
+// NormMethod selects the normalization used by AMI and NMI.
+type NormMethod int
+
+const (
+	// NormMax normalizes by max(H(U), H(V)) — the default in Vinh et al.
+	// and the variant cited by the AdaWave paper.
+	NormMax NormMethod = iota
+	// NormArithmetic normalizes by (H(U)+H(V))/2.
+	NormArithmetic
+	// NormGeometric normalizes by sqrt(H(U)·H(V)).
+	NormGeometric
+	// NormMin normalizes by min(H(U), H(V)).
+	NormMin
+)
+
+func normalizer(hu, hv float64, m NormMethod) float64 {
+	switch m {
+	case NormArithmetic:
+		return (hu + hv) / 2
+	case NormGeometric:
+		return math.Sqrt(hu * hv)
+	case NormMin:
+		return math.Min(hu, hv)
+	default:
+		return math.Max(hu, hv)
+	}
+}
+
+// AMI returns the adjusted mutual information of labelings u and v with the
+// NormMax normalization. Ranges in (-1, 1]; 1 means identical partitions,
+// ~0 means no better than chance.
+func AMI(u, v []int) float64 { return AMIWith(u, v, NormMax) }
+
+// AMIWith is AMI with an explicit normalization method.
+func AMIWith(u, v []int, m NormMethod) float64 {
+	c, err := NewContingency(u, v)
+	if err != nil || c.N == 0 {
+		return 0
+	}
+	// Convention (as in the reference implementations): two trivial
+	// single-cluster partitions are identical.
+	if len(c.RowSums) == 1 && len(c.ColSums) == 1 {
+		return 1
+	}
+	mi := c.MI()
+	emi := c.EMI()
+	hu := Entropy(c.RowSums, c.N)
+	hv := Entropy(c.ColSums, c.N)
+	den := normalizer(hu, hv, m) - emi
+	num := mi - emi
+	const eps = 1e-15
+	if math.Abs(den) < eps {
+		if den < 0 {
+			den = -eps
+		} else {
+			den = eps
+		}
+	}
+	return num / den
+}
+
+// NMI returns the normalized mutual information of u and v (NormMax).
+func NMI(u, v []int) float64 { return NMIWith(u, v, NormMax) }
+
+// NMIWith is NMI with an explicit normalization method.
+func NMIWith(u, v []int, m NormMethod) float64 {
+	c, err := NewContingency(u, v)
+	if err != nil || c.N == 0 {
+		return 0
+	}
+	if len(c.RowSums) == 1 && len(c.ColSums) == 1 {
+		return 1
+	}
+	hu := Entropy(c.RowSums, c.N)
+	hv := Entropy(c.ColSums, c.N)
+	den := normalizer(hu, hv, m)
+	if den == 0 {
+		return 0
+	}
+	return c.MI() / den
+}
+
+// ARI returns the adjusted Rand index of u and v.
+func ARI(u, v []int) float64 {
+	c, err := NewContingency(u, v)
+	if err != nil || c.N < 2 {
+		return 0
+	}
+	if len(c.RowSums) == 1 && len(c.ColSums) == 1 {
+		return 1
+	}
+	comb2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumIJ, sumA, sumB float64
+	for i, row := range c.Counts {
+		sumA += comb2(c.RowSums[i])
+		for _, nij := range row {
+			sumIJ += comb2(nij)
+		}
+	}
+	for _, b := range c.ColSums {
+		sumB += comb2(b)
+	}
+	total := comb2(c.N)
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 0
+	}
+	return (sumIJ - expected) / (maxIdx - expected)
+}
+
+// Purity returns the purity of predicted labeling v against truth u:
+// the fraction of points assigned to the majority true class of their
+// predicted cluster.
+func Purity(truth, pred []int) float64 {
+	c, err := NewContingency(pred, truth)
+	if err != nil || c.N == 0 {
+		return 0
+	}
+	var correct int
+	for _, row := range c.Counts {
+		best := 0
+		for _, n := range row {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(c.N)
+}
+
+// Filter returns copies of truth and pred restricted to indices where truth
+// is not noiseLabel. This implements the paper's fairness rule: methods
+// without a noise concept are scored only on points that truly belong to a
+// cluster.
+func Filter(truth, pred []int, noiseLabel int) (ft, fp []int) {
+	for i, t := range truth {
+		if t == noiseLabel {
+			continue
+		}
+		ft = append(ft, t)
+		fp = append(fp, pred[i])
+	}
+	return ft, fp
+}
+
+// AMINonNoise is the metric used throughout the paper's evaluation: AMI
+// over ground-truth non-noise points, NormMax normalization.
+func AMINonNoise(truth, pred []int, noiseLabel int) float64 {
+	ft, fp := Filter(truth, pred, noiseLabel)
+	if len(ft) == 0 {
+		return 0
+	}
+	return AMI(ft, fp)
+}
+
+// ClusterCount returns the number of distinct non-noise labels in a
+// labeling.
+func ClusterCount(labels []int, noiseLabel int) int {
+	seen := make(map[int]struct{})
+	for _, l := range labels {
+		if l == noiseLabel {
+			continue
+		}
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}

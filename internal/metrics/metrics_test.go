@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContingencyBasic(t *testing.T) {
+	u := []int{0, 0, 1, 1}
+	v := []int{5, 5, 9, 9}
+	c, err := NewContingency(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 4 || len(c.RowSums) != 2 || len(c.ColSums) != 2 {
+		t.Fatalf("unexpected table %+v", c)
+	}
+	if c.Counts[0][0] != 2 || c.Counts[1][1] != 2 || c.Counts[0][1] != 0 {
+		t.Fatalf("counts wrong: %v", c.Counts)
+	}
+}
+
+func TestContingencyLengthMismatch(t *testing.T) {
+	if _, err := NewContingency([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform two-cluster entropy = ln 2.
+	if got := Entropy([]int{5, 5}, 10); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("entropy = %v, want ln2", got)
+	}
+	if Entropy([]int{10}, 10) != 0 {
+		t.Fatal("single cluster entropy should be 0")
+	}
+	if Entropy(nil, 0) != 0 {
+		t.Fatal("empty entropy should be 0")
+	}
+}
+
+func TestMIIdenticalEqualsEntropy(t *testing.T) {
+	u := []int{0, 0, 1, 1, 2, 2, 2}
+	c, _ := NewContingency(u, u)
+	h := Entropy(c.RowSums, c.N)
+	if math.Abs(c.MI()-h) > 1e-12 {
+		t.Fatalf("MI(U,U) = %v, want H(U) = %v", c.MI(), h)
+	}
+}
+
+func TestAMIPerfect(t *testing.T) {
+	u := []int{0, 0, 1, 1, 2, 2}
+	v := []int{7, 7, 3, 3, 1, 1} // same partition, renamed labels
+	if got := AMI(u, v); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("AMI of identical partitions = %v, want 1", got)
+	}
+}
+
+func TestAMIRandomNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 2000
+	u := make([]int, n)
+	v := make([]int, n)
+	for i := 0; i < n; i++ {
+		u[i] = int(rng.Int31n(5))
+		v[i] = int(rng.Int31n(5))
+	}
+	got := AMI(u, v)
+	if math.Abs(got) > 0.03 {
+		t.Fatalf("AMI of independent labelings = %v, want ≈0", got)
+	}
+	// Unadjusted NMI of the same labelings is biased above zero.
+	if NMI(u, v) <= got {
+		t.Fatalf("NMI (%v) should exceed AMI (%v) for random labelings", NMI(u, v), got)
+	}
+}
+
+func TestAMISingleClusterConvention(t *testing.T) {
+	u := []int{1, 1, 1}
+	if got := AMI(u, u); got != 1 {
+		t.Fatalf("AMI of two trivial partitions = %v, want 1", got)
+	}
+	// One trivial vs one informative: zero information.
+	v := []int{0, 1, 2}
+	if got := AMI(u, v); math.Abs(got) > 1e-9 {
+		t.Fatalf("AMI(trivial, all-singletons) = %v, want 0", got)
+	}
+}
+
+func TestAMINormalizationOrdering(t *testing.T) {
+	u := []int{0, 0, 0, 1, 1, 2, 2, 2, 2}
+	v := []int{0, 0, 1, 1, 1, 2, 2, 0, 2}
+	amax := AMIWith(u, v, NormMax)
+	amin := AMIWith(u, v, NormMin)
+	// min-normalizer is the smallest denominator ⇒ largest score.
+	if amin < amax {
+		t.Fatalf("NormMin AMI (%v) should be ≥ NormMax AMI (%v)", amin, amax)
+	}
+}
+
+func TestARIKnown(t *testing.T) {
+	u := []int{0, 0, 1, 1}
+	if got := ARI(u, u); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI identical = %v", got)
+	}
+	// Completely split prediction still scores below 1.
+	v := []int{0, 1, 2, 3}
+	if got := ARI(u, v); got >= 0.5 {
+		t.Fatalf("ARI all-singletons = %v, want small", got)
+	}
+}
+
+func TestARIRandomNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	u := make([]int, n)
+	v := make([]int, n)
+	for i := 0; i < n; i++ {
+		u[i] = int(rng.Int31n(4))
+		v[i] = int(rng.Int31n(4))
+	}
+	if got := ARI(u, v); math.Abs(got) > 0.03 {
+		t.Fatalf("ARI of independent labelings = %v", got)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{5, 5, 6, 6}
+	if got := Purity(truth, pred); got != 1 {
+		t.Fatalf("perfect purity = %v", got)
+	}
+	pred2 := []int{5, 6, 5, 6}
+	if got := Purity(truth, pred2); got != 0.5 {
+		t.Fatalf("mixed purity = %v, want 0.5", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	truth := []int{0, -1, 1, -1, 2}
+	pred := []int{9, 9, 8, 8, 7}
+	ft, fp := Filter(truth, pred, -1)
+	if len(ft) != 3 || len(fp) != 3 {
+		t.Fatalf("filter kept %d/%d", len(ft), len(fp))
+	}
+	if ft[0] != 0 || ft[1] != 1 || ft[2] != 2 || fp[0] != 9 || fp[2] != 7 {
+		t.Fatalf("filter result %v %v", ft, fp)
+	}
+}
+
+func TestAMINonNoise(t *testing.T) {
+	truth := []int{0, 0, 1, 1, -1, -1}
+	pred := []int{3, 3, 4, 4, 0, 1} // perfect on non-noise, junk on noise
+	if got := AMINonNoise(truth, pred, -1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("AMINonNoise = %v, want 1", got)
+	}
+	if got := AMINonNoise([]int{-1, -1}, []int{1, 2}, -1); got != 0 {
+		t.Fatalf("all-noise should give 0, got %v", got)
+	}
+}
+
+func TestClusterCount(t *testing.T) {
+	labels := []int{0, 0, 1, -1, 2, 2, -1}
+	if got := ClusterCount(labels, -1); got != 3 {
+		t.Fatalf("ClusterCount = %d, want 3", got)
+	}
+}
+
+// Property: AMI and ARI are symmetric and invariant to label permutation.
+func TestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(rng.Int31n(100))
+		u := make([]int, n)
+		v := make([]int, n)
+		for i := 0; i < n; i++ {
+			u[i] = int(rng.Int31n(4))
+			v[i] = int(rng.Int31n(3))
+		}
+		if math.Abs(AMI(u, v)-AMI(v, u)) > 1e-9 {
+			return false
+		}
+		if math.Abs(ARI(u, v)-ARI(v, u)) > 1e-9 {
+			return false
+		}
+		// Relabel u by a fixed permutation; score must not change.
+		perm := map[int]int{0: 17, 1: 3, 2: 99, 3: -7}
+		w := make([]int, n)
+		for i := range u {
+			w[i] = perm[u[i]]
+		}
+		return math.Abs(AMI(u, v)-AMI(w, v)) < 1e-9 &&
+			math.Abs(ARI(u, v)-ARI(w, v)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AMI ≤ NMI + eps for the same normalization (the adjustment
+// subtracts the positive chance baseline), and both are ≤ 1.
+func TestAMIUpperBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(rng.Int31n(200))
+		u := make([]int, n)
+		v := make([]int, n)
+		for i := 0; i < n; i++ {
+			u[i] = int(rng.Int31n(5))
+			v[i] = u[i]
+			if rng.Float64() < 0.3 {
+				v[i] = int(rng.Int31n(5))
+			}
+		}
+		ami, nmi := AMI(u, v), NMI(u, v)
+		return ami <= nmi+1e-9 && ami <= 1+1e-9 && nmi <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAMI10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	u := make([]int, n)
+	v := make([]int, n)
+	for i := 0; i < n; i++ {
+		u[i] = int(rng.Int31n(8))
+		v[i] = int(rng.Int31n(8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AMI(u, v)
+	}
+}

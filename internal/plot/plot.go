@@ -1,0 +1,157 @@
+// Package plot renders point sets and line series as ASCII charts — the
+// terminal stand-in for the paper's figures, used by the examples and the
+// experiment harness.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// clusterGlyphs label clusters 0, 1, 2, … in scatter plots; noise (label
+// −1) renders as '·' and empty cells as space.
+const clusterGlyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// Glyph returns the scatter glyph for a cluster label.
+func Glyph(label int) byte {
+	if label < 0 {
+		return '.'
+	}
+	return clusterGlyphs[label%len(clusterGlyphs)]
+}
+
+// Scatter renders 2-D points into a width×height character canvas. Labels
+// choose the glyph per point (nil labels render every point as 'A'); when
+// several points land in one cell the non-noise label drawn last wins, so
+// clusters stay visible over background noise. Points beyond two dimensions
+// are projected onto their first two coordinates.
+func Scatter(points [][]float64, labels []int, width, height int) string {
+	if width < 2 {
+		width = 2
+	}
+	if height < 2 {
+		height = 2
+	}
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+	minX, maxX := points[0][0], points[0][0]
+	minY, maxY := points[0][1], points[0][1]
+	for _, p := range points {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, p := range points {
+		c := int(float64(width-1) * (p[0] - minX) / spanX)
+		r := height - 1 - int(float64(height-1)*(p[1]-minY)/spanY)
+		l := 0
+		if labels != nil {
+			l = labels[i]
+		}
+		g := Glyph(l)
+		// Noise never overwrites a cluster glyph.
+		if g == '.' && cells[r][c] != ' ' && cells[r][c] != '.' {
+			continue
+		}
+		cells[r][c] = g
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range cells {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}
+
+// Line is one named series of a Chart.
+type Line struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders line series into a width×height canvas with a y-axis scale
+// and a legend (one glyph per series, assigned in input order). Series may
+// have different x grids; the x range is the union.
+func Chart(lines []Line, width, height int) string {
+	if len(lines) == 0 {
+		return "(no series)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, l := range lines {
+		for i := range l.X {
+			minX = math.Min(minX, l.X[i])
+			maxX = math.Max(maxX, l.X[i])
+			minY = math.Min(minY, l.Y[i])
+			maxY = math.Max(maxY, l.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	for li, l := range lines {
+		g := clusterGlyphs[li%len(clusterGlyphs)]
+		for i := range l.X {
+			c := int(float64(width-1) * (l.X[i] - minX) / spanX)
+			r := height - 1 - int(float64(height-1)*(l.Y[i]-minY)/spanY)
+			cells[r][c] = g
+		}
+	}
+	var b strings.Builder
+	for r, row := range cells {
+		yv := maxY - float64(r)*spanY/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |", yv)
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%9s %-8.3g%*.3g\n", "", minX, width-8, maxX)
+	for li, l := range lines {
+		fmt.Fprintf(&b, "  %c = %s\n", clusterGlyphs[li%len(clusterGlyphs)], l.Name)
+	}
+	return b.String()
+}
+
+// Curve renders the values of ys against their indices — used for the
+// sorted-density curve of the paper's Fig. 6.
+func Curve(name string, ys []float64, width, height int) string {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return Chart([]Line{{Name: name, X: xs, Y: ys}}, width, height)
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasic(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
+	labels := []int{0, 1, -1}
+	out := Scatter(points, labels, 20, 10)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") || !strings.Contains(out, ".") {
+		t.Fatalf("missing glyphs in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 { // border + 10 rows + border
+		t.Fatalf("got %d lines, want 12", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 22 { // | + 20 + |
+			t.Fatalf("row width %d, want 22: %q", len(l), l)
+		}
+	}
+}
+
+func TestScatterCornersMap(t *testing.T) {
+	// (0,0) lands bottom-left, (1,1) top-right.
+	points := [][]float64{{0, 0}, {1, 1}}
+	out := Scatter(points, []int{0, 1}, 10, 5)
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	top, bottom := rows[1], rows[len(rows)-2]
+	if !strings.Contains(bottom, "A") {
+		t.Fatalf("origin not bottom-left:\n%s", out)
+	}
+	if !strings.Contains(top, "B") {
+		t.Fatalf("(1,1) not top-right:\n%s", out)
+	}
+}
+
+func TestScatterNoiseNeverCoversClusters(t *testing.T) {
+	// A cluster point and a noise point in the same cell: glyph stays.
+	points := [][]float64{{0, 0}, {1, 1}, {1, 1}}
+	labels := []int{0, 2, -1}
+	out := Scatter(points, labels, 8, 4)
+	if !strings.Contains(out, "C") {
+		t.Fatalf("cluster glyph overwritten by noise:\n%s", out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if out := Scatter(nil, nil, 10, 5); !strings.Contains(out, "no points") {
+		t.Fatalf("empty scatter: %q", out)
+	}
+	// Identical points: span 0 must not divide by zero.
+	out := Scatter([][]float64{{3, 3}, {3, 3}}, nil, 5, 3)
+	if !strings.Contains(out, "A") {
+		t.Fatalf("degenerate scatter:\n%s", out)
+	}
+}
+
+func TestGlyph(t *testing.T) {
+	if Glyph(-1) != '.' {
+		t.Fatal("noise glyph should be '.'")
+	}
+	if Glyph(0) != 'A' || Glyph(1) != 'B' {
+		t.Fatal("cluster glyphs should start at 'A'")
+	}
+	if Glyph(len(clusterGlyphs)) != 'A' {
+		t.Fatal("glyphs should wrap")
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	lines := []Line{
+		{Name: "adawave", X: []float64{0, 1, 2}, Y: []float64{0.9, 0.8, 0.7}},
+		{Name: "dbscan", X: []float64{0, 1, 2}, Y: []float64{0.8, 0.4, 0.1}},
+	}
+	out := Chart(lines, 30, 10)
+	if !strings.Contains(out, "A = adawave") || !strings.Contains(out, "B = dbscan") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := Chart(nil, 20, 5); !strings.Contains(out, "no series") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	if out := Chart([]Line{{Name: "x"}}, 20, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("chart with empty series: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := Chart([]Line{{Name: "flat", X: []float64{0, 1}, Y: []float64{2, 2}}}, 20, 5)
+	if !strings.Contains(out, "A") {
+		t.Fatalf("flat series vanished:\n%s", out)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	out := Curve("density", []float64{9, 4, 1, 0.5, 0.1}, 20, 6)
+	if !strings.Contains(out, "A = density") {
+		t.Fatalf("curve legend missing:\n%s", out)
+	}
+}

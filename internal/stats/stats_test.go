@@ -1,0 +1,289 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-slice conventions violated")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("single-element variance should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax of empty slice should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1. / 3., 2}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect positive correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect negative correlation = %v", got)
+	}
+	if Pearson(x, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Fatal("constant input should give 0")
+	}
+	if Pearson(x, []float64{1, 2}) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestColumn(t *testing.T) {
+	pts := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	col := Column(pts, 1)
+	if len(col) != 3 || col[0] != 2 || col[2] != 6 {
+		t.Fatalf("Column = %v", col)
+	}
+}
+
+// --- dip test ---
+
+func TestDipTrivial(t *testing.T) {
+	if d := Dip(nil).Dip; d != 0 {
+		t.Fatalf("dip(nil) = %v", d)
+	}
+	if d := Dip([]float64{1}).Dip; d != 0 {
+		t.Fatalf("dip(single) = %v", d)
+	}
+	if d := Dip([]float64{2, 2, 2}).Dip; d != 0 {
+		t.Fatalf("dip(constant) = %v", d)
+	}
+	// Two distinct points: minimum possible dip 1/(2n) = 0.25.
+	if d := Dip([]float64{0, 1}).Dip; math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("dip(two points) = %v, want 0.25", d)
+	}
+}
+
+func TestDipEquallySpaced(t *testing.T) {
+	// A perfectly uniform (flat) sample is unimodal: dip = 1/(2n).
+	for _, n := range []int{5, 10, 100, 1000} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)
+		}
+		got := Dip(x).Dip
+		want := 1 / float64(2*n)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: dip = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDipBimodalLarge(t *testing.T) {
+	// Two well-separated tight clusters: dip approaches its maximum 0.25.
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	x := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		x[i] = rng.NormFloat64() * 0.01
+	}
+	for i := n / 2; i < n; i++ {
+		x[i] = 10 + rng.NormFloat64()*0.01
+	}
+	d := Dip(x).Dip
+	if d < 0.2 {
+		t.Fatalf("bimodal dip = %v, want > 0.2", d)
+	}
+	if d > 0.25+1e-9 {
+		t.Fatalf("dip exceeded theoretical max: %v", d)
+	}
+}
+
+func TestDipUnimodalSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	d := Dip(x).Dip
+	if d > DipCriticalValue(n, 0.05) {
+		t.Fatalf("gaussian dip = %v exceeds 5%% critical value %v", d, DipCriticalValue(n, 0.05))
+	}
+}
+
+func TestDipDetectsBimodality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	x := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		x[i] = rng.NormFloat64()
+	}
+	for i := n / 2; i < n; i++ {
+		x[i] = 8 + rng.NormFloat64()
+	}
+	d := Dip(x).Dip
+	if d <= DipCriticalValue(n, 0.01) {
+		t.Fatalf("clearly bimodal dip = %v below 1%% critical value %v", d, DipCriticalValue(n, 0.01))
+	}
+}
+
+// Property: the dip is invariant under positive affine transforms and under
+// negation (mirroring), and always lies in [1/(2n), 0.25] for distinct data.
+func TestDipProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + int(rng.Int31n(200))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+			if rng.Float64() < 0.3 {
+				x[i] += 20
+			}
+		}
+		d := Dip(x).Dip
+		if d < 1/float64(2*n)-1e-12 || d > 0.25+1e-12 {
+			return false
+		}
+		// Affine invariance.
+		y := make([]float64, n)
+		for i := range x {
+			y[i] = 3.7*x[i] - 11
+		}
+		if math.Abs(Dip(y).Dip-d) > 1e-9 {
+			return false
+		}
+		// Mirror invariance.
+		for i := range x {
+			y[i] = -x[i]
+		}
+		return math.Abs(Dip(y).Dip-d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDipModalInterval(t *testing.T) {
+	// Bimodal data: the modal interval should span the gap between modes.
+	n := 200
+	x := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		x[i] = float64(i) / float64(n) // cluster in [0, 0.5)
+	}
+	for i := n / 2; i < n; i++ {
+		x[i] = 10 + float64(i)/float64(n)
+	}
+	res := Dip(x)
+	if res.LowIdx >= res.HighIdx {
+		t.Fatalf("degenerate modal interval [%d,%d]", res.LowIdx, res.HighIdx)
+	}
+}
+
+func TestDipCriticalValueMonotone(t *testing.T) {
+	// Stricter alpha ⇒ larger critical value; more data ⇒ smaller.
+	if DipCriticalValue(100, 0.01) <= DipCriticalValue(100, 0.05) {
+		t.Fatal("critical value should grow as alpha shrinks")
+	}
+	if DipCriticalValue(1000, 0.05) >= DipCriticalValue(100, 0.05) {
+		t.Fatal("critical value should shrink with n")
+	}
+	if DipCriticalValue(2, 0.05) != 0.25 {
+		t.Fatal("tiny n should return 0.25")
+	}
+}
+
+func TestDipCriticalValueCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration is slow")
+	}
+	// The 5% critical value should reject roughly 5% of uniform samples.
+	n, b := 200, 200
+	crit := DipCriticalValue(n, 0.05)
+	rng := rand.New(rand.NewSource(42))
+	rejected := 0
+	buf := make([]float64, n)
+	for rep := 0; rep < b; rep++ {
+		for i := range buf {
+			buf[i] = rng.Float64()
+		}
+		if Dip(buf).Dip > crit {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(b)
+	if rate > 0.15 {
+		t.Fatalf("uniform rejection rate %.2f far above nominal 0.05", rate)
+	}
+}
+
+func TestDipPValueMC(t *testing.T) {
+	// A huge observed dip should be significant; a tiny one should not.
+	if p := DipPValueMC(0.2, 100, 50, 1); p > 0.05 {
+		t.Fatalf("p-value of dip 0.2 at n=100 = %v, want tiny", p)
+	}
+	if p := DipPValueMC(0.001, 100, 50, 1); p < 0.5 {
+		t.Fatalf("p-value of dip 0.001 at n=100 = %v, want large", p)
+	}
+	if p := DipPValueMC(0.1, 1, 10, 1); p != 1 {
+		t.Fatalf("n<2 should return p=1, got %v", p)
+	}
+}
+
+func BenchmarkDip1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dip(x)
+	}
+}

@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluationShape(t *testing.T) {
+	ds := Evaluation(1000, 0.5, 1)
+	if ds.NumClusters() != 5 {
+		t.Fatalf("clusters = %d, want 5", ds.NumClusters())
+	}
+	if got := ds.NoiseFraction(); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("noise fraction = %v, want ≈ 0.5", got)
+	}
+	if ds.Dim() != 2 {
+		t.Fatalf("dim = %d, want 2", ds.Dim())
+	}
+	// 5 clusters × 1000 + matching noise.
+	if ds.N() != 10000 {
+		t.Fatalf("n = %d, want 10000", ds.N())
+	}
+}
+
+func TestEvaluationNoiseLevels(t *testing.T) {
+	for _, gamma := range []float64{0.2, 0.65, 0.9} {
+		ds := Evaluation(500, gamma, 2)
+		if got := ds.NoiseFraction(); math.Abs(got-gamma) > 0.01 {
+			t.Fatalf("γ=%v: noise fraction %v", gamma, got)
+		}
+	}
+	if ds := Evaluation(500, 0, 2); ds.NoiseFraction() != 0 {
+		t.Fatal("γ=0 should have no noise")
+	}
+}
+
+func TestNoiseCountFor(t *testing.T) {
+	if got := NoiseCountFor(100, 0.5); got != 100 {
+		t.Fatalf("50%% of total means noise == cluster count, got %d", got)
+	}
+	if got := NoiseCountFor(100, 0.8); got != 400 {
+		t.Fatalf("80%%: got %d, want 400", got)
+	}
+	if got := NoiseCountFor(100, 0); got != 0 {
+		t.Fatalf("0%%: got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("γ ≥ 1 should panic")
+		}
+	}()
+	NoiseCountFor(100, 1)
+}
+
+func TestRunningExampleShape(t *testing.T) {
+	ds := RunningExample(1)
+	if ds.NumClusters() != 5 {
+		t.Fatalf("clusters = %d, want 5", ds.NumClusters())
+	}
+	if got := ds.NoiseFraction(); math.Abs(got-0.7) > 0.01 {
+		t.Fatalf("noise fraction = %v, want ≈ 0.7", got)
+	}
+	small := RunningExampleSized(100, 1)
+	if small.N() >= ds.N() {
+		t.Fatal("sized variant should be smaller")
+	}
+	if small.NumClusters() != 5 {
+		t.Fatalf("sized variant clusters = %d, want 5", small.NumClusters())
+	}
+}
+
+func TestRingGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := Ring(rng, 2000, 1, 2, 0.5, 0.01)
+	for _, p := range pts {
+		r := math.Hypot(p[0]-1, p[1]-2)
+		if r < 0.4 || r > 0.6 {
+			t.Fatalf("ring point at radius %v, want ≈ 0.5", r)
+		}
+	}
+}
+
+func TestSegmentGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := Segment(rng, 1000, 0, 0, 1, 1, 0.001)
+	for _, p := range pts {
+		// Distance from y=x line must be tiny.
+		if d := math.Abs(p[1]-p[0]) / math.Sqrt2; d > 0.01 {
+			t.Fatalf("segment point %v too far from the line", p)
+		}
+	}
+}
+
+func TestEllipseAnisotropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := EllipseCloud(rng, 4000, 0, 0, 0.2, 0.02, 0)
+	var vx, vy float64
+	for _, p := range pts {
+		vx += p[0] * p[0]
+		vy += p[1] * p[1]
+	}
+	if vx < 20*vy {
+		t.Fatalf("ellipse not anisotropic: var ratio %v", vx/vy)
+	}
+}
+
+func TestUniformBoxBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := UniformBox(rng, 1000, []float64{-1, 2}, []float64{0, 3})
+	for _, p := range pts {
+		if p[0] < -1 || p[0] > 0 || p[1] < 2 || p[1] > 3 {
+			t.Fatalf("point %v outside box", p)
+		}
+	}
+}
+
+func TestBlobsSeparation(t *testing.T) {
+	ds := Blobs(3, 100, 4, 0.01, 7)
+	if ds.NumClusters() != 3 || ds.N() != 300 || ds.Dim() != 4 {
+		t.Fatalf("unexpected shape n=%d d=%d k=%d", ds.N(), ds.Dim(), ds.NumClusters())
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	ds := Evaluation(100, 0.4, 8)
+	orig := ds.Clone()
+	ds.Shuffle(99)
+	// Same multiset of (point, label) pairs.
+	find := func(p []float64) int {
+		for i, q := range orig.Points {
+			if q[0] == p[0] && q[1] == p[1] {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 0; i < 50; i++ { // spot check
+		j := find(ds.Points[i])
+		if j < 0 {
+			t.Fatal("shuffled point not found in original")
+		}
+		if orig.Labels[j] != ds.Labels[i] {
+			t.Fatal("shuffle separated a point from its label")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := Blobs(2, 50, 2, 0.1, 9)
+	cp := ds.Clone()
+	cp.Points[0][0] = 999
+	cp.Labels[0] = 42
+	if ds.Points[0][0] == 999 || ds.Labels[0] == 42 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestDatasetAccessorsEmpty(t *testing.T) {
+	var ds Dataset
+	if ds.N() != 0 || ds.Dim() != 0 || ds.NumClusters() != 0 || ds.NoiseFraction() != 0 {
+		t.Fatal("empty dataset accessors should be zero")
+	}
+}
+
+func TestDeterministicGenerators(t *testing.T) {
+	a, b := Evaluation(200, 0.5, 11), Evaluation(200, 0.5, 11)
+	for i := range a.Points {
+		if a.Points[i][0] != b.Points[i][0] || a.Points[i][1] != b.Points[i][1] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package wavelet
+
+import "fmt"
+
+// Approx computes the analysis low-pass (approximation/scale-space) branch
+// of one DWT level with zero extension beyond the signal ends:
+//
+//	a[k] = Σ_t Lo[t] · x[2k + t − Center],  k = 0 … ⌈n/2⌉−1.
+//
+// This is exactly the dense counterpart of the sparse-grid scatter transform
+// used by AdaWave, so the two can be cross-checked in tests.
+func Approx(x []float64, b Basis) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, (n+1)/2)
+	for k := range out {
+		var s float64
+		base := 2*k - b.Center
+		for t, h := range b.Lo {
+			i := base + t
+			if i >= 0 && i < n {
+				s += h * x[i]
+			}
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Detail computes the analysis high-pass (wavelet-space) branch of one DWT
+// level with zero extension, phased like Approx.
+func Detail(x []float64, b Basis) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, (n+1)/2)
+	for k := range out {
+		var s float64
+		base := 2*k - b.Center
+		for t, g := range b.Hi {
+			i := base + t
+			if i >= 0 && i < n {
+				s += g * x[i]
+			}
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Decompose performs a multi-level Mallat decomposition with zero
+// extension, returning the approximation at each level (level 1 first) —
+// the “different resolutions” the paper's multi-resolution property refers
+// to. levels must be ≥ 1 and small enough that every level has at least one
+// coefficient.
+func Decompose(x []float64, b Basis, levels int) ([][]float64, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels must be ≥ 1, got %d", levels)
+	}
+	out := make([][]float64, 0, levels)
+	cur := x
+	for l := 0; l < levels; l++ {
+		if len(cur) < 2 {
+			return nil, fmt.Errorf("wavelet: signal of length %d too short for %d levels", len(x), levels)
+		}
+		cur = Approx(cur, b)
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// ForwardPeriodic computes one orthonormal DWT level with periodic
+// extension: approx and detail each of length n/2. The input length must be
+// even. Only valid for orthogonal bases (Haar, DB4); the taps are scaled by
+// √2 internally so that ‖x‖² = ‖a‖² + ‖d‖² and InversePeriodic reconstructs
+// exactly.
+func ForwardPeriodic(x []float64, b Basis) (approx, detail []float64, err error) {
+	n := len(x)
+	if n%2 != 0 || n == 0 {
+		return nil, nil, fmt.Errorf("wavelet: ForwardPeriodic needs even-length input, got %d", n)
+	}
+	if !b.Orthogonal {
+		return nil, nil, fmt.Errorf("wavelet: ForwardPeriodic requires an orthogonal basis, got %s", b.Name)
+	}
+	lo, hi := scale(b.Lo, sqrt2), scale(b.Hi, sqrt2)
+	h := n / 2
+	approx = make([]float64, h)
+	detail = make([]float64, h)
+	for k := 0; k < h; k++ {
+		var a, d float64
+		for t := range lo {
+			i := (2*k + t) % n
+			a += lo[t] * x[i]
+			d += hi[t] * x[i]
+		}
+		approx[k] = a
+		detail[k] = d
+	}
+	return approx, detail, nil
+}
+
+// InversePeriodic reconstructs the signal from one ForwardPeriodic level.
+func InversePeriodic(approx, detail []float64, b Basis) ([]float64, error) {
+	if len(approx) != len(detail) {
+		return nil, fmt.Errorf("wavelet: approx/detail length mismatch %d vs %d", len(approx), len(detail))
+	}
+	if !b.Orthogonal {
+		return nil, fmt.Errorf("wavelet: InversePeriodic requires an orthogonal basis, got %s", b.Name)
+	}
+	lo, hi := scale(b.Lo, sqrt2), scale(b.Hi, sqrt2)
+	n := 2 * len(approx)
+	x := make([]float64, n)
+	for k := 0; k < len(approx); k++ {
+		for t := range lo {
+			i := (2*k + t) % n
+			x[i] += lo[t]*approx[k] + hi[t]*detail[k]
+		}
+	}
+	return x, nil
+}
+
+const sqrt2 = 1.4142135623730951
+
+func scale(taps []float64, f float64) []float64 {
+	out := make([]float64, len(taps))
+	for i, t := range taps {
+		out[i] = t * f
+	}
+	return out
+}

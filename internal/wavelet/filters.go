@@ -1,0 +1,157 @@
+// Package wavelet implements the discrete wavelet transform substrate of
+// AdaWave: hand-rolled filter banks (Haar, Daubechies-4, Cohen-Daubechies-
+// Feauveau (2,2)), dense 1-D analysis/synthesis via convolution and via the
+// lifting scheme, and multi-level Mallat decomposition.
+//
+// Two normalizations appear in the literature. Signal processing uses
+// orthonormal filters (DC gain √2) so that the transform preserves energy.
+// Grid-based clustering (WaveCluster, AdaWave) instead wants the transformed
+// cell values to remain *densities*, so this package stores analysis
+// low-pass taps with DC gain 1: a constant signal is mapped to the same
+// constant at every level. Orthonormal variants are derived on demand where
+// perfect reconstruction is exercised.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Basis is a wavelet filter bank in DC-gain-1 normalization.
+type Basis struct {
+	Name string
+	// Lo is the analysis low-pass filter (sums to 1).
+	Lo []float64
+	// Hi is the analysis high-pass filter (sums to 0).
+	Hi []float64
+	// Center is the alignment index of the dominant tap: input sample i
+	// contributes mainly to approximation coefficient floor(i/2) when the
+	// convolution is phased as a[k] = Σ_t Lo[t]·x[2k+t−Center]. This phase
+	// is what makes the WaveCluster “right shift” lookup table exact.
+	Center int
+	// Orthogonal reports whether √2·Lo is an orthonormal filter (true for
+	// Haar and Daubechies families, false for biorthogonal CDF).
+	Orthogonal bool
+}
+
+// Haar returns the Haar basis: the simplest orthogonal wavelet.
+func Haar() Basis {
+	return Basis{
+		Name:       "haar",
+		Lo:         []float64{0.5, 0.5},
+		Hi:         []float64{0.5, -0.5},
+		Center:     0,
+		Orthogonal: true,
+	}
+}
+
+// DB4 returns the 4-tap Daubechies basis (two vanishing moments; “db2” in
+// some libraries' naming).
+func DB4() Basis {
+	s3 := math.Sqrt(3)
+	lo := []float64{(1 + s3) / 8, (3 + s3) / 8, (3 - s3) / 8, (1 - s3) / 8}
+	return Basis{
+		Name:       "db4",
+		Lo:         lo,
+		Hi:         qmf(lo),
+		Center:     1,
+		Orthogonal: true,
+	}
+}
+
+// CDF22 returns the Cohen-Daubechies-Feauveau (2,2) biorthogonal basis
+// (the JPEG2000 5/3 wavelet) — the basis used by the AdaWave paper and by
+// the original WaveCluster.
+func CDF22() Basis {
+	return Basis{
+		Name:       "cdf22",
+		Lo:         []float64{-0.125, 0.25, 0.75, 0.25, -0.125},
+		Hi:         []float64{-0.5, 1, -0.5},
+		Center:     2,
+		Orthogonal: false,
+	}
+}
+
+// DB6 returns the 6-tap Daubechies basis (three vanishing moments; “db3”
+// in some libraries' naming). The closed form with a = 1+√10,
+// b = √(5+2√10) keeps the DC gain exact at machine precision.
+func DB6() Basis {
+	s10 := math.Sqrt(10)
+	b := math.Sqrt(5 + 2*s10)
+	// Orthonormal taps are these values divided by 16√2; the package wants
+	// DC gain 1, so divide by 32 instead (Σ of the numerators is 32).
+	lo := scale([]float64{
+		1 + s10 + b,
+		5 + s10 + 3*b,
+		10 - 2*s10 + 2*b,
+		10 - 2*s10 - 2*b,
+		5 + s10 - 3*b,
+		1 + s10 - b,
+	}, 1.0/32)
+	return Basis{
+		Name:       "db6",
+		Lo:         lo,
+		Hi:         qmf(lo),
+		Center:     1,
+		Orthogonal: true,
+	}
+}
+
+// CDF13 returns the Cohen-Daubechies-Feauveau (1,3) biorthogonal basis: a
+// Haar-like analysis low-pass with longer smoothing support — a cheap
+// middle ground between Haar and CDF(2,2) for the paper's “flexibility of
+// choosing basis” property.
+func CDF13() Basis {
+	return Basis{
+		Name:       "cdf13",
+		Lo:         []float64{-0.0625, 0.0625, 0.5, 0.5, 0.0625, -0.0625},
+		Hi:         []float64{-0.5, 0.5},
+		Center:     2,
+		Orthogonal: false,
+	}
+}
+
+// ByName returns the basis with the given name ("haar", "db4", "db6",
+// "cdf22", "cdf13").
+func ByName(name string) (Basis, error) {
+	switch name {
+	case "haar":
+		return Haar(), nil
+	case "db4":
+		return DB4(), nil
+	case "db6":
+		return DB6(), nil
+	case "cdf22", "cdf(2,2)", "bior2.2":
+		return CDF22(), nil
+	case "cdf13", "cdf(1,3)", "bior1.3":
+		return CDF13(), nil
+	}
+	return Basis{}, fmt.Errorf("wavelet: unknown basis %q (want haar, db4, db6, cdf22 or cdf13)", name)
+}
+
+// Bases returns all built-in bases (for ablation sweeps).
+func Bases() []Basis { return []Basis{Haar(), DB4(), DB6(), CDF22(), CDF13()} }
+
+// qmf derives the quadrature-mirror high-pass from a low-pass filter:
+// g[k] = (−1)^k · h[L−1−k].
+func qmf(lo []float64) []float64 {
+	l := len(lo)
+	hi := make([]float64, l)
+	for k := 0; k < l; k++ {
+		v := lo[l-1-k]
+		if k%2 == 1 {
+			v = -v
+		}
+		hi[k] = v
+	}
+	return hi
+}
+
+// DCGain returns the sum of the filter taps.
+func DCGain(taps []float64) float64 {
+	var s float64
+	for _, t := range taps {
+		s += t
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package wavelet
+
+import "fmt"
+
+// Lift53 computes one level of the CDF(2,2) (“5/3”) wavelet via the lifting
+// scheme with symmetric boundary extension. It returns the approximation
+// (even samples after the update step) and detail (odd samples after the
+// predict step). The lifting formulation reconstructs *exactly* for any
+// input length — the production path for biorthogonal PR — and its interior
+// approximation coefficients coincide with Approx(x, CDF22()).
+func Lift53(x []float64) (approx, detail []float64, err error) {
+	n := len(x)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("wavelet: Lift53 needs ≥ 2 samples, got %d", n)
+	}
+	ns := (n + 1) / 2
+	nd := n / 2
+	s := make([]float64, ns)
+	d := make([]float64, nd)
+	for i := 0; i < ns; i++ {
+		s[i] = x[2*i]
+	}
+	for i := 0; i < nd; i++ {
+		d[i] = x[2*i+1]
+	}
+	// Predict: d[i] -= (s[i] + s[i+1])/2, mirroring at the right edge.
+	for i := 0; i < nd; i++ {
+		right := i + 1
+		if right >= ns {
+			right = ns - 1
+		}
+		d[i] -= 0.5 * (s[i] + s[right])
+	}
+	// Update: s[i] += (d[i-1] + d[i])/4, mirroring at both edges.
+	for i := 0; i < ns; i++ {
+		left := i - 1
+		if left < 0 {
+			left = 0
+		}
+		cur := i
+		if cur >= nd {
+			cur = nd - 1
+		}
+		s[i] += 0.25 * (d[left] + d[cur])
+	}
+	return s, d, nil
+}
+
+// Unlift53 inverts Lift53 exactly. origLen is the original signal length
+// (needed to distinguish even from odd lengths).
+func Unlift53(approx, detail []float64, origLen int) ([]float64, error) {
+	ns, nd := len(approx), len(detail)
+	if ns != (origLen+1)/2 || nd != origLen/2 {
+		return nil, fmt.Errorf("wavelet: Unlift53 length mismatch: approx %d, detail %d, origLen %d", ns, nd, origLen)
+	}
+	s := append([]float64(nil), approx...)
+	d := append([]float64(nil), detail...)
+	// Undo update.
+	for i := 0; i < ns; i++ {
+		left := i - 1
+		if left < 0 {
+			left = 0
+		}
+		cur := i
+		if cur >= nd {
+			cur = nd - 1
+		}
+		s[i] -= 0.25 * (d[left] + d[cur])
+	}
+	// Undo predict.
+	for i := 0; i < nd; i++ {
+		right := i + 1
+		if right >= ns {
+			right = ns - 1
+		}
+		d[i] += 0.5 * (s[i] + s[right])
+	}
+	x := make([]float64, origLen)
+	for i := 0; i < ns; i++ {
+		x[2*i] = s[i]
+	}
+	for i := 0; i < nd; i++ {
+		x[2*i+1] = d[i]
+	}
+	return x, nil
+}

@@ -1,0 +1,288 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFilterDCGains(t *testing.T) {
+	for _, b := range Bases() {
+		if !almostEq(DCGain(b.Lo), 1, 1e-12) {
+			t.Errorf("%s: low-pass DC gain = %v, want 1", b.Name, DCGain(b.Lo))
+		}
+		if !almostEq(DCGain(b.Hi), 0, 1e-12) {
+			t.Errorf("%s: high-pass DC gain = %v, want 0", b.Name, DCGain(b.Hi))
+		}
+		if b.Center < 0 || b.Center >= len(b.Lo) {
+			t.Errorf("%s: center %d out of range", b.Name, b.Center)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"haar", "db4", "cdf22"} {
+		b, err := ByName(name)
+		if err != nil || b.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, b.Name, err)
+		}
+	}
+	if b, err := ByName("bior2.2"); err != nil || b.Name != "cdf22" {
+		t.Errorf("bior2.2 alias failed: %v %v", b.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown basis should error")
+	}
+}
+
+func TestDB4Orthonormality(t *testing.T) {
+	b := DB4()
+	// √2-scaled taps must have unit energy and the shift-2 orthogonality.
+	var energy, shift2 float64
+	for i, h := range b.Lo {
+		energy += 2 * h * h // (√2 h)² = 2h²
+		if i+2 < len(b.Lo) {
+			shift2 += 2 * h * b.Lo[i+2]
+		}
+	}
+	if !almostEq(energy, 1, 1e-12) {
+		t.Fatalf("db4 energy = %v, want 1", energy)
+	}
+	if !almostEq(shift2, 0, 1e-12) {
+		t.Fatalf("db4 shift-2 product = %v, want 0", shift2)
+	}
+}
+
+func TestApproxConstantSignal(t *testing.T) {
+	// DC gain 1 ⇒ a constant interior stays constant at every level.
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = 3.5
+	}
+	for _, b := range Bases() {
+		a := Approx(x, b)
+		// Interior coefficients (away from the zero-padded boundary).
+		for k := 2; k < len(a)-2; k++ {
+			if !almostEq(a[k], 3.5, 1e-12) {
+				t.Errorf("%s: interior approx[%d] = %v, want 3.5", b.Name, k, a[k])
+			}
+		}
+	}
+}
+
+func TestDetailKillsConstants(t *testing.T) {
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = -2.25
+	}
+	for _, b := range Bases() {
+		d := Detail(x, b)
+		for k := 2; k < len(d)-2; k++ {
+			if !almostEq(d[k], 0, 1e-12) {
+				t.Errorf("%s: interior detail[%d] = %v, want 0", b.Name, k, d[k])
+			}
+		}
+	}
+}
+
+func TestApproxHalvesLength(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 127, 128} {
+		x := make([]float64, n)
+		a := Approx(x, Haar())
+		if len(a) != (n+1)/2 {
+			t.Errorf("n=%d: approx length %d, want %d", n, len(a), (n+1)/2)
+		}
+	}
+	if Approx(nil, Haar()) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestApproxLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 40
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	for _, b := range Bases() {
+		ax, ay := Approx(x, b), Approx(y, b)
+		sum := make([]float64, n)
+		for i := range sum {
+			sum[i] = 2*x[i] - 3*y[i]
+		}
+		asum := Approx(sum, b)
+		for k := range asum {
+			if !almostEq(asum[k], 2*ax[k]-3*ay[k], 1e-10) {
+				t.Fatalf("%s: linearity violated at %d", b.Name, k)
+			}
+		}
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	levels, err := Decompose(x, CDF22(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("got %d levels", len(levels))
+	}
+	if len(levels[0]) != 32 || len(levels[1]) != 16 || len(levels[2]) != 8 {
+		t.Fatalf("level lengths %d %d %d", len(levels[0]), len(levels[1]), len(levels[2]))
+	}
+	if _, err := Decompose(x, Haar(), 0); err == nil {
+		t.Error("levels=0 should error")
+	}
+	if _, err := Decompose([]float64{1}, Haar(), 1); err == nil {
+		t.Error("too-short signal should error")
+	}
+}
+
+func TestPeriodicPerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, b := range []Basis{Haar(), DB4()} {
+		for _, n := range []int{2, 8, 64, 130} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			a, d, err := ForwardPeriodic(x, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Parseval: energy preserved.
+			var ex, ead float64
+			for i := range x {
+				ex += x[i] * x[i]
+			}
+			for i := range a {
+				ead += a[i]*a[i] + d[i]*d[i]
+			}
+			if !almostEq(ex, ead, 1e-9*(1+ex)) {
+				t.Fatalf("%s n=%d: energy %v → %v", b.Name, n, ex, ead)
+			}
+			back, err := InversePeriodic(a, d, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if !almostEq(back[i], x[i], 1e-9) {
+					t.Fatalf("%s n=%d: PR failed at %d: %v vs %v", b.Name, n, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPeriodicErrors(t *testing.T) {
+	if _, _, err := ForwardPeriodic([]float64{1, 2, 3}, Haar()); err == nil {
+		t.Error("odd length should error")
+	}
+	if _, _, err := ForwardPeriodic([]float64{1, 2}, CDF22()); err == nil {
+		t.Error("biorthogonal basis should error")
+	}
+	if _, err := InversePeriodic([]float64{1}, []float64{1, 2}, Haar()); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := InversePeriodic([]float64{1}, []float64{1}, CDF22()); err == nil {
+		t.Error("biorthogonal basis should error")
+	}
+}
+
+func TestLift53PerfectReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rng.Int31n(200))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		a, d, err := Lift53(x)
+		if err != nil {
+			return false
+		}
+		back, err := Unlift53(a, d, n)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(back[i], x[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLift53MatchesConvolutionInterior(t *testing.T) {
+	// Interior lifting approximation coefficients equal the CDF(2,2)
+	// convolution output (they differ only in boundary handling).
+	rng := rand.New(rand.NewSource(12))
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	lift, _, err := Lift53(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := Approx(x, CDF22())
+	for k := 2; k < len(conv)-2; k++ {
+		if !almostEq(lift[k], conv[k], 1e-10) {
+			t.Fatalf("interior mismatch at %d: lifting %v vs convolution %v", k, lift[k], conv[k])
+		}
+	}
+}
+
+func TestLift53Errors(t *testing.T) {
+	if _, _, err := Lift53([]float64{1}); err == nil {
+		t.Error("short input should error")
+	}
+	if _, err := Unlift53([]float64{1, 2}, []float64{1}, 5); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+// TestDenoisingEffect verifies the paper's Fig. 5 claim at the signal
+// level: after low-pass filtering, isolated spikes (outliers) shrink
+// relative to a dense block (cluster).
+func TestDenoisingEffect(t *testing.T) {
+	n := 128
+	x := make([]float64, n)
+	for i := 40; i < 56; i++ {
+		x[i] = 10 // dense cluster block
+	}
+	x[100] = 10 // isolated outlier spike
+	for _, b := range Bases() {
+		a := Approx(x, b)
+		blockMax, spikeMax := 0.0, 0.0
+		for k, v := range a {
+			if k >= 18 && k <= 30 {
+				if v > blockMax {
+					blockMax = v
+				}
+			}
+			if k >= 47 && k <= 53 {
+				if v > spikeMax {
+					spikeMax = v
+				}
+			}
+		}
+		if spikeMax >= blockMax {
+			t.Errorf("%s: outlier (%v) not suppressed relative to cluster (%v)", b.Name, spikeMax, blockMax)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package adawave
+
+import "adawave/internal/metrics"
+
+// AMI returns the adjusted mutual information between two labelings
+// (max normalization, the variant the paper reports). 1 means identical
+// partitions, ≈0 means no better than chance.
+func AMI(truth, pred []int) float64 { return metrics.AMI(truth, pred) }
+
+// AMINonNoise is the paper's evaluation metric: AMI restricted to points
+// whose ground-truth label is not noiseLabel, so methods without a noise
+// concept are scored fairly.
+func AMINonNoise(truth, pred []int, noiseLabel int) float64 {
+	return metrics.AMINonNoise(truth, pred, noiseLabel)
+}
+
+// NMI returns the normalized mutual information (max normalization).
+func NMI(truth, pred []int) float64 { return metrics.NMI(truth, pred) }
+
+// ARI returns the adjusted Rand index.
+func ARI(truth, pred []int) float64 { return metrics.ARI(truth, pred) }

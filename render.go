@@ -1,0 +1,24 @@
+package adawave
+
+import "adawave/internal/plot"
+
+// Line is one named series for LineChart.
+type Line = plot.Line
+
+// ScatterPlot renders 2-D points as an ASCII canvas: cluster labels map to
+// letters, Noise to '·'. Points beyond two dimensions are projected onto
+// their first two coordinates.
+func ScatterPlot(points [][]float64, labels []int, width, height int) string {
+	return plot.Scatter(points, labels, width, height)
+}
+
+// LineChart renders named line series with a y-axis scale and a legend.
+func LineChart(lines []Line, width, height int) string {
+	return plot.Chart(lines, width, height)
+}
+
+// CurvePlot renders values against their indices — handy for the sorted
+// density curve in Result.Curve.
+func CurvePlot(name string, ys []float64, width, height int) string {
+	return plot.Curve(name, ys, width, height)
+}
