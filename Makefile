@@ -1,0 +1,30 @@
+# Local targets mirroring the CI jobs (.github/workflows/ci.yml) so local
+# and CI runs stay in lockstep.
+
+GO ?= go
+
+.PHONY: build test race bench fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-exercise the parallel engine: grid substrate, core pipeline, facade.
+race:
+	$(GO) test -race ./internal/grid/... ./internal/core/... .
+
+# The CI benchmark smoke job: one iteration of the Fig. 2 benchmarks.
+bench:
+	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check test race bench

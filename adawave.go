@@ -58,6 +58,47 @@ func ClusterMultiResolution(points [][]float64, cfg Config, maxLevels int) ([]*R
 	return core.ClusterMultiResolution(points, cfg, maxLevels)
 }
 
+// Clusterer is a reusable AdaWave engine: quantization, the separable
+// wavelet transform and point assignment run sharded across worker
+// goroutines over a flat struct-of-arrays grid, and scratch buffers are
+// pooled across calls. A single Clusterer is safe for concurrent Cluster
+// calls, and its output does not depend on the worker count. With a
+// dyadic-tap basis — Haar, CDF(2,2) (the default), CDF(1,3) — it matches
+// the sequential Cluster function label for label; with DB4/DB6 (whose
+// irrational taps make float accumulation order-sensitive) results can
+// differ from the sequential path within floating-point rounding.
+type Clusterer struct {
+	eng *core.Engine
+}
+
+// NewClusterer validates cfg and returns a clusterer using the given number
+// of worker goroutines per pipeline stage (workers ≤ 0 selects
+// runtime.GOMAXPROCS(0) at each call).
+func NewClusterer(cfg Config, workers int) (*Clusterer, error) {
+	eng, err := core.NewEngine(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Clusterer{eng: eng}, nil
+}
+
+// Cluster runs the parallel AdaWave pipeline on points.
+func (c *Clusterer) Cluster(points [][]float64) (*Result, error) {
+	return c.eng.Cluster(points)
+}
+
+// ClusterMultiResolution runs the parallel pipeline at every decomposition
+// level from 1 to maxLevels, clustering the levels concurrently.
+func (c *Clusterer) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*Result, error) {
+	return c.eng.ClusterMultiResolution(points, maxLevels)
+}
+
+// Config returns the clusterer's (validated) configuration.
+func (c *Clusterer) Config() Config { return c.eng.Config() }
+
+// Workers returns the configured worker count (0 = all processors).
+func (c *Clusterer) Workers() int { return c.eng.Workers() }
+
 // AssignNoiseToNearest reassigns Noise-labeled points to the cluster with
 // the nearest centroid (recomputed iterations times) — the paper's
 // protocol for fully labeled datasets that contain no true noise class.

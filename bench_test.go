@@ -8,6 +8,7 @@ package adawave
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"adawave/internal/baselines/dbscan"
@@ -38,6 +39,120 @@ func BenchmarkFig2RunningExample(b *testing.B) {
 		ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
 	}
 	b.ReportMetric(ami, "AMI")
+}
+
+// BenchmarkEngineFig2RunningExample times the parallel flat-grid engine on
+// the exact workload of BenchmarkFig2RunningExample — the before/after pair
+// for the engine: the map-based sequential pipeline above, the
+// struct-of-arrays engine here at 1 worker (allocation win) and at
+// GOMAXPROCS workers (parallel win). The AMI metric must not move: the
+// engine is label-for-label identical to the sequential path.
+func BenchmarkEngineFig2RunningExample(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	cfg := core.DefaultConfig()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := core.NewEngine(cfg, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ami float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Cluster(ds.Points)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkEngineFig9Roadmap is the engine's large-n counterpart of
+// BenchmarkFig9Roadmap (20 000 road-network points): quantization and
+// assignment dominate here, which is where the point shards parallelize.
+func BenchmarkEngineFig9Roadmap(b *testing.B) {
+	ds := datasets.Roadmap(20000, 1)
+	cfg := core.DefaultConfig()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := core.NewEngine(cfg, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ami float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Cluster(ds.Points)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkEngineFig10Runtime mirrors BenchmarkFig10Runtime (the paper's
+// linear-growth claim) on the parallel engine at GOMAXPROCS workers.
+func BenchmarkEngineFig10Runtime(b *testing.B) {
+	for _, per := range []int{250, 500, 1000, 2000} {
+		ds := synth.Evaluation(per, 0.75, 1)
+		b.Run(fmt.Sprintf("n=%d", ds.N()), func(b *testing.B) {
+			eng, err := core.NewEngine(core.DefaultConfig(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Cluster(ds.Points); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlatTransform times the flat line-sweep DWT against the map
+// scatter on the same occupied cells (see BenchmarkFig5Transform for the
+// map engine's numbers).
+func BenchmarkFlatTransform(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	q, err := grid.NewQuantizer(ds.Points, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := grid.FlatFromGrid(q.Quantize(ds.Points))
+	basis := wavelet.CDF22()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				grid.TransformFlat(f.Clone(), basis, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkQuantizationFlat times the sharded flat quantizer against the
+// map quantizer of BenchmarkQuantization on the same points.
+func BenchmarkQuantizationFlat(b *testing.B) {
+	ds := synth.Evaluation(1000, 0.5, 1)
+	q, err := grid.NewQuantizer(ds.Points, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := q.QuantizeFlat(ds.Points, workers)
+				if f.Len() == 0 {
+					b.Fatal("empty grid")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig5Transform times the sparse 2-D DWT of the quantized running

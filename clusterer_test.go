@@ -1,0 +1,107 @@
+package adawave
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adawave/internal/core"
+	"adawave/internal/synth"
+)
+
+// TestClustererConcurrentMatchesSequential runs many concurrent Cluster
+// calls on one shared Clusterer and asserts label-for-label equality with
+// the sequential core.Cluster output on the running-example dataset. The CI
+// race job runs this test under -race to exercise the parallel paths.
+func TestClustererConcurrentMatchesSequential(t *testing.T) {
+	ds := synth.RunningExampleSized(600, 1)
+	cfg := DefaultConfig()
+	want, err := core.Cluster(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterer(cfg, 0) // all processors
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	const rounds = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := c.Cluster(ds.Points)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Threshold != want.Threshold {
+					errs <- fmt.Errorf("threshold: want %v, got %v", want.Threshold, got.Threshold)
+					return
+				}
+				if got.NumClusters != want.NumClusters {
+					errs <- fmt.Errorf("clusters: want %d, got %d", want.NumClusters, got.NumClusters)
+					return
+				}
+				for i := range want.Labels {
+					if want.Labels[i] != got.Labels[i] {
+						errs <- fmt.Errorf("label %d: want %d, got %d", i, want.Labels[i], got.Labels[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestClustererMultiResolution smoke-checks the facade's concurrent
+// multi-resolution path against the sequential one.
+func TestClustererMultiResolution(t *testing.T) {
+	ds := synth.RunningExampleSized(300, 1)
+	cfg := DefaultConfig()
+	want, err := ClusterMultiResolution(ds.Points, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClusterer(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ClusterMultiResolution(ds.Points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("levels: want %d, got %d", len(want), len(got))
+	}
+	for l := range want {
+		for i := range want[l].Labels {
+			if want[l].Labels[i] != got[l].Labels[i] {
+				t.Fatalf("level %d label %d: want %d, got %d", l+1, i, want[l].Labels[i], got[l].Labels[i])
+			}
+		}
+	}
+}
+
+// TestNewClustererValidates mirrors the config validation of the
+// sequential entry points.
+func TestNewClustererValidates(t *testing.T) {
+	if _, err := NewClusterer(Config{}, 0); err == nil {
+		t.Fatal("zero config must not validate")
+	}
+	c, err := NewClusterer(DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", c.Workers())
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	adawave -in points.csv [-out labeled.csv] [-scale 128] [-levels 1]
 //	        [-basis cdf22] [-threshold adaptive|knee|quantile|fixed]
-//	        [-quantile 0.8] [-fixed 5] [-plot] [-stats]
+//	        [-quantile 0.8] [-fixed 5] [-workers 0] [-plot] [-stats]
 //
 // The input CSV has one point per row (optional x0…xd header); an existing
 // “label” column is ignored for clustering but used to print an AMI score
@@ -31,6 +31,7 @@ func main() {
 		threshold = flag.String("threshold", "adaptive", "threshold strategy: adaptive, knee, quantile or fixed")
 		quantile  = flag.Float64("quantile", 0.8, "drop fraction for -threshold quantile")
 		fixed     = flag.Float64("fixed", 5, "absolute density for -threshold fixed")
+		workers   = flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = all processors)")
 		plotOut   = flag.Bool("plot", false, "print an ASCII scatter of the clustering")
 		stats     = flag.Bool("stats", false, "print per-stage cell counts and the density curve cut")
 	)
@@ -70,7 +71,11 @@ func main() {
 		fatal(fmt.Errorf("unknown -threshold %q", *threshold))
 	}
 
-	res, err := adawave.Cluster(points, cfg)
+	clusterer, err := adawave.NewClusterer(cfg, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := clusterer.Cluster(points)
 	if err != nil {
 		fatal(err)
 	}

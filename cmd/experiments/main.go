@@ -4,8 +4,8 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -run fig8 [-quick] [-seed 1]
-//	experiments -run all  [-quick] [-seed 1]
+//	experiments -run fig8 [-quick] [-seed 1] [-workers 1]
+//	experiments -run all  [-quick] [-seed 1] [-workers 1]
 package main
 
 import (
@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id (fig2, fig5…fig10, table1, table2) or \"all\"")
-		list  = flag.Bool("list", false, "list available experiments")
-		quick = flag.Bool("quick", false, "reduced workload sizes (CI scale)")
-		seed  = flag.Int64("seed", 1, "random seed for data generation")
+		run     = flag.String("run", "", "experiment id (fig2, fig5…fig10, table1, table2) or \"all\"")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "reduced workload sizes (CI scale)")
+		seed    = flag.Int64("seed", 1, "random seed for data generation")
+		workers = flag.Int("workers", 1, "AdaWave worker goroutines per pipeline stage (1 = sequential, the paper's single-threaded protocol; >1 parallelizes AdaWave only, skewing runtime figures)")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Out: os.Stdout, Seed: *seed, Quick: *quick}
+	opt := experiments.Options{Out: os.Stdout, Seed: *seed, Quick: *quick, Workers: *workers}
 	if *run == "all" {
 		for _, e := range experiments.All() {
 			if err := e.Run(opt); err != nil {

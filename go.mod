@@ -1,0 +1,3 @@
+module adawave
+
+go 1.22

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"adawave/internal/grid"
+)
+
+// Engine is the parallel, allocation-lean AdaWave pipeline: quantization is
+// sharded across workers with exactly-merged per-shard accumulators, the
+// separable wavelet transform sweeps radix-sorted slice lines in parallel
+// instead of rebuilding coordinate maps, components are labeled by
+// union-find over sorted runs, and point assignment fans out over point
+// shards. Scratch buffers are pooled (in internal/grid), so a long-lived
+// Engine serves many requests without per-call allocation storms. An Engine
+// is safe for concurrent use.
+//
+// The Engine's output does not depend on the worker count: shard merges
+// sum integer masses exactly, each transform output cell is accumulated by
+// exactly one worker in a fixed input order, and component numbering
+// reproduces the map BFS order. For bases whose filter taps are dyadic
+// rationals — Haar, CDF(2,2) (the default) and CDF(1,3) — the arithmetic
+// is exact and the Engine matches the sequential reference Cluster label
+// for label, threshold included. DB4/DB6 taps are irrational, so there the
+// two paths (and individual runs of the map-based path itself, whose
+// accumulation follows map iteration order) can differ within last-ULP
+// rounding, which can move a cell that sits exactly on the threshold.
+type Engine struct {
+	cfg     Config
+	workers int
+}
+
+// NewEngine validates cfg and returns an engine running the given number of
+// worker goroutines per stage (≤ 0 selects runtime.GOMAXPROCS(0) at each
+// call). The configuration is fixed for the engine's lifetime.
+func NewEngine(cfg Config, workers int) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, workers: workers}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Workers returns the configured worker count (0 = GOMAXPROCS).
+func (e *Engine) Workers() int {
+	if e.workers <= 0 {
+		return 0
+	}
+	return e.workers
+}
+
+func (e *Engine) effectiveWorkers() int {
+	if e.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.workers
+}
+
+// ClusterParallel runs one AdaWave clustering through a throwaway Engine —
+// the convenience form of NewEngine + Cluster for one-shot callers.
+func ClusterParallel(points [][]float64, cfg Config, workers int) (*Result, error) {
+	e, err := NewEngine(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return e.Cluster(points)
+}
+
+// Cluster runs the parallel AdaWave pipeline on points. The result is
+// identical to the sequential Cluster for the same configuration.
+func (e *Engine) Cluster(points [][]float64) (*Result, error) {
+	if len(points) == 0 {
+		return nil, grid.ErrNoPoints
+	}
+	cfg := resolveScale(e.cfg, points)
+	w := e.effectiveWorkers()
+
+	q, err := grid.NewQuantizerParallel(points, cfg.Scale, w)
+	if err != nil {
+		return nil, err
+	}
+	f := q.QuantizeFlat(points, w)
+	cellsQuantized := f.Len()
+
+	t := f
+	if cfg.Levels > 0 {
+		levels, err := grid.TransformLevelsFlat(f, cfg.Basis, cfg.Levels, w)
+		if err != nil {
+			return nil, err
+		}
+		t = levels[len(levels)-1]
+	}
+	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
+
+	out, err := finishClusteringFlat(t, q, points, cfg.Levels, cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	out.CellsQuantized = cellsQuantized
+	return out, nil
+}
+
+// ClusterMultiResolution runs the pipeline at every decomposition level
+// from 1 to maxLevels in a single pass, like the sequential
+// ClusterMultiResolution (which ignores cfg.Levels): the transform chain is
+// computed level by level, and the per-level threshold/components/
+// assignment stages — data-independent between levels — run concurrently.
+func (e *Engine) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*Result, error) {
+	if maxLevels < 1 {
+		maxLevels = 1
+	}
+	if len(points) == 0 {
+		return nil, grid.ErrNoPoints
+	}
+	cfg := resolveScale(e.cfg, points)
+	w := e.effectiveWorkers()
+
+	q, err := grid.NewQuantizerParallel(points, cfg.Scale, w)
+	if err != nil {
+		return nil, err
+	}
+	f := q.QuantizeFlat(points, w)
+
+	results := make([]*Result, maxLevels)
+	errs := make([]error, maxLevels)
+	var wg sync.WaitGroup
+	cur := f
+	levels := 0
+	for level := 1; level <= maxLevels; level++ {
+		tooSmall := false
+		for _, s := range cur.Size {
+			if s < 2 {
+				tooSmall = true
+				break
+			}
+		}
+		if tooSmall {
+			break
+		}
+		cur = grid.TransformFlat(cur, cfg.Basis, w)
+		t := cur.Clone()
+		levels = level
+		wg.Add(1)
+		go func(level int, t *grid.FlatGrid) {
+			defer wg.Done()
+			dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
+			res, err := finishClusteringFlat(t, q, points, level, cfg, w)
+			if err != nil {
+				errs[level-1] = err
+				return
+			}
+			res.CellsQuantized = f.Len()
+			results[level-1] = res
+		}(level, t)
+	}
+	wg.Wait()
+	for _, err := range errs[:levels] {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[:levels], nil
+}
+
+// dropLowCoefficientsFlat mirrors dropLowCoefficients on the flat grid.
+func dropLowCoefficientsFlat(t *grid.FlatGrid, eps float64) {
+	var maxD float64
+	for _, v := range t.Vals {
+		if v > maxD {
+			maxD = v
+		}
+	}
+	cut := eps * maxD
+	if cut <= 0 {
+		cut = 1e-12 // always remove zero/negative coefficients
+	}
+	t.DropBelow(cut)
+}
+
+// finishClusteringFlat performs threshold filtering, component labeling and
+// point assignment on an already-transformed flat grid — steps 3–6 of
+// Alg. 1, the flat mirror of finishClustering. t must be in canonical cell
+// order (quantization and the full transform guarantee it).
+func finishClusteringFlat(t *grid.FlatGrid, q *grid.Quantizer, points [][]float64, levels int, cfg Config, workers int) (*Result, error) {
+	res := &Result{
+		CellsTransformed: t.Len(),
+		Levels:           levels,
+		Scale:            cfg.Scale,
+	}
+	res.Labels = make([]int, len(points))
+	if t.Len() == 0 {
+		for i := range res.Labels {
+			res.Labels[i] = Noise
+		}
+		return res, nil
+	}
+	res.Curve = t.SortedDensities()
+	res.Threshold, res.ThresholdIndex = cfg.Threshold.Cut(res.Curve)
+	kept := t.Threshold(res.Threshold)
+	if kept.Len() == 0 {
+		kept = t
+	}
+	res.CellsKept = kept.Len()
+	comp, ncomp, err := grid.ComponentsFlat(kept, cfg.Connectivity)
+	if err != nil {
+		return nil, err
+	}
+	labels, numClusters := relabelBySizeFlat(kept, comp, ncomp, cfg.MinClusterCells, cfg.MinClusterMass)
+	res.NumClusters = numClusters
+
+	// Lookup table: a point's base cell right-shifted once per level is its
+	// transformed-space ancestor; binary-search it in the kept grid.
+	d := q.Dim()
+	grid.ParallelRanges(len(points), workers, func(_, lo, hi int) {
+		coords := make([]uint16, d)
+		for i := lo; i < hi; i++ {
+			q.CellCoordsU16(points[i], coords)
+			for j := range coords {
+				coords[j] >>= uint(levels)
+			}
+			if idx := kept.Find(coords); idx >= 0 && labels[idx] >= 0 {
+				res.Labels[i] = int(labels[idx])
+			} else {
+				res.Labels[i] = Noise
+			}
+		}
+	})
+	return res, nil
+}
+
+// relabelBySizeFlat is relabelBySize on flat component labels: renumber
+// components 0…k−1 in decreasing mass order (ties by original id, which is
+// the map engine's original label) and demote components below the
+// cell-count or mass-fraction floor to −1, never demoting the heaviest.
+// It returns the per-cell new labels and the surviving cluster count.
+func relabelBySizeFlat(kept *grid.FlatGrid, comp []int32, ncomp, minCells int, minMassFrac float64) ([]int32, int) {
+	cells := make([]int32, ncomp)
+	mass := grid.ComponentMasses(kept, comp, ncomp)
+	for _, l := range comp {
+		cells[l]++
+	}
+	order := make([]int32, ncomp)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if mass[order[a]] != mass[order[b]] {
+			return mass[order[a]] > mass[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	remap := make([]int32, ncomp)
+	next := int32(0)
+	var heaviest float64
+	if ncomp > 0 {
+		heaviest = mass[order[0]]
+	}
+	for rank, c := range order {
+		tooSmall := int(cells[c]) < minCells || (minMassFrac > 0 && mass[c] < minMassFrac*heaviest)
+		if tooSmall && rank > 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = next
+		next++
+	}
+	out := make([]int32, len(comp))
+	for i, l := range comp {
+		out[i] = remap[l]
+	}
+	return out, int(next)
+}

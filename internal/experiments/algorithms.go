@@ -27,10 +27,11 @@ type Algorithm struct {
 	Run  func(points [][]float64, k int, truth []int, seed int64) ([]int, error)
 }
 
-// adaWaveAlg runs AdaWave with its defaults. When reassignNoise is set, the
-// paper's real-data protocol is applied: detected noise points are folded
-// into the nearest cluster by k-means iterations (Table I footnote).
-func adaWaveAlg(reassignNoise bool) Algorithm {
+// adaWaveAlg runs AdaWave (the parallel engine with the given worker
+// count) with its defaults. When reassignNoise is set, the paper's
+// real-data protocol is applied: detected noise points are folded into the
+// nearest cluster by k-means iterations (Table I footnote).
+func adaWaveAlg(reassignNoise bool, workers int) Algorithm {
 	return Algorithm{Name: "AdaWave", Run: func(points [][]float64, k int, truth []int, seed int64) ([]int, error) {
 		cfg := core.DefaultConfig()
 		if len(points) > 0 && len(points[0]) > 2 {
@@ -43,7 +44,7 @@ func adaWaveAlg(reassignNoise bool) Algorithm {
 			// on how its 33-dimensional transform stayed tractable).
 			cfg.Basis = wavelet.Haar()
 		}
-		res, err := core.Cluster(points, cfg)
+		res, err := core.ClusterParallel(points, cfg, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,12 @@ type Options struct {
 	// paper's sizes (Fig. 7/8 use 5 600 points per cluster, Fig. 9 the
 	// 434 874-segment road network) and can take minutes per experiment.
 	Quick bool
+	// Workers sets the AdaWave engine's worker goroutines per pipeline
+	// stage. ≤ 1 (including the zero value) runs sequentially — the
+	// paper's protocol: the baselines are single-threaded, so parallel
+	// AdaWave would skew the runtime figures (Fig. 9/10). The engine's
+	// labels are identical at every worker count under the default basis.
+	Workers int
 }
 
 func (o Options) out() io.Writer {
@@ -39,6 +45,15 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// engineWorkers resolves Workers to the engine worker count, defaulting to
+// sequential so the zero value keeps runtime comparisons apples-to-apples.
+func (o Options) engineWorkers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // perCluster is the Fig. 7/8 cluster size for this option set.

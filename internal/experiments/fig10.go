@@ -25,7 +25,7 @@ func RunFig10(opt Options) error {
 	// A single mid-grid ε: the sweep protocol would time 20 DBSCAN runs.
 	dbscanOne := dbscanAlg([]float64{0.05})
 	algs := []Algorithm{
-		adaWaveAlg(false),
+		adaWaveAlg(false, opt.engineWorkers()),
 		skinnyDipAlg(),
 		dbscanOne,
 		kmeansAlg(),

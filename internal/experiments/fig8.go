@@ -18,7 +18,7 @@ func RunFig8(opt Options) error {
 
 	gammas := fig8Gammas(opt.Quick)
 	algs := []Algorithm{
-		adaWaveAlg(false),
+		adaWaveAlg(false, opt.engineWorkers()),
 		skinnyDipAlg(),
 		dbscanAlg(dbscanEpsGrid(opt.Quick)),
 		emAlg(),

@@ -28,7 +28,7 @@ func RunFig9(opt Options) error {
 	fmt.Fprintf(w, "road network: n=%d, %.0f%% noise (arterials + countryside)\n",
 		ds.N(), ds.NoiseFraction()*100)
 
-	res, err := core.Cluster(ds.Points, core.DefaultConfig())
+	res, err := core.ClusterParallel(ds.Points, core.DefaultConfig(), opt.engineWorkers())
 	if err != nil {
 		return fmt.Errorf("fig9: %w", err)
 	}

@@ -30,7 +30,7 @@ func RunFig2(opt Options) error {
 		kmeansAlg(),
 		dbscanAlg(dbscanEpsGrid(opt.Quick)),
 		skinnyDipAlg(),
-		adaWaveAlg(false),
+		adaWaveAlg(false, opt.engineWorkers()),
 	}
 	published := map[string]string{
 		"k-means": "0.25", "DBSCAN": "0.28 (21 clusters)", "SkinnyDip": "poor", "AdaWave": "0.76",
@@ -114,7 +114,7 @@ func RunFig6(opt Options) error {
 	header(w, mustExperiment("fig6"))
 	ds := synth.Evaluation(opt.perCluster(), 0.5, opt.seed())
 
-	res, err := core.Cluster(ds.Points, core.DefaultConfig())
+	res, err := core.ClusterParallel(ds.Points, core.DefaultConfig(), opt.engineWorkers())
 	if err != nil {
 		return fmt.Errorf("fig6: %w", err)
 	}

@@ -37,7 +37,7 @@ func RunTable1(opt Options) error {
 	}
 
 	algs := []Algorithm{
-		adaWaveAlg(true), // the paper folds AdaWave's noise into clusters on real data
+		adaWaveAlg(true, opt.engineWorkers()), // the paper folds AdaWave's noise into clusters on real data
 		skinnyDipAlg(),
 		dbscanAlg(dbscanEpsGrid(opt.Quick)),
 		emAlg(),

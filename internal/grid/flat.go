@@ -1,0 +1,334 @@
+package grid
+
+import (
+	"sort"
+	"sync"
+)
+
+// FlatGrid is the struct-of-arrays rendering of Grid: packed uint16 cell
+// coordinates plus a parallel density slice. Where Grid pays a string hash,
+// a map probe and a key allocation per cell per stage, FlatGrid is two flat
+// slices that radix-sort in O(m·d) and sweep with sequential memory access —
+// the representation the parallel engine (quantize shards, line-sweep
+// transform, union-find components) runs on. Cell order is an explicit,
+// documented property of each operation rather than map-iteration noise:
+// quantization and the full separable transform leave the grid in canonical
+// order (lexicographic by dimension 0 first), which Find relies on.
+type FlatGrid struct {
+	// Size is the number of cells along each dimension.
+	Size []int
+	// Coords holds the cell coordinates, Dim() values per cell:
+	// cell i occupies Coords[i*Dim() : (i+1)*Dim()].
+	Coords []uint16
+	// Vals holds one density per cell.
+	Vals []float64
+}
+
+// NewFlat returns an empty flat grid with the given per-dimension sizes and
+// room for capacity cells.
+func NewFlat(size []int, capacity int) *FlatGrid {
+	s := append([]int(nil), size...)
+	return &FlatGrid{
+		Size:   s,
+		Coords: make([]uint16, 0, capacity*len(s)),
+		Vals:   make([]float64, 0, capacity),
+	}
+}
+
+// Dim returns the dimensionality of the grid.
+func (f *FlatGrid) Dim() int { return len(f.Size) }
+
+// Len returns the number of stored cells (the paper's m).
+func (f *FlatGrid) Len() int { return len(f.Vals) }
+
+// CellCoords returns the coordinate slice of cell i (a view, not a copy).
+func (f *FlatGrid) CellCoords(i int) []uint16 {
+	d := f.Dim()
+	return f.Coords[i*d : (i+1)*d]
+}
+
+// Append adds a cell. The caller is responsible for keeping cells unique.
+func (f *FlatGrid) Append(coords []uint16, v float64) {
+	f.Coords = append(f.Coords, coords...)
+	f.Vals = append(f.Vals, v)
+}
+
+// TotalMass returns the sum of all cell densities.
+func (f *FlatGrid) TotalMass() float64 {
+	var s float64
+	for _, v := range f.Vals {
+		s += v
+	}
+	return s
+}
+
+// SortedDensities returns all cell densities in descending order — the
+// curve on which the adaptive threshold (paper Fig. 6) is chosen.
+func (f *FlatGrid) SortedDensities() []float64 {
+	out := append([]float64(nil), f.Vals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// DropBelow removes cells with density < min in place, preserving cell
+// order, and returns the number of cells removed.
+func (f *FlatGrid) DropBelow(min float64) int {
+	d := f.Dim()
+	w := 0
+	for i, v := range f.Vals {
+		if v < min {
+			continue
+		}
+		if w != i {
+			copy(f.Coords[w*d:(w+1)*d], f.Coords[i*d:(i+1)*d])
+			f.Vals[w] = v
+		}
+		w++
+	}
+	removed := len(f.Vals) - w
+	f.Coords = f.Coords[:w*d]
+	f.Vals = f.Vals[:w]
+	return removed
+}
+
+// Threshold returns a new grid keeping only cells with density ≥ min, in
+// the receiver's cell order.
+func (f *FlatGrid) Threshold(min float64) *FlatGrid {
+	out := NewFlat(f.Size, 0)
+	d := f.Dim()
+	for i, v := range f.Vals {
+		if v >= min {
+			out.Coords = append(out.Coords, f.Coords[i*d:(i+1)*d]...)
+			out.Vals = append(out.Vals, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy preserving cell order.
+func (f *FlatGrid) Clone() *FlatGrid {
+	return &FlatGrid{
+		Size:   append([]int(nil), f.Size...),
+		Coords: append([]uint16(nil), f.Coords...),
+		Vals:   append([]float64(nil), f.Vals...),
+	}
+}
+
+// KeyAt returns the map-representation Key of cell i.
+func (f *FlatGrid) KeyAt(i int) Key {
+	d := f.Dim()
+	buf := make([]byte, 2*d)
+	for j, c := range f.CellCoords(i) {
+		buf[2*j] = byte(c)
+		buf[2*j+1] = byte(c >> 8)
+	}
+	return Key(buf)
+}
+
+// ToGrid converts to the map representation.
+func (f *FlatGrid) ToGrid() *Grid {
+	g := New(f.Size)
+	for i, v := range f.Vals {
+		g.Cells[f.KeyAt(i)] = v
+	}
+	return g
+}
+
+// FlatFromGrid converts a map grid to flat form in canonical order.
+func FlatFromGrid(g *Grid) *FlatGrid {
+	d := g.Dim()
+	f := NewFlat(g.Size, g.Len())
+	for k, v := range g.Cells {
+		for j := 0; j < d; j++ {
+			f.Coords = append(f.Coords, uint16(k.Coord(j)))
+		}
+		f.Vals = append(f.Vals, v)
+	}
+	f.SortCanonical()
+	return f
+}
+
+// SortCanonical reorders cells into canonical order: lexicographic by
+// coordinate, dimension 0 most significant.
+func (f *FlatGrid) SortCanonical() {
+	d := f.Dim()
+	if f.Len() < 2 || d == 0 {
+		return
+	}
+	s := getFlatScratch()
+	defer putFlatScratch(s)
+	passes := make([]int, 0, d)
+	for p := d - 1; p >= 0; p-- {
+		passes = append(passes, p)
+	}
+	f.Coords, f.Vals = radixSortCells(f.Coords, f.Vals, d, f.Size, passes, s)
+}
+
+// Find returns the index of the cell with the given coordinates, or −1.
+// The grid must be in canonical order (see SortCanonical); quantization and
+// the full separable transform produce canonical grids.
+func (f *FlatGrid) Find(coords []uint16) int {
+	d := f.Dim()
+	n := f.Len()
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmpCoords(f.Coords[mid*d:(mid+1)*d], coords) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n && cmpCoords(f.Coords[lo*d:(lo+1)*d], coords) == 0 {
+		return lo
+	}
+	return -1
+}
+
+// cmpCoords compares coordinate tuples in canonical (dimension-0-first
+// lexicographic) order.
+func cmpCoords(a, b []uint16) int {
+	for j := range a {
+		if a[j] != b[j] {
+			if a[j] < b[j] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// keyByteLess compares coordinate tuples in Key byte order — the order
+// Grid.SortedKeys yields (per dimension: low byte, then high byte). The
+// flat component labeling numbers components in this order so its labels
+// coincide with the map-based BFS labeling cell for cell.
+func keyByteLess(a, b []uint16) bool {
+	for j := range a {
+		al, bl := a[j]&0xFF, b[j]&0xFF
+		if al != bl {
+			return al < bl
+		}
+		ah, bh := a[j]>>8, b[j]>>8
+		if ah != bh {
+			return ah < bh
+		}
+	}
+	return false
+}
+
+// flatScratch holds the reusable buffers of the flat engine: radix-sort
+// ping-pong arrays, counting-sort buckets, and the epoch-tracked line
+// accumulator of the sparse transform. Instances are pooled so repeated
+// Cluster calls (and concurrent workers) do not reallocate per pass.
+type flatScratch struct {
+	coords  []uint16  // radix scatter buffer (m·d)
+	vals    []float64 // radix scatter buffer (m)
+	counts  []int32   // counting-sort buckets (max dimension size)
+	ints    []int32   // line-start offsets of the transform sweep
+	acc     []float64 // per-line output accumulator (outLen)
+	epoch   []uint32  // acc validity stamps, paired with epochN
+	epochN  uint32
+	touched []int32 // output coordinates hit by the current line
+	// outCoords/outVals collect one worker's transform output before
+	// concatenation into the result grid.
+	outCoords []uint16
+	outVals   []float64
+}
+
+var flatScratchPool = sync.Pool{New: func() any { return new(flatScratch) }}
+
+func getFlatScratch() *flatScratch  { return flatScratchPool.Get().(*flatScratch) }
+func putFlatScratch(s *flatScratch) { flatScratchPool.Put(s) }
+
+// ensureAcc sizes the line accumulator for n output positions, preserving
+// epoch stamps when the backing array is reused (stale stamps are always
+// strictly below the next epoch, so reuse is safe).
+func (s *flatScratch) ensureAcc(n int) {
+	if cap(s.acc) < n {
+		s.acc = make([]float64, n)
+		s.epoch = make([]uint32, n)
+		s.epochN = 0
+	}
+	s.acc = s.acc[:n]
+	s.epoch = s.epoch[:n]
+}
+
+// nextEpoch advances the accumulator stamp, clearing on wraparound.
+func (s *flatScratch) nextEpoch() uint32 {
+	s.epochN++
+	if s.epochN == 0 {
+		for i := range s.epoch {
+			s.epoch[i] = 0
+		}
+		s.epochN = 1
+	}
+	return s.epochN
+}
+
+// growCounts returns a zeroed bucket slice of length n.
+func (s *flatScratch) growCounts(n int) []int32 {
+	if cap(s.counts) < n {
+		s.counts = make([]int32, n)
+	}
+	c := s.counts[:n]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+// radixSortCells stable-sorts cells by the given key dimensions, least
+// significant pass first (LSD radix with one counting sort per pass). It
+// returns the sorted coords/vals slices, which may be the scratch buffers;
+// the displaced buffers are retained in s for reuse. vals may be nil when
+// only coordinates are being sorted (quantization sorts point cells before
+// densities exist).
+func radixSortCells(coords []uint16, vals []float64, d int, sizes []int, passes []int, s *flatScratch) ([]uint16, []float64) {
+	n := len(coords) / d
+	if n < 2 {
+		return coords, vals
+	}
+	if cap(s.coords) < n*d {
+		s.coords = make([]uint16, n*d)
+	}
+	srcC, dstC := coords, s.coords[:n*d]
+	var srcV, dstV []float64
+	if vals != nil {
+		if cap(s.vals) < n {
+			s.vals = make([]float64, n)
+		}
+		srcV, dstV = vals, s.vals[:n]
+	}
+	for _, p := range passes {
+		if sizes[p] <= 1 {
+			continue
+		}
+		counts := s.growCounts(sizes[p])
+		for i := 0; i < n; i++ {
+			counts[srcC[i*d+p]]++
+		}
+		var sum int32
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			key := srcC[i*d+p]
+			pos := int(counts[key])
+			counts[key]++
+			copy(dstC[pos*d:(pos+1)*d], srcC[i*d:(i+1)*d])
+			if vals != nil {
+				dstV[pos] = srcV[i]
+			}
+		}
+		srcC, dstC = dstC, srcC
+		srcV, dstV = dstV, srcV
+	}
+	s.coords = dstC
+	if vals != nil {
+		s.vals = dstV
+	}
+	return srcC, srcV
+}

@@ -1,0 +1,225 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellCoordsU16 writes the cell coordinates of point p into out (length
+// Dim), clamped to the grid exactly like CellCoords.
+func (q *Quantizer) CellCoordsU16(p []float64, out []uint16) []uint16 {
+	for j := range q.Mins {
+		c := int((p[j] - q.Mins[j]) * q.inv[j])
+		if c < 0 {
+			c = 0
+		}
+		if c >= q.Scale {
+			c = q.Scale - 1
+		}
+		out[j] = uint16(c)
+	}
+	return out
+}
+
+// QuantizeFlat builds the sparse density grid of points as a FlatGrid in
+// canonical order: each worker quantizes a contiguous shard of points,
+// radix-sorts and run-length-dedupes its cells, and the per-shard
+// accumulators are k-way merged (summing duplicate cells) at the end. Cell
+// masses are integer point counts, so the merge is exact and the result is
+// identical to Quantize for every worker count.
+func (q *Quantizer) QuantizeFlat(points [][]float64, workers int) *FlatGrid {
+	d := q.Dim()
+	size := make([]int, d)
+	for j := range size {
+		size[j] = q.Scale
+	}
+	n := len(points)
+	if n == 0 {
+		return &FlatGrid{Size: size}
+	}
+	if workers <= 1 || n < parallelCellCutoff {
+		workers = 1
+	}
+	passes := make([]int, 0, d)
+	for p := d - 1; p >= 0; p-- {
+		passes = append(passes, p)
+	}
+	shards := make([]*FlatGrid, workers)
+	ParallelRanges(n, workers, func(w, lo, hi int) {
+		s := getFlatScratch()
+		defer putFlatScratch(s)
+		nn := hi - lo
+		coords := make([]uint16, nn*d)
+		for i := lo; i < hi; i++ {
+			q.CellCoordsU16(points[i], coords[(i-lo)*d:(i-lo+1)*d])
+		}
+		sorted, _ := radixSortCells(coords, nil, d, size, passes, s)
+		cells, counts := dedupeRuns(sorted, d)
+		shards[w] = &FlatGrid{Size: size, Coords: cells, Vals: counts}
+	})
+	if workers == 1 {
+		return shards[0]
+	}
+	return mergeSortedShards(shards, size, d)
+}
+
+// dedupeRuns collapses equal consecutive coordinate tuples of a sorted cell
+// list in place, returning the compacted coords and the run lengths as
+// densities.
+func dedupeRuns(coords []uint16, d int) ([]uint16, []float64) {
+	n := len(coords) / d
+	if n == 0 {
+		return coords[:0], nil
+	}
+	vals := make([]float64, 0, n)
+	w := 0
+	for i := 0; i < n; {
+		r := i + 1
+		for r < n && cmpCoords(coords[i*d:(i+1)*d], coords[r*d:(r+1)*d]) == 0 {
+			r++
+		}
+		copy(coords[w*d:(w+1)*d], coords[i*d:(i+1)*d])
+		vals = append(vals, float64(r-i))
+		w++
+		i = r
+	}
+	return coords[:w*d], vals
+}
+
+// mergeSortedShards k-way merges canonically sorted shard grids, summing
+// the densities of cells present in several shards (shard order, so the
+// integer sums are deterministic).
+func mergeSortedShards(shards []*FlatGrid, size []int, d int) *FlatGrid {
+	total := 0
+	live := shards[:0]
+	for _, sh := range shards {
+		if sh != nil && sh.Len() > 0 {
+			total += sh.Len()
+			live = append(live, sh)
+		}
+	}
+	out := NewFlat(size, total)
+	heads := make([]int, len(live))
+	for {
+		min := -1
+		for si, sh := range live {
+			if heads[si] >= sh.Len() {
+				continue
+			}
+			if min < 0 || cmpCoords(sh.CellCoords(heads[si]), live[min].CellCoords(heads[min])) < 0 {
+				min = si
+			}
+		}
+		if min < 0 {
+			break
+		}
+		cell := live[min].CellCoords(heads[min])
+		var mass float64
+		for si, sh := range live {
+			if heads[si] < sh.Len() && cmpCoords(sh.CellCoords(heads[si]), cell) == 0 {
+				mass += sh.Vals[heads[si]]
+				heads[si]++
+			}
+		}
+		out.Append(cell, mass)
+	}
+	return out
+}
+
+// NewQuantizerParallel computes the same quantizer as NewQuantizer with the
+// bounding-box scan sharded across workers. Min/max merging is exact, and
+// validation errors are reported for the lowest offending point index, so
+// the result (and any error) is identical to the sequential constructor.
+func NewQuantizerParallel(points [][]float64, scale, workers int) (*Quantizer, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	if scale < 2 {
+		return nil, fmt.Errorf("grid: scale must be ≥ 2, got %d", scale)
+	}
+	if scale > 0xFFFF {
+		return nil, fmt.Errorf("grid: scale %d exceeds the 65535 cells/dimension key limit", scale)
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, fmt.Errorf("grid: zero-dimensional points")
+	}
+	if workers <= 1 || n < parallelCellCutoff {
+		return NewQuantizer(points, scale)
+	}
+	type shardState struct {
+		mins, maxs []float64
+		err        error
+		errAt      int
+	}
+	nShards := workers
+	states := make([]shardState, nShards)
+	ParallelRanges(n, workers, func(w, lo, hi int) {
+		st := &states[w]
+		st.errAt = -1
+		st.mins = append([]float64(nil), points[lo]...)
+		st.maxs = append([]float64(nil), points[lo]...)
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			if len(p) != d {
+				st.err = fmt.Errorf("grid: inconsistent dimensions %d and %d", d, len(p))
+				st.errAt = i
+				return
+			}
+			for j, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					st.err = fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j)
+					st.errAt = i
+					return
+				}
+				if v < st.mins[j] {
+					st.mins[j] = v
+				}
+				if v > st.maxs[j] {
+					st.maxs[j] = v
+				}
+			}
+		}
+	})
+	q := &Quantizer{
+		Mins:  append([]float64(nil), points[0]...),
+		Maxs:  append([]float64(nil), points[0]...),
+		Scale: scale,
+	}
+	var firstErr error
+	firstAt := -1
+	for w := range states {
+		st := &states[w]
+		if st.err != nil && (firstAt < 0 || st.errAt < firstAt) {
+			firstErr, firstAt = st.err, st.errAt
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for w := range states {
+		st := &states[w]
+		if st.mins == nil {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			if st.mins[j] < q.Mins[j] {
+				q.Mins[j] = st.mins[j]
+			}
+			if st.maxs[j] > q.Maxs[j] {
+				q.Maxs[j] = st.maxs[j]
+			}
+		}
+	}
+	q.inv = make([]float64, d)
+	for j := range q.inv {
+		w := q.Maxs[j] - q.Mins[j]
+		if w <= 0 {
+			q.inv[j] = 0
+			continue
+		}
+		q.inv[j] = float64(scale) / w
+	}
+	return q, nil
+}

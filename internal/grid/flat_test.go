@@ -1,0 +1,252 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adawave/internal/wavelet"
+)
+
+// randomGrid builds a sparse grid with n occupied cells at the given sizes,
+// with small-integer masses (so dyadic filter taps stay exact and the flat
+// and map engines agree bit for bit).
+func randomGrid(t *testing.T, sizes []int, n int, seed int64) *Grid {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(sizes)
+	coords := make([]int, len(sizes))
+	for i := 0; i < n; i++ {
+		for j, s := range sizes {
+			coords[j] = rng.Intn(s)
+		}
+		g.Cells[MakeKey(coords)] += float64(1 + rng.Intn(4))
+	}
+	return g
+}
+
+// gridsEqual compares two map grids cell for cell within tol.
+func gridsEqual(t *testing.T, want, got *Grid, tol float64) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("cell count: want %d, got %d", want.Len(), got.Len())
+	}
+	for k, v := range want.Cells {
+		gv, ok := got.Cells[k]
+		if !ok {
+			t.Fatalf("missing cell %v (density %g)", k.Coords(), v)
+		}
+		if math.Abs(gv-v) > tol {
+			t.Fatalf("cell %v: want %g, got %g", k.Coords(), v, gv)
+		}
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	g := randomGrid(t, []int{32, 16, 8}, 100, 1)
+	f := FlatFromGrid(g)
+	if f.Len() != g.Len() {
+		t.Fatalf("flat len %d, map len %d", f.Len(), g.Len())
+	}
+	gridsEqual(t, g, f.ToGrid(), 0)
+	// Canonical order and Find.
+	for i := 1; i < f.Len(); i++ {
+		if cmpCoords(f.CellCoords(i-1), f.CellCoords(i)) >= 0 {
+			t.Fatalf("not in canonical order at %d", i)
+		}
+	}
+	for i := 0; i < f.Len(); i++ {
+		if got := f.Find(f.CellCoords(i)); got != i {
+			t.Fatalf("Find(cell %d) = %d", i, got)
+		}
+	}
+	if f.Find([]uint16{65535, 65535, 65535}) != -1 {
+		t.Fatal("Find of absent cell should be -1")
+	}
+}
+
+func TestTransformDimFlatMatchesMap(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sizes []int
+		n     int
+		basis wavelet.Basis
+		tol   float64
+	}{
+		{"2d-cdf22", []int{128, 128}, 900, wavelet.CDF22(), 0},
+		{"2d-haar", []int{128, 128}, 900, wavelet.Haar(), 0},
+		{"2d-cdf13", []int{64, 64}, 400, wavelet.CDF13(), 0},
+		{"2d-db4", []int{64, 64}, 400, wavelet.DB4(), 1e-12},
+		{"3d-cdf22", []int{32, 16, 8}, 300, wavelet.CDF22(), 0},
+		{"1d-haar", []int{256}, 90, wavelet.Haar(), 0},
+		{"odd-sizes", []int{31, 17}, 200, wavelet.CDF22(), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randomGrid(t, tc.sizes, tc.n, 7)
+			for j := range tc.sizes {
+				want := TransformDim(g, j, tc.basis)
+				for _, workers := range []int{1, 2, 4} {
+					got := TransformDimFlat(FlatFromGrid(g), j, tc.basis, workers)
+					gridsEqual(t, want, got.ToGrid(), tc.tol)
+				}
+			}
+		})
+	}
+}
+
+func TestTransformDimFlatParallelThreshold(t *testing.T) {
+	// A grid big enough to cross the parallel cutoff must still match.
+	g := randomGrid(t, []int{256, 256}, 3*parallelCellCutoff, 11)
+	want := TransformDim(g, 0, wavelet.CDF22())
+	for _, workers := range []int{1, 3, 8} {
+		got := TransformDimFlat(FlatFromGrid(g), 0, wavelet.CDF22(), workers)
+		gridsEqual(t, want, got.ToGrid(), 0)
+	}
+}
+
+func TestTransformLevelsFlatMatchesMap(t *testing.T) {
+	g := randomGrid(t, []int{128, 128}, 1200, 3)
+	want, err := TransformLevels(g, wavelet.CDF22(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TransformLevelsFlat(FlatFromGrid(g), wavelet.CDF22(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("levels: want %d, got %d", len(want), len(got))
+	}
+	for l := range want {
+		gridsEqual(t, want[l], got[l].ToGrid(), 0)
+	}
+	// Every returned level must stay in canonical order (Find depends on
+	// it), including earlier levels after deeper ones were computed.
+	for l, fg := range got {
+		for i := 1; i < fg.Len(); i++ {
+			if cmpCoords(fg.CellCoords(i-1), fg.CellCoords(i)) >= 0 {
+				t.Fatalf("level %d not in canonical order at cell %d", l+1, i)
+			}
+		}
+	}
+	// Error parity: too-small dimension.
+	small := randomGrid(t, []int{2, 2}, 3, 1)
+	_, errMap := TransformLevels(small, wavelet.CDF22(), 2)
+	_, errFlat := TransformLevelsFlat(FlatFromGrid(small), wavelet.CDF22(), 2, 2)
+	if errMap == nil || errFlat == nil || errMap.Error() != errFlat.Error() {
+		t.Fatalf("error parity: map %v, flat %v", errMap, errFlat)
+	}
+}
+
+func TestQuantizeFlatMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 3 * parallelCellCutoff
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.Float64()}
+	}
+	q, err := NewQuantizer(points, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.Quantize(points)
+	for _, workers := range []int{1, 2, 3, 8} {
+		qp, err := NewQuantizerParallel(points, 64, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range q.Mins {
+			if qp.Mins[j] != q.Mins[j] || qp.Maxs[j] != q.Maxs[j] {
+				t.Fatalf("workers=%d: bounding box differs in dim %d", workers, j)
+			}
+		}
+		got := qp.QuantizeFlat(points, workers)
+		gridsEqual(t, want, got.ToGrid(), 0)
+		if got.TotalMass() != float64(n) {
+			t.Fatalf("workers=%d: total mass %g, want %d", workers, got.TotalMass(), n)
+		}
+	}
+}
+
+func TestNewQuantizerParallelErrorParity(t *testing.T) {
+	n := 3 * parallelCellCutoff
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{float64(i), 1}
+	}
+	points[n/2] = []float64{math.NaN(), 1}
+	_, errSeq := NewQuantizer(points, 64)
+	_, errPar := NewQuantizerParallel(points, 64, 4)
+	if errSeq == nil || errPar == nil || errSeq.Error() != errPar.Error() {
+		t.Fatalf("NaN error parity: sequential %v, parallel %v", errSeq, errPar)
+	}
+	points[n/2] = []float64{1, 2, 3}
+	_, errSeq = NewQuantizer(points, 64)
+	_, errPar = NewQuantizerParallel(points, 64, 4)
+	if errSeq == nil || errPar == nil || errSeq.Error() != errPar.Error() {
+		t.Fatalf("dimension error parity: sequential %v, parallel %v", errSeq, errPar)
+	}
+}
+
+func TestComponentsFlatMatchesMap(t *testing.T) {
+	for _, conn := range []Connectivity{Faces, Full} {
+		name := "faces"
+		if conn == Full {
+			name = "full"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := randomGrid(t, []int{48, 48}, 700, 9)
+			want, err := Components(g, conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := FlatFromGrid(g)
+			got, ncomp, err := ComponentsFlat(f, conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			max := -1
+			for _, l := range want {
+				if l > max {
+					max = l
+				}
+			}
+			if ncomp != max+1 {
+				t.Fatalf("component count: want %d, got %d", max+1, ncomp)
+			}
+			for i := 0; i < f.Len(); i++ {
+				if wl := want[f.KeyAt(i)]; wl != int(got[i]) {
+					t.Fatalf("cell %v: map label %d, flat label %d", f.CellCoords(i), wl, got[i])
+				}
+			}
+		})
+	}
+}
+
+func TestComponentsFlatHighDimLimit(t *testing.T) {
+	sizes := make([]int, maxFullDim+1)
+	for i := range sizes {
+		sizes[i] = 4
+	}
+	f := FlatFromGrid(randomGrid(t, sizes, 10, 2))
+	if _, _, err := ComponentsFlat(f, Full); err == nil {
+		t.Fatal("expected dimension-limit error for Full connectivity")
+	}
+}
+
+func TestFlatDropBelowAndThreshold(t *testing.T) {
+	g := randomGrid(t, []int{32, 32}, 300, 4)
+	f := FlatFromGrid(g)
+	gm := g.Clone()
+	gm.DropBelow(2)
+	f2 := f.Clone()
+	f2.DropBelow(2)
+	gridsEqual(t, gm, f2.ToGrid(), 0)
+	gridsEqual(t, g.Threshold(3), f.Threshold(3).ToGrid(), 0)
+	// Order is preserved by both.
+	for i := 1; i < f2.Len(); i++ {
+		if cmpCoords(f2.CellCoords(i-1), f2.CellCoords(i)) >= 0 {
+			t.Fatalf("DropBelow broke canonical order at %d", i)
+		}
+	}
+}

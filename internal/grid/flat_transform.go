@@ -1,0 +1,261 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"adawave/internal/wavelet"
+)
+
+// parallelCellCutoff is the occupied-cell count below which the transform
+// and quantizer run single-threaded: under it, goroutine fan-out costs more
+// than the sweep itself.
+const parallelCellCutoff = 2048
+
+// TransformDimFlat is the flat-engine counterpart of TransformDim: one
+// level of the analysis low-pass filter along dimension j, downsampling
+// that dimension by 2. Instead of rebuilding a map, it radix-sorts the
+// cells so dimension j varies fastest, then sweeps each grid line with an
+// epoch-stamped accumulator — every output cell is written once, in order,
+// with no hashing and no per-cell allocation. Lines are data-independent,
+// so they are sharded across workers (≤ 1 runs inline). The input grid's
+// cell order is permuted in place; its contents are unchanged. The result
+// is sorted with dimension j fastest, so a full dimension sweep ending at
+// j = Dim()−1 yields canonical order.
+func TransformDimFlat(f *FlatGrid, j int, b wavelet.Basis, workers int) *FlatGrid {
+	if j < 0 || j >= f.Dim() {
+		panic(fmt.Sprintf("grid: TransformDimFlat dimension %d out of range (grid is %d-D)", j, f.Dim()))
+	}
+	d := f.Dim()
+	m := f.Len()
+	outLen := (f.Size[j] + 1) / 2
+	newSize := append([]int(nil), f.Size...)
+	newSize[j] = outLen
+	out := &FlatGrid{Size: newSize}
+	if m == 0 {
+		return out
+	}
+
+	s := getFlatScratch()
+	f.sortForDim(j, s)
+
+	// Line boundaries: a line is a maximal run of cells sharing every
+	// coordinate except dimension j.
+	starts := append(s.ints[:0], 0)
+	for i := 1; i < m; i++ {
+		if !sameLineExcept(f.Coords, d, i-1, i, j) {
+			starts = append(starts, int32(i))
+		}
+	}
+	starts = append(starts, int32(m))
+	s.ints = starts
+	nLines := len(starts) - 1
+
+	if workers <= 1 || m < parallelCellCutoff || nLines < 2 {
+		est := m + m*(len(b.Lo)/2)
+		out.Coords = make([]uint16, 0, est*d)
+		out.Vals = make([]float64, 0, est)
+		out.Coords, out.Vals = sweepLines(f, j, b, starts, 0, nLines, outLen, s, out.Coords, out.Vals)
+		putFlatScratch(s)
+		return out
+	}
+
+	// Partition lines into worker ranges of roughly equal cell counts; each
+	// worker sweeps its lines into pooled buffers which are concatenated in
+	// line order, so the result is identical for every worker count.
+	bounds := balanceLines(starts, workers)
+	type chunk struct {
+		s      *flatScratch
+		coords []uint16
+		vals   []float64
+	}
+	chunks := make([]chunk, len(bounds)-1)
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := getFlatScratch()
+			c, v := sweepLines(f, j, b, starts, bounds[w], bounds[w+1], outLen, ws, ws.outCoords[:0], ws.outVals[:0])
+			chunks[w] = chunk{s: ws, coords: c, vals: v}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range chunks {
+		total += len(c.vals)
+	}
+	out.Coords = make([]uint16, 0, total*d)
+	out.Vals = make([]float64, 0, total)
+	for _, c := range chunks {
+		out.Coords = append(out.Coords, c.coords...)
+		out.Vals = append(out.Vals, c.vals...)
+		c.s.outCoords, c.s.outVals = c.coords, c.vals
+		putFlatScratch(c.s)
+	}
+	putFlatScratch(s)
+	return out
+}
+
+// sortForDim reorders cells so dimension j varies fastest and the remaining
+// dimensions are lexicographic (dimension 0 most significant) — the order
+// in which cells of one grid line are contiguous and ascending in j.
+func (f *FlatGrid) sortForDim(j int, s *flatScratch) {
+	d := f.Dim()
+	if f.Len() < 2 {
+		return
+	}
+	passes := make([]int, 0, d)
+	passes = append(passes, j)
+	for p := d - 1; p >= 0; p-- {
+		if p != j {
+			passes = append(passes, p)
+		}
+	}
+	f.Coords, f.Vals = radixSortCells(f.Coords, f.Vals, d, f.Size, passes, s)
+}
+
+// sameLineExcept reports whether cells a and b agree on every coordinate
+// except dimension j.
+func sameLineExcept(coords []uint16, d, a, b, j int) bool {
+	ca, cb := coords[a*d:(a+1)*d], coords[b*d:(b+1)*d]
+	for p := 0; p < d; p++ {
+		if p != j && ca[p] != cb[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// balanceLines splits the lines described by starts into ≤ workers
+// contiguous ranges of roughly equal total cell count. It returns the range
+// boundaries as line indices (first element 0, last nLines).
+func balanceLines(starts []int32, workers int) []int {
+	nLines := len(starts) - 1
+	m := int(starts[nLines])
+	if workers > nLines {
+		workers = nLines
+	}
+	bounds := make([]int, 1, workers+1)
+	target := (m + workers - 1) / workers
+	cells := 0
+	for li := 0; li < nLines; li++ {
+		cells += int(starts[li+1] - starts[li])
+		if cells >= target && len(bounds) < workers {
+			bounds = append(bounds, li+1)
+			cells = 0
+		}
+	}
+	return append(bounds, nLines)
+}
+
+// sweepLines applies the low-pass filter to lines [lo, hi), appending the
+// output cells (ascending in the transformed dimension, lines in input
+// order) to outCoords/outVals. Contributions to one output cell are
+// accumulated in ascending input order, so the result is deterministic and
+// independent of how lines are distributed across workers. Output cells
+// whose accumulated value is zero are kept, matching the map engine (which
+// stores them until coefficient denoising drops them).
+func sweepLines(f *FlatGrid, j int, b wavelet.Basis, starts []int32, lo, hi, outLen int, s *flatScratch, outCoords []uint16, outVals []float64) ([]uint16, []float64) {
+	d := f.Dim()
+	taps := b.Lo
+	center := b.Center
+	s.ensureAcc(outLen)
+	touched := s.touched
+	for li := lo; li < hi; li++ {
+		start, end := int(starts[li]), int(starts[li+1])
+		cur := s.nextEpoch()
+		touched = touched[:0]
+		for i := start; i < end; i++ {
+			ci := int(f.Coords[i*d+j])
+			v := f.Vals[i]
+			for t, h := range taps {
+				pos := ci + center - t
+				if pos < 0 || pos&1 != 0 {
+					continue
+				}
+				k := pos >> 1
+				if k >= outLen {
+					continue
+				}
+				if s.epoch[k] != cur {
+					s.epoch[k] = cur
+					s.acc[k] = 0
+					touched = append(touched, int32(k))
+				}
+				s.acc[k] += h * v
+			}
+		}
+		// Inputs ascend in j, so touched is nearly sorted: insertion sort.
+		for a := 1; a < len(touched); a++ {
+			x := touched[a]
+			p := a - 1
+			for p >= 0 && touched[p] > x {
+				touched[p+1] = touched[p]
+				p--
+			}
+			touched[p+1] = x
+		}
+		line := f.Coords[start*d : start*d+d]
+		for _, k := range touched {
+			outCoords = append(outCoords, line...)
+			outCoords[len(outCoords)-d+j] = uint16(k)
+			outVals = append(outVals, s.acc[k])
+		}
+	}
+	s.touched = touched
+	return outCoords, outVals
+}
+
+// TransformFlat applies one full decomposition level (the low-pass filter
+// along every dimension in turn), leaving the result in canonical order.
+func TransformFlat(f *FlatGrid, b wavelet.Basis, workers int) *FlatGrid {
+	out, _ := transformCappedFlat(f, b, 0, workers)
+	return out
+}
+
+// transformCappedFlat is TransformFlat with the same occupied-cell growth
+// cap (and error wording) as the map engine's transformCapped.
+func transformCappedFlat(f *FlatGrid, b wavelet.Basis, maxCells, workers int) (*FlatGrid, error) {
+	out := f
+	for j := 0; j < f.Dim(); j++ {
+		out = TransformDimFlat(out, j, b, workers)
+		if maxCells > 0 && out.Len() > maxCells {
+			return nil, fmt.Errorf(
+				"grid: wavelet transform densified the sparse grid to %d cells after dimension %d (cap %d); use the 2-tap haar basis for high-dimensional data",
+				out.Len(), j+1, maxCells)
+		}
+	}
+	return out, nil
+}
+
+// TransformLevelsFlat mirrors TransformLevels on the flat representation:
+// `levels` full decomposition levels, returning the approximation grid of
+// each level (level 1 first), with the same growth caps and errors. The
+// input grid's cell order is permuted (see TransformDimFlat); every
+// returned level is in canonical order — deeper levels transform a clone,
+// so earlier returned grids are never re-sorted out from under the caller.
+func TransformLevelsFlat(f *FlatGrid, b wavelet.Basis, levels, workers int) ([]*FlatGrid, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("grid: levels must be ≥ 1, got %d", levels)
+	}
+	out := make([]*FlatGrid, 0, levels)
+	cur := f
+	for l := 0; l < levels; l++ {
+		for j := 0; j < cur.Dim(); j++ {
+			if cur.Size[j] < 2 {
+				return nil, fmt.Errorf("grid: dimension %d of size %d too small for level %d", j, cur.Size[j], l+1)
+			}
+		}
+		if l > 0 {
+			cur = cur.Clone()
+		}
+		next, err := transformCappedFlat(cur, b, growthCap(cur.Len()), workers)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		out = append(out, cur)
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package grid
+
+import "sync"
+
+// ParallelRanges splits [0, n) into at most workers contiguous ranges and
+// runs fn on each concurrently, passing a distinct worker index per range.
+// With workers ≤ 1 (or n ≤ 1) fn runs inline on the whole range. It returns
+// after every range has been processed.
+func ParallelRanges(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
+	}
+	wg.Wait()
+}
