@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt-check vet ci
+# The perf suite behind `make bench-json`: the sequential/engine/Dataset
+# renderings of the Fig. 2 and Fig. 9 workloads, the multi-resolution pass
+# and noise assignment. BENCHTIME is overridable for quicker local runs.
+BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest
+BENCHTIME ?= 100x
+
+.PHONY: build test race bench bench-json fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +25,12 @@ race:
 bench:
 	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
 
+# The perf suite with allocation stats as test2json lines, committed as
+# BENCH_2.json so the repo records its own performance trajectory; CI also
+# uploads it as an artifact next to the Fig. 2 bench smoke.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_2.json
+
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
@@ -27,4 +39,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench
+ci: build vet fmt-check test race bench bench-json

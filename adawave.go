@@ -82,15 +82,34 @@ func NewClusterer(cfg Config, workers int) (*Clusterer, error) {
 	return &Clusterer{eng: eng}, nil
 }
 
-// Cluster runs the parallel AdaWave pipeline on points.
+// Cluster runs the parallel AdaWave pipeline on points (a thin adapter that
+// copies the rows into a flat Dataset first; use ClusterDataset to skip the
+// copy).
 func (c *Clusterer) Cluster(points [][]float64) (*Result, error) {
 	return c.eng.Cluster(points)
 }
 
+// ClusterDataset runs the parallel AdaWave pipeline on a flat row-major
+// Dataset — the allocation-free point-facing entry point. Each point's base
+// cell is memoized during quantization, so assignment is one array lookup
+// per point.
+func (c *Clusterer) ClusterDataset(ds *Dataset) (*Result, error) {
+	return c.eng.ClusterDataset(ds)
+}
+
 // ClusterMultiResolution runs the parallel pipeline at every decomposition
-// level from 1 to maxLevels, clustering the levels concurrently.
+// level from 1 to maxLevels, clustering the levels concurrently (adapter
+// form of ClusterMultiResolutionDataset).
 func (c *Clusterer) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*Result, error) {
 	return c.eng.ClusterMultiResolution(points, maxLevels)
+}
+
+// ClusterMultiResolutionDataset is ClusterMultiResolution on a flat
+// Dataset: points are quantized once, and every level's assignment is
+// rebuilt from one pass over the grid cells instead of one search per
+// point per level.
+func (c *Clusterer) ClusterMultiResolutionDataset(ds *Dataset, maxLevels int) ([]*Result, error) {
+	return c.eng.ClusterMultiResolutionDataset(ds, maxLevels)
 }
 
 // Config returns the clusterer's (validated) configuration.
@@ -102,8 +121,16 @@ func (c *Clusterer) Workers() int { return c.eng.Workers() }
 // AssignNoiseToNearest reassigns Noise-labeled points to the cluster with
 // the nearest centroid (recomputed iterations times) — the paper's
 // protocol for fully labeled datasets that contain no true noise class.
+// The nearest-centroid search runs sharded across all processors; the
+// result does not depend on the worker count.
 func AssignNoiseToNearest(points [][]float64, labels []int, iterations int) []int {
 	return core.AssignNoiseToNearest(points, labels, iterations)
+}
+
+// AssignNoiseToNearestParallel is AssignNoiseToNearest with an explicit
+// worker count for the nearest-centroid search (≤ 0 = all processors).
+func AssignNoiseToNearestParallel(points [][]float64, labels []int, iterations, workers int) []int {
+	return core.AssignNoiseToNearestParallel(points, labels, iterations, workers)
 }
 
 // HaarBasis returns the Haar wavelet basis. Its one-to-one cell mapping

@@ -96,6 +96,124 @@ func BenchmarkEngineFig9Roadmap(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineDatasetFig2RunningExample is the flat-Dataset rendering of
+// BenchmarkEngineFig2RunningExample: same workload, but the points live in
+// one row-major backing slice, each point's base cell is memoized during
+// quantization, and assignment is a table lookup — the before/after pair
+// for the point-major hot path.
+func BenchmarkEngineDatasetFig2RunningExample(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	flat := ds.Flat()
+	cfg := core.DefaultConfig()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := core.NewEngine(cfg, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ami float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.ClusterDataset(flat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkEngineDatasetFig9Roadmap is the flat-Dataset rendering of
+// BenchmarkEngineFig9Roadmap (20 000 road-network points), where per-point
+// quantization and assignment dominate.
+func BenchmarkEngineDatasetFig9Roadmap(b *testing.B) {
+	ds := datasets.Roadmap(20000, 1)
+	flat := ds.Flat()
+	cfg := core.DefaultConfig()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := core.NewEngine(cfg, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ami float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.ClusterDataset(flat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkMultiResolution times the 5-level multi-resolution pass — the
+// workload where per-level assignment cost compounds — through the three
+// paths: the sequential map pipeline, the engine's [][]float64 adapter, and
+// the flat Dataset path whose per-level assignment is one cell pass plus a
+// table lookup per point (O(cells·log cells + n) per level instead of
+// O(n·d + n·log cells)).
+func BenchmarkMultiResolution(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		ds   *synth.Dataset
+	}{
+		{"Fig2", synth.RunningExampleSized(800, 1)},
+		{"Fig9Roadmap", datasets.Roadmap(20000, 1)},
+	} {
+		flat := w.ds.Flat()
+		cfg := core.DefaultConfig()
+		b.Run(w.name+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ClusterMultiResolution(w.ds.Points, cfg, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		eng, err := core.NewEngine(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(w.name+"/engine-slices", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ClusterMultiResolution(w.ds.Points, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/engine-dataset", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ClusterMultiResolutionDataset(flat, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAssignNoiseToNearest times the paper's noise re-assignment
+// protocol (3 centroid iterations over the Fig. 7 mixture at 75 % noise) —
+// the O(n·k·d) stage whose nearest-centroid search shards across workers.
+func BenchmarkAssignNoiseToNearest(b *testing.B) {
+	ds := synth.Evaluation(2000, 0.75, 1)
+	res, err := core.Cluster(ds.Points, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.AssignNoiseToNearestParallel(ds.Points, res.Labels, 3, workers)
+			}
+		})
+	}
+}
+
 // BenchmarkEngineFig10Runtime mirrors BenchmarkFig10Runtime (the paper's
 // linear-growth claim) on the parallel engine at GOMAXPROCS workers.
 func BenchmarkEngineFig10Runtime(b *testing.B) {

@@ -42,11 +42,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	points, truth, err := dataio.ReadFile(*in)
+	ds, truth, err := dataio.ReadFileDataset(*in)
 	if err != nil {
 		fatal(err)
 	}
-	if len(points) == 0 {
+	if ds == nil || ds.N == 0 {
 		fatal(fmt.Errorf("no points in %s", *in))
 	}
 
@@ -75,14 +75,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := clusterer.Cluster(points)
+	res, err := clusterer.ClusterDataset(ds)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("n=%d d=%d → %d clusters, %d noise points (%.1f%%)\n",
-		len(points), len(points[0]), res.NumClusters, res.NoiseCount(),
-		100*float64(res.NoiseCount())/float64(len(points)))
+		ds.N, ds.D, res.NumClusters, res.NoiseCount(),
+		100*float64(res.NoiseCount())/float64(ds.N))
 	if truth != nil {
 		fmt.Printf("AMI against the input's label column: %.3f\n",
 			adawave.AMINonNoise(truth, res.Labels, adawave.NoiseLabel))
@@ -94,10 +94,10 @@ func main() {
 			res.Threshold, res.ThresholdIndex, len(res.Curve))
 	}
 	if *plotOut {
-		fmt.Print(adawave.ScatterPlot(points, res.Labels, 78, 26))
+		fmt.Print(adawave.ScatterPlot(ds.Rows(), res.Labels, 78, 26))
 	}
 	if *out != "" {
-		if err := dataio.WriteFile(*out, points, res.Labels); err != nil {
+		if err := dataio.WriteFileDataset(*out, ds, res.Labels); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("labeled points written to %s\n", *out)

@@ -38,7 +38,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var ds *adawave.Dataset
+	var ds *adawave.LabeledDataset
 	switch *dataset {
 	case "evaluation":
 		ds = adawave.SyntheticEvaluation(*per, *noise, *seed)

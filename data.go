@@ -1,10 +1,31 @@
 package adawave
 
-import "adawave/internal/synth"
+import (
+	"adawave/internal/pointset"
+	"adawave/internal/synth"
+)
 
-// Dataset is a labeled point set: Labels[i] is the ground-truth cluster of
-// Points[i], or NoiseLabel for background noise.
-type Dataset = synth.Dataset
+// Dataset is the flat row-major point container of the hot path: all
+// coordinates live in one backing slice (Data), point i occupying
+// Data[i*D : (i+1)*D] — no per-point allocation or pointer chase. Build one
+// with NewDataset + AppendRow (or read one zero-copy from CSV via
+// internal/dataio's Dataset readers), convert [][]float64 with FromSlices
+// (one copy), and go back with Rows (zero-copy views). Clusterer's
+// ClusterDataset / ClusterMultiResolutionDataset consume it directly.
+type Dataset = pointset.Dataset
+
+// NewDataset returns an empty flat dataset of dimensionality d with room
+// for capacity rows; fill it with AppendRow.
+func NewDataset(d, capacity int) *Dataset { return pointset.New(d, capacity) }
+
+// FromSlices copies row-major points into a flat Dataset. All rows must
+// share the same length.
+func FromSlices(points [][]float64) (*Dataset, error) { return pointset.FromSlices(points) }
+
+// LabeledDataset is a labeled point set: Labels[i] is the ground-truth
+// cluster of Points[i], or NoiseLabel for background noise. Its Flat method
+// yields the points as a Dataset for the flat clustering entry points.
+type LabeledDataset = synth.Dataset
 
 // NoiseLabel marks ground-truth noise points in generated datasets.
 const NoiseLabel = synth.NoiseLabel
@@ -14,17 +35,17 @@ const NoiseLabel = synth.NoiseLabel
 // projections overlap, and two parallel sloping segments) plus uniform
 // background noise making up fraction gamma ∈ [0, 1) of the total. The
 // paper uses perCluster = 5600 and gamma from 0.20 to 0.90.
-func SyntheticEvaluation(perCluster int, gamma float64, seed int64) *Dataset {
+func SyntheticEvaluation(perCluster int, gamma float64, seed int64) *LabeledDataset {
 	return synth.Evaluation(perCluster, gamma, seed)
 }
 
 // RunningExample generates the paper's Fig. 1 running example: five
 // heterogeneous clusters (blob, nested blob+ring, large ring, two parallel
 // lines) in ~70 % uniform noise.
-func RunningExample(seed int64) *Dataset { return synth.RunningExample(seed) }
+func RunningExample(seed int64) *LabeledDataset { return synth.RunningExample(seed) }
 
 // Blobs generates k well-separated Gaussian blobs in dim dimensions — a
 // generic easy benchmark.
-func Blobs(k, perCluster, dim int, std float64, seed int64) *Dataset {
+func Blobs(k, perCluster, dim int, std float64, seed int64) *LabeledDataset {
 	return synth.Blobs(k, perCluster, dim, std, seed)
 }

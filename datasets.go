@@ -12,14 +12,14 @@ func StandInNames() []string { return datasets.Names() }
 // StandIn generates the named Table I dataset stand-in deterministically
 // from seed. The generators reproduce the published (n, d, classes) shape
 // and difficulty profile of each dataset; see DESIGN.md §3.
-func StandIn(name string, seed int64) (*Dataset, error) {
+func StandIn(name string, seed int64) (*LabeledDataset, error) {
 	return datasets.ByName(name, seed)
 }
 
 // RoadmapData simulates the paper's Fig. 9 North Jutland road network with
 // n road segments (0 selects the scaled default): dense city street grids
 // as ground-truth clusters, arterial roads and countryside as noise.
-func RoadmapData(n int, seed int64) *Dataset {
+func RoadmapData(n int, seed int64) *LabeledDataset {
 	return datasets.Roadmap(n, seed)
 }
 

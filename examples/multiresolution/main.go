@@ -20,7 +20,18 @@ func main() {
 
 	cfg := adawave.DefaultConfig()
 	cfg.Scale = 256
-	results, err := adawave.ClusterMultiResolution(data, cfg, 5)
+	// The flat Dataset path quantizes the points once and reuses the
+	// point→cell memo at every level — the fast entry point for
+	// multi-resolution work.
+	ds, err := adawave.FromSlices(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterer, err := adawave.NewClusterer(cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := clusterer.ClusterMultiResolutionDataset(ds, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,16 @@
 package core
 
-import "adawave/internal/linalg"
+import (
+	"runtime"
+
+	"adawave/internal/grid"
+	"adawave/internal/linalg"
+)
+
+// assignParallelCutoff is the point count below which the nearest-centroid
+// search runs single-threaded: under it, goroutine fan-out costs more than
+// the distance loop itself.
+const assignParallelCutoff = 2048
 
 // AssignNoiseToNearest implements the paper's protocol for fully labeled
 // real-world data (“we run the k-means iteration (based on Euclidean
@@ -10,14 +20,32 @@ import "adawave/internal/linalg"
 // centroid; with iterations > 1 the centroids are recomputed and the former
 // noise points reassigned again. Returns a new label slice; the input is
 // not modified. If labels contains no clusters at all, every point is
-// assigned to a single cluster 0.
+// assigned to a single cluster 0. The O(n·k·d) nearest-centroid search runs
+// sharded across all processors; see AssignNoiseToNearestParallel for an
+// explicit worker count.
 func AssignNoiseToNearest(points [][]float64, labels []int, iterations int) []int {
+	return AssignNoiseToNearestParallel(points, labels, iterations, 0)
+}
+
+// AssignNoiseToNearestParallel is AssignNoiseToNearest with an explicit
+// worker count (≤ 0 selects runtime.GOMAXPROCS(0)). Only the per-point
+// nearest-centroid search — the O(n·k·d) stage — fans out over point
+// shards; centroid accumulation stays sequential so its floating-point sums
+// are bit-identical to the sequential path. The result therefore does not
+// depend on the worker count.
+func AssignNoiseToNearestParallel(points [][]float64, labels []int, iterations, workers int) []int {
 	out := append([]int(nil), labels...)
 	if len(points) == 0 {
 		return out
 	}
 	if iterations < 1 {
 		iterations = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(points) < assignParallelCutoff {
+		workers = 1
 	}
 	k := 0
 	for _, l := range out {
@@ -36,6 +64,7 @@ func AssignNoiseToNearest(points [][]float64, labels []int, iterations int) []in
 	for i, l := range out {
 		wasNoise[i] = l == Noise
 	}
+	shardChanged := make([]bool, workers)
 	for it := 0; it < iterations; it++ {
 		centroids := make([][]float64, k)
 		counts := make([]int, k)
@@ -59,25 +88,33 @@ func AssignNoiseToNearest(points [][]float64, labels []int, iterations int) []in
 				centroids[c][j] /= float64(counts[c])
 			}
 		}
-		changed := false
-		for i := range out {
-			if !wasNoise[i] {
-				continue
-			}
-			best, bestD := 0, -1.0
-			for c := range centroids {
-				if counts[c] == 0 {
+		for w := range shardChanged {
+			shardChanged[w] = false
+		}
+		grid.ParallelRanges(len(out), workers, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !wasNoise[i] {
 					continue
 				}
-				dist := linalg.SqDist(points[i], centroids[c])
-				if bestD < 0 || dist < bestD {
-					best, bestD = c, dist
+				best, bestD := 0, -1.0
+				for c := range centroids {
+					if counts[c] == 0 {
+						continue
+					}
+					dist := linalg.SqDist(points[i], centroids[c])
+					if bestD < 0 || dist < bestD {
+						best, bestD = c, dist
+					}
+				}
+				if out[i] != best {
+					out[i] = best
+					shardChanged[w] = true
 				}
 			}
-			if out[i] != best {
-				out[i] = best
-				changed = true
-			}
+		})
+		changed := false
+		for _, c := range shardChanged {
+			changed = changed || c
 		}
 		if !changed {
 			break

@@ -226,12 +226,21 @@ func Cluster(points [][]float64, cfg Config) (*Result, error) {
 // resolveScale substitutes the automatic scale for Scale == 0 and clamps
 // Levels so every dimension keeps at least two cells after decomposition.
 func resolveScale(cfg Config, points [][]float64) Config {
+	d := 1
+	if len(points) > 0 {
+		d = len(points[0])
+	}
+	return resolveScaleND(cfg, len(points), d)
+}
+
+// resolveScaleND is resolveScale given the point count and dimensionality
+// directly (the flat-dataset path carries no [][]float64).
+func resolveScaleND(cfg Config, n, d int) Config {
 	if cfg.Scale == 0 {
-		d := 1
-		if len(points) > 0 {
-			d = len(points[0])
+		if d < 1 {
+			d = 1
 		}
-		cfg.Scale = AutoScale(len(points), d)
+		cfg.Scale = AutoScale(n, d)
 		for cfg.Levels > 0 && cfg.Scale>>uint(cfg.Levels) < 2 {
 			cfg.Levels--
 		}

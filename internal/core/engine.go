@@ -6,16 +6,27 @@ import (
 	"sync"
 
 	"adawave/internal/grid"
+	"adawave/internal/pointset"
 )
 
 // Engine is the parallel, allocation-lean AdaWave pipeline: quantization is
 // sharded across workers with exactly-merged per-shard accumulators, the
 // separable wavelet transform sweeps radix-sorted slice lines in parallel
 // instead of rebuilding coordinate maps, components are labeled by
-// union-find over sorted runs, and point assignment fans out over point
-// shards. Scratch buffers are pooled (in internal/grid), so a long-lived
-// Engine serves many requests without per-call allocation storms. An Engine
-// is safe for concurrent use.
+// union-find over sorted runs, and point assignment is a single array
+// lookup per point through a memoized point→cell table. Scratch buffers are
+// pooled (radix/transform buffers in internal/grid; per-level grid clones
+// and density-curve buffers on the Engine itself), so a long-lived Engine
+// serves many requests without per-call allocation storms. An Engine is
+// safe for concurrent use.
+//
+// The point-facing layer is point-major: ClusterDataset and
+// ClusterMultiResolutionDataset consume a flat row-major pointset.Dataset
+// (one backing slice, no per-point allocation or pointer chase), each
+// point's base-cell index is computed once during quantization, and every
+// per-level assignment pass is rebuilt from one pass over the *cells* (the
+// ancestor label table) instead of recomputing coordinates and searching
+// per point. The [][]float64 entry points remain as thin copying adapters.
 //
 // The Engine's output does not depend on the worker count: shard merges
 // sum integer masses exactly, each transform output cell is accumulated by
@@ -30,6 +41,13 @@ import (
 type Engine struct {
 	cfg     Config
 	workers int
+	// grids pools the per-level transform clones of ClusterMultiResolution,
+	// curves the sorted-density scratch and tables the ancestor label table
+	// of every finishing pass, so clustering L levels does not allocate L
+	// fresh copies of each.
+	grids  sync.Pool
+	curves sync.Pool
+	tables sync.Pool
 }
 
 // NewEngine validates cfg and returns an engine running the given number of
@@ -60,6 +78,17 @@ func (e *Engine) effectiveWorkers() int {
 	return e.workers
 }
 
+// getGrid clones src into a pooled FlatGrid; putGrid returns it.
+func (e *Engine) getGrid(src *grid.FlatGrid) *grid.FlatGrid {
+	g, _ := e.grids.Get().(*grid.FlatGrid)
+	if g == nil {
+		g = &grid.FlatGrid{}
+	}
+	return src.CloneInto(g)
+}
+
+func (e *Engine) putGrid(g *grid.FlatGrid) { e.grids.Put(g) }
+
 // ClusterParallel runs one AdaWave clustering through a throwaway Engine —
 // the convenience form of NewEngine + Cluster for one-shot callers.
 func ClusterParallel(points [][]float64, cfg Config, workers int) (*Result, error) {
@@ -70,33 +99,55 @@ func ClusterParallel(points [][]float64, cfg Config, workers int) (*Result, erro
 	return e.Cluster(points)
 }
 
-// Cluster runs the parallel AdaWave pipeline on points. The result is
+// Cluster runs the parallel AdaWave pipeline on points ([][]float64
+// adapter: the rows are copied into a flat dataset first). The result is
 // identical to the sequential Cluster for the same configuration.
 func (e *Engine) Cluster(points [][]float64) (*Result, error) {
 	if len(points) == 0 {
 		return nil, grid.ErrNoPoints
 	}
-	cfg := resolveScale(e.cfg, points)
-	w := e.effectiveWorkers()
-
-	q, err := grid.NewQuantizerParallel(points, cfg.Scale, w)
+	ds, err := pointset.FromSlices(points)
 	if err != nil {
 		return nil, err
 	}
-	f := q.QuantizeFlat(points, w)
-	cellsQuantized := f.Len()
+	return e.ClusterDataset(ds)
+}
 
-	t := f
+// ClusterDataset runs the parallel AdaWave pipeline on a flat row-major
+// dataset — the allocation-free point-facing entry point. The result is
+// identical to Cluster on the same rows.
+func (e *Engine) ClusterDataset(ds *pointset.Dataset) (*Result, error) {
+	if ds == nil || ds.N == 0 {
+		return nil, grid.ErrNoPoints
+	}
+	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
+	w := e.effectiveWorkers()
+
+	q, err := grid.NewQuantizerDataset(ds, cfg.Scale, w)
+	if err != nil {
+		return nil, err
+	}
+	base, ids := q.QuantizeDataset(ds, w)
+	cellsQuantized := base.Len()
+
+	var t *grid.FlatGrid
 	if cfg.Levels > 0 {
-		levels, err := grid.TransformLevelsFlat(f, cfg.Basis, cfg.Levels, w)
+		levels, err := grid.TransformLevelsFlat(base, cfg.Basis, cfg.Levels, w)
 		if err != nil {
 			return nil, err
 		}
+		// The transform permuted base's cell order in place; restore the
+		// canonical order the memoized ids index into.
+		base.SortCanonical()
 		t = levels[len(levels)-1]
+	} else {
+		// The ablation path skips the transform; finish on a copy so the
+		// base grid (and the ids into it) survives coefficient dropping.
+		t = base.Clone()
 	}
 	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
 
-	out, err := finishClusteringFlat(t, q, points, cfg.Levels, cfg, w)
+	out, err := e.finishClusteringFlat(t, base, ids, cfg.Levels, cfg, w)
 	if err != nil {
 		return nil, err
 	}
@@ -105,30 +156,47 @@ func (e *Engine) Cluster(points [][]float64) (*Result, error) {
 }
 
 // ClusterMultiResolution runs the pipeline at every decomposition level
-// from 1 to maxLevels in a single pass, like the sequential
-// ClusterMultiResolution (which ignores cfg.Levels): the transform chain is
-// computed level by level, and the per-level threshold/components/
-// assignment stages — data-independent between levels — run concurrently.
+// from 1 to maxLevels in a single pass ([][]float64 adapter), like the
+// sequential ClusterMultiResolution (which ignores cfg.Levels): the
+// transform chain is computed level by level, and the per-level threshold/
+// components/assignment stages — data-independent between levels — run
+// concurrently.
 func (e *Engine) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*Result, error) {
-	if maxLevels < 1 {
-		maxLevels = 1
-	}
 	if len(points) == 0 {
 		return nil, grid.ErrNoPoints
 	}
-	cfg := resolveScale(e.cfg, points)
-	w := e.effectiveWorkers()
-
-	q, err := grid.NewQuantizerParallel(points, cfg.Scale, w)
+	ds, err := pointset.FromSlices(points)
 	if err != nil {
 		return nil, err
 	}
-	f := q.QuantizeFlat(points, w)
+	return e.ClusterMultiResolutionDataset(ds, maxLevels)
+}
+
+// ClusterMultiResolutionDataset is ClusterMultiResolution on a flat
+// dataset. Quantization (and the point→cell memo) happens once; each
+// level's assignment is rebuilt from one pass over the cells, so per-level
+// cost is O(cells·log cells + n) instead of O(n·d + n·log cells).
+func (e *Engine) ClusterMultiResolutionDataset(ds *pointset.Dataset, maxLevels int) ([]*Result, error) {
+	if maxLevels < 1 {
+		maxLevels = 1
+	}
+	if ds == nil || ds.N == 0 {
+		return nil, grid.ErrNoPoints
+	}
+	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
+	w := e.effectiveWorkers()
+
+	q, err := grid.NewQuantizerDataset(ds, cfg.Scale, w)
+	if err != nil {
+		return nil, err
+	}
+	base, ids := q.QuantizeDataset(ds, w)
+	cellsQuantized := base.Len()
 
 	results := make([]*Result, maxLevels)
 	errs := make([]error, maxLevels)
 	var wg sync.WaitGroup
-	cur := f
+	cur := base
 	levels := 0
 	for level := 1; level <= maxLevels; level++ {
 		tooSmall := false
@@ -142,18 +210,25 @@ func (e *Engine) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*R
 			break
 		}
 		cur = grid.TransformFlat(cur, cfg.Basis, w)
-		t := cur.Clone()
+		if level == 1 {
+			// The first transform permuted the base grid's cell order in
+			// place; restore the canonical order the memoized ids index
+			// into before any finisher reads it.
+			base.SortCanonical()
+		}
+		t := e.getGrid(cur)
 		levels = level
 		wg.Add(1)
 		go func(level int, t *grid.FlatGrid) {
 			defer wg.Done()
+			defer e.putGrid(t)
 			dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
-			res, err := finishClusteringFlat(t, q, points, level, cfg, w)
+			res, err := e.finishClusteringFlat(t, base, ids, level, cfg, w)
 			if err != nil {
 				errs[level-1] = err
 				return
 			}
-			res.CellsQuantized = f.Len()
+			res.CellsQuantized = cellsQuantized
 			results[level-1] = res
 		}(level, t)
 	}
@@ -184,21 +259,31 @@ func dropLowCoefficientsFlat(t *grid.FlatGrid, eps float64) {
 // finishClusteringFlat performs threshold filtering, component labeling and
 // point assignment on an already-transformed flat grid — steps 3–6 of
 // Alg. 1, the flat mirror of finishClustering. t must be in canonical cell
-// order (quantization and the full transform guarantee it).
-func finishClusteringFlat(t *grid.FlatGrid, q *grid.Quantizer, points [][]float64, levels int, cfg Config, workers int) (*Result, error) {
+// order (quantization and the full transform guarantee it) and is owned by
+// the caller; base is the canonical-order quantization grid, read-only, and
+// ids holds each point's memoized index into it.
+func (e *Engine) finishClusteringFlat(t, base *grid.FlatGrid, ids []int32, levels int, cfg Config, workers int) (*Result, error) {
 	res := &Result{
 		CellsTransformed: t.Len(),
 		Levels:           levels,
 		Scale:            cfg.Scale,
 	}
-	res.Labels = make([]int, len(points))
+	res.Labels = make([]int, len(ids))
 	if t.Len() == 0 {
 		for i := range res.Labels {
 			res.Labels[i] = Noise
 		}
 		return res, nil
 	}
-	res.Curve = t.SortedDensities()
+	// Sort the density curve in a pooled buffer; Result.Curve gets an
+	// exact-size copy because it outlives the call.
+	buf, _ := e.curves.Get().(*[]float64)
+	if buf == nil {
+		buf = new([]float64)
+	}
+	*buf = t.SortedDensitiesInto(*buf)
+	res.Curve = append(make([]float64, 0, len(*buf)), *buf...)
+	e.curves.Put(buf)
 	res.Threshold, res.ThresholdIndex = cfg.Threshold.Cut(res.Curve)
 	kept := t.Threshold(res.Threshold)
 	if kept.Len() == 0 {
@@ -212,23 +297,22 @@ func finishClusteringFlat(t *grid.FlatGrid, q *grid.Quantizer, points [][]float6
 	labels, numClusters := relabelBySizeFlat(kept, comp, ncomp, cfg.MinClusterCells, cfg.MinClusterMass)
 	res.NumClusters = numClusters
 
-	// Lookup table: a point's base cell right-shifted once per level is its
-	// transformed-space ancestor; binary-search it in the kept grid.
-	d := q.Dim()
-	grid.ParallelRanges(len(points), workers, func(_, lo, hi int) {
-		coords := make([]uint16, d)
+	// Per-level ancestor table, built by one pass over the cells: shift
+	// each base cell's coordinates, look its ancestor up in the kept grid.
+	// Assignment is then a single array lookup per point (the table stores
+	// Noise as −1, which is the Noise label itself).
+	tbl, _ := e.tables.Get().(*[]int32)
+	if tbl == nil {
+		tbl = new([]int32)
+	}
+	cellLabels := grid.AncestorLabelsInto(*tbl, base, kept, levels, labels, workers)
+	grid.ParallelRanges(len(ids), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			q.CellCoordsU16(points[i], coords)
-			for j := range coords {
-				coords[j] >>= uint(levels)
-			}
-			if idx := kept.Find(coords); idx >= 0 && labels[idx] >= 0 {
-				res.Labels[i] = int(labels[idx])
-			} else {
-				res.Labels[i] = Noise
-			}
+			res.Labels[i] = int(cellLabels[ids[i]])
 		}
 	})
+	*tbl = cellLabels
+	e.tables.Put(tbl)
 	return res, nil
 }
 

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"strconv"
+
+	"adawave/internal/pointset"
 )
 
 // WriteCSV writes points, one row each, with a header x0…x(d−1). When
@@ -53,12 +55,15 @@ func WriteCSV(w io.Writer, points [][]float64, labels []int) error {
 	return cw.Error()
 }
 
-// ReadCSV reads a point set written by WriteCSV or any compatible CSV: an
-// optional header row (detected by its first field not parsing as a
-// number), coordinate columns, and labels when the header's last column is
-// named “label”. Without a header every column is a coordinate. The
-// returned labels slice is nil when the file carries none.
-func ReadCSV(r io.Reader) (points [][]float64, labels []int, err error) {
+// ReadCSVDataset reads a point set written by WriteCSV or any compatible
+// CSV — an optional header row (detected by its first field not parsing as
+// a number), coordinate columns, and labels when the header's last column
+// is named “label”; without a header every column is a coordinate —
+// directly into a flat row-major Dataset: coordinates are parsed straight
+// into the single backing slice, with no per-point allocation. The returned
+// labels slice is nil when the file carries none, and the dataset is nil
+// when the file holds no points.
+func ReadCSVDataset(r io.Reader) (ds *pointset.Dataset, labels []int, err error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // validated manually for better messages
 	records, err := cr.ReadAll()
@@ -87,19 +92,19 @@ func ReadCSV(r io.Reader) (points [][]float64, labels []int, err error) {
 	if d < 1 {
 		return nil, nil, fmt.Errorf("dataio: no coordinate columns (width %d)", width)
 	}
+	ds = pointset.New(d, len(records)-start)
 	for i, rec := range records[start:] {
 		if len(rec) != width {
 			return nil, nil, fmt.Errorf("dataio: row %d has %d fields, want %d", i+start+1, len(rec), width)
 		}
-		p := make([]float64, d)
 		for j := 0; j < d; j++ {
 			v, err := strconv.ParseFloat(rec[j], 64)
 			if err != nil {
 				return nil, nil, fmt.Errorf("dataio: row %d column %d: %w", i+start+1, j, err)
 			}
-			p[j] = v
+			ds.Data = append(ds.Data, v)
 		}
-		points = append(points, p)
+		ds.N++
 		if hasLabels {
 			l, err := strconv.Atoi(rec[d])
 			if err != nil {
@@ -108,7 +113,80 @@ func ReadCSV(r io.Reader) (points [][]float64, labels []int, err error) {
 			labels = append(labels, l)
 		}
 	}
-	return points, labels, nil
+	return ds, labels, nil
+}
+
+// ReadCSV is ReadCSVDataset returning [][]float64: the rows are zero-copy
+// views into one flat backing slice (see pointset.Dataset.Rows).
+func ReadCSV(r io.Reader) (points [][]float64, labels []int, err error) {
+	ds, labels, err := ReadCSVDataset(r)
+	if err != nil || ds == nil || ds.N == 0 {
+		return nil, nil, err
+	}
+	return ds.Rows(), labels, nil
+}
+
+// WriteCSVDataset writes a flat dataset, one row per point, with the same
+// format as WriteCSV (header x0…x(d−1) plus an optional “label” column),
+// reading strided rows out of the single backing slice.
+func WriteCSVDataset(w io.Writer, ds *pointset.Dataset, labels []int) error {
+	if labels != nil && len(labels) != ds.N {
+		return fmt.Errorf("dataio: %d labels for %d points", len(labels), ds.N)
+	}
+	cw := csv.NewWriter(w)
+	d := ds.D
+	header := make([]string, 0, d+1)
+	for j := 0; j < d; j++ {
+		header = append(header, fmt.Sprintf("x%d", j))
+	}
+	if labels != nil {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataio: write header: %w", err)
+	}
+	row := make([]string, 0, d+1)
+	for i := 0; i < ds.N; i++ {
+		row = row[:0]
+		for _, v := range ds.Data[i*d : (i+1)*d] {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if labels != nil {
+			row = append(row, strconv.Itoa(labels[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataio: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFileDataset writes a flat dataset (and optional labels) to a CSV
+// file.
+func WriteFileDataset(path string, ds *pointset.Dataset, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	if err := WriteCSVDataset(f, ds, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataio: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFileDataset reads a CSV file into a flat dataset.
+func ReadFileDataset(path string) (*pointset.Dataset, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return ReadCSVDataset(f)
 }
 
 // WriteFile writes points (and optional labels) to a CSV file.

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"adawave/internal/pointset"
 )
 
 func TestRoundTripWithLabels(t *testing.T) {
@@ -123,5 +125,75 @@ func TestFileRoundTrip(t *testing.T) {
 func TestReadFileMissing(t *testing.T) {
 	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.csv")); err == nil {
 		t.Fatal("missing file should error")
+	}
+	if _, _, err := ReadFileDataset(filepath.Join(t.TempDir(), "absent.csv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds := pointset.MustFromSlices([][]float64{{1.5, -2.25}, {0, 3e-9}, {math.Pi, 42}})
+	labels := []int{0, -1, 2}
+	var buf bytes.Buffer
+	if err := WriteCSVDataset(&buf, ds, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, gotL, err := ReadCSVDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ds.N || got.D != ds.D {
+		t.Fatalf("shape: got %dx%d, want %dx%d", got.N, got.D, ds.N, ds.D)
+	}
+	for i, v := range ds.Data {
+		if got.Data[i] != v {
+			t.Fatalf("data[%d]: %v != %v", i, got.Data[i], v)
+		}
+	}
+	for i := range labels {
+		if gotL[i] != labels[i] {
+			t.Fatalf("label %d: %d != %d", i, gotL[i], labels[i])
+		}
+	}
+}
+
+// TestDatasetMatchesSliceWriter: the strided writer must emit byte-for-byte
+// what the slice writer emits for the same rows, so the two formats stay
+// interchangeable.
+func TestDatasetMatchesSliceWriter(t *testing.T) {
+	points := [][]float64{{0.5, 1.5}, {2.5, 3.5}}
+	ds := pointset.MustFromSlices(points)
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, points, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVDataset(&b, ds, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("writer outputs diverge:\n%q\n%q", a.String(), b.String())
+	}
+}
+
+func TestDatasetWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	ds := pointset.MustFromSlices([][]float64{{1}})
+	if err := WriteCSVDataset(&buf, ds, []int{0, 1}); err == nil {
+		t.Fatal("mismatched labels should error")
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	ds := pointset.MustFromSlices([][]float64{{0.5, 1.5}, {2.5, 3.5}})
+	if err := WriteFileDataset(path, ds, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, labels, err := ReadFileDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 2 || got.D != 2 || labels[0] != 1 || got.Row(1)[0] != 2.5 {
+		t.Fatalf("round trip mismatch: %v %v", got, labels)
 	}
 }

@@ -202,3 +202,22 @@ func TestClassSizesIgnoresNoise(t *testing.T) {
 		t.Fatalf("ClassSizes = %v, want [2 3]", sizes)
 	}
 }
+
+// TestFlatRoundTrip: every stand-in's Flat() dataset must mirror its
+// [][]float64 points exactly — the flat clustering path sees the same data.
+func TestFlatRoundTrip(t *testing.T) {
+	for _, d := range All(1) {
+		flat := d.Flat()
+		if flat.N != d.N() || flat.D != d.Dim() {
+			t.Fatalf("%s: flat shape %dx%d, want %dx%d", d.Name, flat.N, flat.D, d.N(), d.Dim())
+		}
+		for i, p := range d.Points {
+			row := flat.Row(i)
+			for j, v := range p {
+				if row[j] != v {
+					t.Fatalf("%s: point %d col %d: %v != %v", d.Name, i, j, row[j], v)
+				}
+			}
+		}
+	}
+}

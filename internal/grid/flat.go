@@ -1,7 +1,7 @@
 package grid
 
 import (
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -65,9 +65,17 @@ func (f *FlatGrid) TotalMass() float64 {
 // SortedDensities returns all cell densities in descending order — the
 // curve on which the adaptive threshold (paper Fig. 6) is chosen.
 func (f *FlatGrid) SortedDensities() []float64 {
-	out := append([]float64(nil), f.Vals...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
-	return out
+	return f.SortedDensitiesInto(nil)
+}
+
+// SortedDensitiesInto is SortedDensities filling buf (whose capacity is
+// reused) instead of allocating — the pooled form for callers that sort one
+// density curve per level.
+func (f *FlatGrid) SortedDensitiesInto(buf []float64) []float64 {
+	buf = append(buf[:0], f.Vals...)
+	slices.Sort(buf)
+	slices.Reverse(buf)
+	return buf
 }
 
 // DropBelow removes cells with density < min in place, preserving cell
@@ -107,11 +115,16 @@ func (f *FlatGrid) Threshold(min float64) *FlatGrid {
 
 // Clone returns a deep copy preserving cell order.
 func (f *FlatGrid) Clone() *FlatGrid {
-	return &FlatGrid{
-		Size:   append([]int(nil), f.Size...),
-		Coords: append([]uint16(nil), f.Coords...),
-		Vals:   append([]float64(nil), f.Vals...),
-	}
+	return f.CloneInto(&FlatGrid{})
+}
+
+// CloneInto deep-copies f into dst, reusing dst's slice capacity, and
+// returns dst — Clone for pooled grids.
+func (f *FlatGrid) CloneInto(dst *FlatGrid) *FlatGrid {
+	dst.Size = append(dst.Size[:0], f.Size...)
+	dst.Coords = append(dst.Coords[:0], f.Coords...)
+	dst.Vals = append(dst.Vals[:0], f.Vals...)
+	return dst
 }
 
 // KeyAt returns the map-representation Key of cell i.
@@ -161,7 +174,7 @@ func (f *FlatGrid) SortCanonical() {
 	for p := d - 1; p >= 0; p-- {
 		passes = append(passes, p)
 	}
-	f.Coords, f.Vals = radixSortCells(f.Coords, f.Vals, d, f.Size, passes, s)
+	f.Coords, f.Vals, _ = radixSortCells(f.Coords, f.Vals, nil, d, f.Size, passes, s)
 }
 
 // Find returns the index of the cell with the given coordinates, or −1.
@@ -224,6 +237,7 @@ func keyByteLess(a, b []uint16) bool {
 type flatScratch struct {
 	coords  []uint16  // radix scatter buffer (m·d)
 	vals    []float64 // radix scatter buffer (m)
+	idx     []int32   // radix scatter buffer for index payloads (m)
 	counts  []int32   // counting-sort buckets (max dimension size)
 	ints    []int32   // line-start offsets of the transform sweep
 	acc     []float64 // per-line output accumulator (outLen)
@@ -280,14 +294,15 @@ func (s *flatScratch) growCounts(n int) []int32 {
 
 // radixSortCells stable-sorts cells by the given key dimensions, least
 // significant pass first (LSD radix with one counting sort per pass). It
-// returns the sorted coords/vals slices, which may be the scratch buffers;
-// the displaced buffers are retained in s for reuse. vals may be nil when
-// only coordinates are being sorted (quantization sorts point cells before
-// densities exist).
-func radixSortCells(coords []uint16, vals []float64, d int, sizes []int, passes []int, s *flatScratch) ([]uint16, []float64) {
+// returns the sorted coords/vals/idx slices, which may be the scratch
+// buffers; the displaced buffers are retained in s for reuse. vals may be
+// nil when only coordinates are being sorted, and idx is an optional int32
+// payload (quantization threads point indices through the sort so each
+// point's cell index falls out of the dedupe pass for free).
+func radixSortCells(coords []uint16, vals []float64, idx []int32, d int, sizes []int, passes []int, s *flatScratch) ([]uint16, []float64, []int32) {
 	n := len(coords) / d
 	if n < 2 {
-		return coords, vals
+		return coords, vals, idx
 	}
 	if cap(s.coords) < n*d {
 		s.coords = make([]uint16, n*d)
@@ -299,6 +314,13 @@ func radixSortCells(coords []uint16, vals []float64, d int, sizes []int, passes 
 			s.vals = make([]float64, n)
 		}
 		srcV, dstV = vals, s.vals[:n]
+	}
+	var srcI, dstI []int32
+	if idx != nil {
+		if cap(s.idx) < n {
+			s.idx = make([]int32, n)
+		}
+		srcI, dstI = idx, s.idx[:n]
 	}
 	for _, p := range passes {
 		if sizes[p] <= 1 {
@@ -322,13 +344,20 @@ func radixSortCells(coords []uint16, vals []float64, d int, sizes []int, passes 
 			if vals != nil {
 				dstV[pos] = srcV[i]
 			}
+			if idx != nil {
+				dstI[pos] = srcI[i]
+			}
 		}
 		srcC, dstC = dstC, srcC
 		srcV, dstV = dstV, srcV
+		srcI, dstI = dstI, srcI
 	}
 	s.coords = dstC
 	if vals != nil {
 		s.vals = dstV
 	}
-	return srcC, srcV
+	if idx != nil {
+		s.idx = dstI
+	}
+	return srcC, srcV, srcI
 }

@@ -1,0 +1,243 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"adawave/internal/pointset"
+)
+
+func randomDataset(n, d int, seed int64) ([][]float64, *pointset.Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		points[i] = p
+	}
+	return points, pointset.MustFromSlices(points)
+}
+
+// TestNewQuantizerDatasetMatchesSlices: the strided bounding-box scan must
+// reproduce the slice-based quantizer exactly at every worker count.
+func TestNewQuantizerDatasetMatchesSlices(t *testing.T) {
+	points, ds := randomDataset(5000, 3, 1)
+	want, err := NewQuantizer(points, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got, err := NewQuantizerDataset(ds, 64, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			if got.Mins[j] != want.Mins[j] || got.Maxs[j] != want.Maxs[j] {
+				t.Fatalf("workers=%d dim %d: bbox (%v,%v) want (%v,%v)",
+					workers, j, got.Mins[j], got.Maxs[j], want.Mins[j], want.Maxs[j])
+			}
+		}
+	}
+}
+
+// TestNewQuantizerDatasetErrors mirrors the slice constructor's validation.
+func TestNewQuantizerDatasetErrors(t *testing.T) {
+	_, ds := randomDataset(10, 2, 2)
+	if _, err := NewQuantizerDataset(nil, 8, 1); err == nil {
+		t.Fatal("nil dataset must error")
+	}
+	if _, err := NewQuantizerDataset(&pointset.Dataset{}, 8, 1); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	if _, err := NewQuantizerDataset(ds, 1, 1); err == nil {
+		t.Fatal("scale 1 must error")
+	}
+	bad := ds.Clone()
+	bad.Data[7] = math.NaN()
+	for _, workers := range []int{1, 4} {
+		if _, err := NewQuantizerDataset(bad, 8, workers); err == nil {
+			t.Fatalf("workers=%d: NaN coordinate must error", workers)
+		}
+	}
+}
+
+// TestQuantizeDatasetMatchesQuantizeFlat: identical grid (size, canonical
+// cell order, densities) for every worker count, plus a valid cell-id memo:
+// ids[i] must point at exactly the cell CellCoordsU16 puts point i in.
+func TestQuantizeDatasetMatchesQuantizeFlat(t *testing.T) {
+	points, ds := randomDataset(6000, 2, 3)
+	q, err := NewQuantizer(points, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.QuantizeFlat(points, 1)
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, ids := q.QuantizeDataset(ds, workers)
+			if got.Len() != want.Len() {
+				t.Fatalf("cells: got %d, want %d", got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if cmpCoords(got.CellCoords(i), want.CellCoords(i)) != 0 || got.Vals[i] != want.Vals[i] {
+					t.Fatalf("cell %d: got %v/%v, want %v/%v",
+						i, got.CellCoords(i), got.Vals[i], want.CellCoords(i), want.Vals[i])
+				}
+			}
+			coords := make([]uint16, 2)
+			for i, p := range points {
+				q.CellCoordsU16(p, coords)
+				id := int(ids[i])
+				if id < 0 || cmpCoords(got.CellCoords(id), coords) != 0 {
+					t.Fatalf("point %d: memoized cell %d does not match coords %v", i, id, coords)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizeMoreWorkersThanRanges: ParallelRanges can produce fewer
+// ranges than workers (ceil-chunking), leaving nil shard slots; the merge
+// must skip them instead of panicking, and the memo must stay valid
+// (regression test for a nil-dereference in the mapped shard merge).
+func TestQuantizeMoreWorkersThanRanges(t *testing.T) {
+	points, ds := randomDataset(parallelCellCutoff+1, 2, 9)
+	q, err := NewQuantizer(points, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.QuantizeFlat(points, 1)
+	for _, workers := range []int{64, 1024} {
+		flatGot := q.QuantizeFlat(points, workers)
+		got, ids := q.QuantizeDataset(ds, workers)
+		for _, g := range []*FlatGrid{flatGot, got} {
+			if g.Len() != want.Len() {
+				t.Fatalf("workers=%d: cells %d, want %d", workers, g.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if cmpCoords(g.CellCoords(i), want.CellCoords(i)) != 0 || g.Vals[i] != want.Vals[i] {
+					t.Fatalf("workers=%d: cell %d diverged", workers, i)
+				}
+			}
+		}
+		coords := make([]uint16, 2)
+		for i, p := range points {
+			q.CellCoordsU16(p, coords)
+			if id := int(ids[i]); id < 0 || cmpCoords(got.CellCoords(id), coords) != 0 {
+				t.Fatalf("workers=%d: point %d memo %d wrong", workers, i, ids[i])
+			}
+		}
+	}
+}
+
+// TestAncestorLabels checks the per-level table against the definition: the
+// label of the kept cell whose coordinates are the base cell's shifted by
+// the level, −1 when absent or demoted.
+func TestAncestorLabels(t *testing.T) {
+	points, ds := randomDataset(4000, 2, 4)
+	q, err := NewQuantizer(points, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := q.QuantizeDataset(ds, 1)
+	for _, levels := range []int{0, 1, 2} {
+		// A synthetic kept grid: every other ancestor of the base cells.
+		shift := uint(levels)
+		anc := NewFlat([]int{64 >> shift, 64 >> shift}, 0)
+		seen := map[[2]uint16]bool{}
+		coords := make([]uint16, 2)
+		for c := 0; c < base.Len(); c++ {
+			bc := base.CellCoords(c)
+			coords[0], coords[1] = bc[0]>>shift, bc[1]>>shift
+			k := [2]uint16{coords[0], coords[1]}
+			if !seen[k] {
+				seen[k] = true
+				anc.Append(coords, 1)
+			}
+		}
+		anc.SortCanonical()
+		kept := NewFlat(anc.Size, 0)
+		keptLabels := make([]int32, 0)
+		for i := 0; i < anc.Len(); i += 2 {
+			kept.Append(anc.CellCoords(i), anc.Vals[i])
+			label := int32(len(keptLabels) % 3)
+			if label == 2 {
+				label = -1 // demoted component
+			}
+			keptLabels = append(keptLabels, label)
+		}
+		for _, workers := range []int{1, 4} {
+			table := AncestorLabels(base, kept, levels, keptLabels, workers)
+			for c := 0; c < base.Len(); c++ {
+				bc := base.CellCoords(c)
+				coords[0], coords[1] = bc[0]>>shift, bc[1]>>shift
+				want := int32(-1)
+				if j := kept.Find(coords); j >= 0 && keptLabels[j] >= 0 {
+					want = keptLabels[j]
+				}
+				if table[c] != want {
+					t.Fatalf("levels=%d workers=%d cell %d: got %d, want %d",
+						levels, workers, c, table[c], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSortedDensitiesInto: the pooled form must equal SortedDensities and
+// reuse the buffer's capacity.
+func TestSortedDensitiesInto(t *testing.T) {
+	points, ds := randomDataset(3000, 2, 5)
+	q, err := NewQuantizer(points, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := q.QuantizeDataset(ds, 1)
+	want := f.SortedDensities()
+	buf := make([]float64, 0, f.Len())
+	got := f.SortedDensitiesInto(buf)
+	if len(got) != len(want) {
+		t.Fatalf("length: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("curve[%d]: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f.Len() > 0 && &got[0] != &buf[:1][0] {
+		t.Fatal("SortedDensitiesInto must reuse the buffer's capacity")
+	}
+}
+
+// TestCloneInto: deep copy that reuses destination capacity.
+func TestCloneInto(t *testing.T) {
+	points, ds := randomDataset(1000, 2, 6)
+	q, err := NewQuantizer(points, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := q.QuantizeDataset(ds, 1)
+	dst := &FlatGrid{}
+	got := f.CloneInto(dst)
+	if got != dst {
+		t.Fatal("CloneInto must return its destination")
+	}
+	if got.Len() != f.Len() {
+		t.Fatalf("cells: got %d, want %d", got.Len(), f.Len())
+	}
+	got.Vals[0] = -42
+	if f.Vals[0] == -42 {
+		t.Fatal("CloneInto must not share backing storage")
+	}
+	// Cloning a smaller grid into the same destination reuses capacity.
+	small := NewFlat(f.Size, 1)
+	small.Append(f.CellCoords(0), 7)
+	prev := &got.Vals[:1][0]
+	got = small.CloneInto(dst)
+	if got.Len() != 1 || &got.Vals[0] != prev {
+		t.Fatal("CloneInto must reuse the destination's backing array")
+	}
+}

@@ -2,7 +2,6 @@ package grid
 
 import (
 	"fmt"
-	"math"
 )
 
 // CellCoordsU16 writes the cell coordinates of point p into out (length
@@ -53,7 +52,7 @@ func (q *Quantizer) QuantizeFlat(points [][]float64, workers int) *FlatGrid {
 		for i := lo; i < hi; i++ {
 			q.CellCoordsU16(points[i], coords[(i-lo)*d:(i-lo+1)*d])
 		}
-		sorted, _ := radixSortCells(coords, nil, d, size, passes, s)
+		sorted, _, _ := radixSortCells(coords, nil, nil, d, size, passes, s)
 		cells, counts := dedupeRuns(sorted, d)
 		shards[w] = &FlatGrid{Size: size, Coords: cells, Vals: counts}
 	})
@@ -67,62 +66,15 @@ func (q *Quantizer) QuantizeFlat(points [][]float64, workers int) *FlatGrid {
 // list in place, returning the compacted coords and the run lengths as
 // densities.
 func dedupeRuns(coords []uint16, d int) ([]uint16, []float64) {
-	n := len(coords) / d
-	if n == 0 {
-		return coords[:0], nil
-	}
-	vals := make([]float64, 0, n)
-	w := 0
-	for i := 0; i < n; {
-		r := i + 1
-		for r < n && cmpCoords(coords[i*d:(i+1)*d], coords[r*d:(r+1)*d]) == 0 {
-			r++
-		}
-		copy(coords[w*d:(w+1)*d], coords[i*d:(i+1)*d])
-		vals = append(vals, float64(r-i))
-		w++
-		i = r
-	}
-	return coords[:w*d], vals
+	return dedupeRunsIdx(coords, nil, d, nil)
 }
 
 // mergeSortedShards k-way merges canonically sorted shard grids, summing
 // the densities of cells present in several shards (shard order, so the
-// integer sums are deterministic).
+// integer sums are deterministic). Nil shards (ranges ParallelRanges never
+// produced) are skipped.
 func mergeSortedShards(shards []*FlatGrid, size []int, d int) *FlatGrid {
-	total := 0
-	live := shards[:0]
-	for _, sh := range shards {
-		if sh != nil && sh.Len() > 0 {
-			total += sh.Len()
-			live = append(live, sh)
-		}
-	}
-	out := NewFlat(size, total)
-	heads := make([]int, len(live))
-	for {
-		min := -1
-		for si, sh := range live {
-			if heads[si] >= sh.Len() {
-				continue
-			}
-			if min < 0 || cmpCoords(sh.CellCoords(heads[si]), live[min].CellCoords(heads[min])) < 0 {
-				min = si
-			}
-		}
-		if min < 0 {
-			break
-		}
-		cell := live[min].CellCoords(heads[min])
-		var mass float64
-		for si, sh := range live {
-			if heads[si] < sh.Len() && cmpCoords(sh.CellCoords(heads[si]), cell) == 0 {
-				mass += sh.Vals[heads[si]]
-				heads[si]++
-			}
-		}
-		out.Append(cell, mass)
-	}
+	out, _ := mergeSortedShardsInto(shards, size, d, false)
 	return out
 }
 
@@ -135,11 +87,8 @@ func NewQuantizerParallel(points [][]float64, scale, workers int) (*Quantizer, e
 	if n == 0 {
 		return nil, ErrNoPoints
 	}
-	if scale < 2 {
-		return nil, fmt.Errorf("grid: scale must be ≥ 2, got %d", scale)
-	}
-	if scale > 0xFFFF {
-		return nil, fmt.Errorf("grid: scale %d exceeds the 65535 cells/dimension key limit", scale)
+	if err := checkScale(scale); err != nil {
+		return nil, err
 	}
 	d := len(points[0])
 	if d == 0 {
@@ -148,18 +97,10 @@ func NewQuantizerParallel(points [][]float64, scale, workers int) (*Quantizer, e
 	if workers <= 1 || n < parallelCellCutoff {
 		return NewQuantizer(points, scale)
 	}
-	type shardState struct {
-		mins, maxs []float64
-		err        error
-		errAt      int
-	}
-	nShards := workers
-	states := make([]shardState, nShards)
+	states := make([]bboxShard, workers)
 	ParallelRanges(n, workers, func(w, lo, hi int) {
 		st := &states[w]
-		st.errAt = -1
-		st.mins = append([]float64(nil), points[lo]...)
-		st.maxs = append([]float64(nil), points[lo]...)
+		st.init(points[lo])
 		for i := lo; i < hi; i++ {
 			p := points[i]
 			if len(p) != d {
@@ -167,59 +108,10 @@ func NewQuantizerParallel(points [][]float64, scale, workers int) (*Quantizer, e
 				st.errAt = i
 				return
 			}
-			for j, v := range p {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					st.err = fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j)
-					st.errAt = i
-					return
-				}
-				if v < st.mins[j] {
-					st.mins[j] = v
-				}
-				if v > st.maxs[j] {
-					st.maxs[j] = v
-				}
+			if !st.scan(i, p) {
+				return
 			}
 		}
 	})
-	q := &Quantizer{
-		Mins:  append([]float64(nil), points[0]...),
-		Maxs:  append([]float64(nil), points[0]...),
-		Scale: scale,
-	}
-	var firstErr error
-	firstAt := -1
-	for w := range states {
-		st := &states[w]
-		if st.err != nil && (firstAt < 0 || st.errAt < firstAt) {
-			firstErr, firstAt = st.err, st.errAt
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for w := range states {
-		st := &states[w]
-		if st.mins == nil {
-			continue
-		}
-		for j := 0; j < d; j++ {
-			if st.mins[j] < q.Mins[j] {
-				q.Mins[j] = st.mins[j]
-			}
-			if st.maxs[j] > q.Maxs[j] {
-				q.Maxs[j] = st.maxs[j]
-			}
-		}
-	}
-	q.inv = make([]float64, d)
-	for j := range q.inv {
-		w := q.Maxs[j] - q.Mins[j]
-		if w <= 0 {
-			q.inv[j] = 0
-			continue
-		}
-		q.inv[j] = float64(scale) / w
-	}
-	return q, nil
+	return finishQuantizer(states, scale, d)
 }

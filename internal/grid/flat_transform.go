@@ -112,7 +112,7 @@ func (f *FlatGrid) sortForDim(j int, s *flatScratch) {
 			passes = append(passes, p)
 		}
 	}
-	f.Coords, f.Vals = radixSortCells(f.Coords, f.Vals, d, f.Size, passes, s)
+	f.Coords, f.Vals, _ = radixSortCells(f.Coords, f.Vals, nil, d, f.Size, passes, s)
 }
 
 // sameLineExcept reports whether cells a and b agree on every coordinate

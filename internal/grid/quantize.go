@@ -18,42 +18,88 @@ type Quantizer struct {
 // ErrNoPoints is returned when a quantizer is requested for an empty set.
 var ErrNoPoints = errors.New("grid: no points to quantize")
 
-// NewQuantizer computes the bounding box of points and prepares a quantizer
-// with scale cells per dimension. All points must share the same dimension.
-func NewQuantizer(points [][]float64, scale int) (*Quantizer, error) {
-	if len(points) == 0 {
-		return nil, ErrNoPoints
-	}
+// checkScale validates the per-dimension cell count — shared by every
+// quantizer constructor so the error wording cannot diverge between the
+// slice and dataset paths.
+func checkScale(scale int) error {
 	if scale < 2 {
-		return nil, fmt.Errorf("grid: scale must be ≥ 2, got %d", scale)
+		return fmt.Errorf("grid: scale must be ≥ 2, got %d", scale)
 	}
 	if scale > 0xFFFF {
-		return nil, fmt.Errorf("grid: scale %d exceeds the 65535 cells/dimension key limit", scale)
+		return fmt.Errorf("grid: scale %d exceeds the 65535 cells/dimension key limit", scale)
 	}
-	d := len(points[0])
-	if d == 0 {
-		return nil, errors.New("grid: zero-dimensional points")
-	}
-	q := &Quantizer{
-		Mins:  append([]float64(nil), points[0]...),
-		Maxs:  append([]float64(nil), points[0]...),
-		Scale: scale,
-	}
-	for i, p := range points {
-		if len(p) != d {
-			return nil, fmt.Errorf("grid: inconsistent dimensions %d and %d", d, len(p))
+	return nil
+}
+
+// bboxShard accumulates one shard of the bounding-box scan; the sequential
+// constructors use a single shard.
+type bboxShard struct {
+	mins, maxs []float64
+	err        error
+	errAt      int
+}
+
+// init seeds the shard's extrema from its first row.
+func (st *bboxShard) init(row []float64) {
+	st.errAt = -1
+	st.mins = append([]float64(nil), row...)
+	st.maxs = append([]float64(nil), row...)
+}
+
+// scan folds row (point index i) into the shard's bounding box. It returns
+// false after recording the first non-finite coordinate: a single NaN/Inf
+// would silently poison the bounding box and funnel every point into one
+// clamped edge cell.
+func (st *bboxShard) scan(i int, row []float64) bool {
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			st.err = fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j)
+			st.errAt = i
+			return false
 		}
-		for j, v := range p {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				// A single NaN/Inf would silently poison the bounding box
-				// and funnel every point into one clamped edge cell.
-				return nil, fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j)
+		if v < st.mins[j] {
+			st.mins[j] = v
+		}
+		if v > st.maxs[j] {
+			st.maxs[j] = v
+		}
+	}
+	return true
+}
+
+// finishQuantizer merges the per-shard bounding boxes into a quantizer.
+// Min/max merging is exact and errors are reported for the lowest offending
+// point index, so the result (and any error) is identical for every shard
+// layout, one included.
+func finishQuantizer(states []bboxShard, scale, d int) (*Quantizer, error) {
+	var firstErr error
+	firstAt := -1
+	for w := range states {
+		st := &states[w]
+		if st.err != nil && (firstAt < 0 || st.errAt < firstAt) {
+			firstErr, firstAt = st.err, st.errAt
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	q := &Quantizer{Scale: scale}
+	for w := range states {
+		st := &states[w]
+		if st.mins == nil {
+			continue
+		}
+		if q.Mins == nil {
+			q.Mins = append([]float64(nil), st.mins...)
+			q.Maxs = append([]float64(nil), st.maxs...)
+			continue
+		}
+		for j := 0; j < d; j++ {
+			if st.mins[j] < q.Mins[j] {
+				q.Mins[j] = st.mins[j]
 			}
-			if v < q.Mins[j] {
-				q.Mins[j] = v
-			}
-			if v > q.Maxs[j] {
-				q.Maxs[j] = v
+			if st.maxs[j] > q.Maxs[j] {
+				q.Maxs[j] = st.maxs[j]
 			}
 		}
 	}
@@ -68,6 +114,32 @@ func NewQuantizer(points [][]float64, scale int) (*Quantizer, error) {
 		q.inv[j] = float64(scale) / w
 	}
 	return q, nil
+}
+
+// NewQuantizer computes the bounding box of points and prepares a quantizer
+// with scale cells per dimension. All points must share the same dimension.
+func NewQuantizer(points [][]float64, scale int) (*Quantizer, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if err := checkScale(scale); err != nil {
+		return nil, err
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, errors.New("grid: zero-dimensional points")
+	}
+	var st bboxShard
+	st.init(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("grid: inconsistent dimensions %d and %d", d, len(p))
+		}
+		if !st.scan(i, p) {
+			return nil, st.err
+		}
+	}
+	return finishQuantizer([]bboxShard{st}, scale, d)
 }
 
 // Dim returns the quantizer's dimensionality.

@@ -1,0 +1,90 @@
+package pointset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromSlicesRoundTrip(t *testing.T) {
+	points := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	ds, err := FromSlices(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 3 || ds.D != 2 {
+		t.Fatalf("shape: got N=%d D=%d", ds.N, ds.D)
+	}
+	rows := ds.Rows()
+	for i, p := range points {
+		for j, v := range p {
+			if ds.Row(i)[j] != v || rows[i][j] != v {
+				t.Fatalf("row %d col %d: got %v/%v, want %v", i, j, ds.Row(i)[j], rows[i][j], v)
+			}
+		}
+	}
+	// Rows are views: mutating one must write through to the backing slice.
+	rows[1][0] = math.Pi
+	if ds.Data[2] != math.Pi {
+		t.Fatalf("Rows must alias the backing slice, got %v", ds.Data[2])
+	}
+}
+
+func TestFromSlicesRagged(t *testing.T) {
+	if _, err := FromSlices([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged input must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromSlices must panic on ragged input")
+		}
+	}()
+	MustFromSlices([][]float64{{1, 2}, {3}})
+}
+
+func TestFromSlicesEmpty(t *testing.T) {
+	ds, err := FromSlices(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 0 || ds.D != 0 || len(ds.Rows()) != 0 {
+		t.Fatalf("empty input: got N=%d D=%d", ds.N, ds.D)
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	ds := New(0, 4) // dimension adopted from the first row
+	ds.AppendRow([]float64{1, 2, 3})
+	ds.AppendRow([]float64{4, 5, 6})
+	if ds.N != 2 || ds.D != 3 {
+		t.Fatalf("shape after append: N=%d D=%d", ds.N, ds.D)
+	}
+	if got := ds.Row(1); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("row 1: got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow must panic on a mismatched row length")
+		}
+	}()
+	ds.AppendRow([]float64{7})
+}
+
+func TestRowIsCapped(t *testing.T) {
+	// Row views must not allow append to bleed into the next row.
+	ds := MustFromSlices([][]float64{{1, 2}, {3, 4}})
+	r := ds.Row(0)
+	r = append(r, 99)
+	if ds.Data[2] != 3 {
+		t.Fatalf("append through a row view overwrote the next row: %v", ds.Data)
+	}
+	_ = r
+}
+
+func TestClone(t *testing.T) {
+	ds := MustFromSlices([][]float64{{1, 2}})
+	c := ds.Clone()
+	c.Data[0] = 42
+	if ds.Data[0] != 1 {
+		t.Fatal("Clone must not share backing storage")
+	}
+}

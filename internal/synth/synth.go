@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"adawave/internal/pointset"
 )
 
 // NoiseLabel marks ground-truth noise points.
@@ -57,6 +59,12 @@ func (d *Dataset) NoiseFraction() float64 {
 		}
 	}
 	return float64(n) / float64(len(d.Labels))
+}
+
+// Flat returns the points as a flat row-major pointset.Dataset (one copy)
+// for the allocation-free clustering entry points.
+func (d *Dataset) Flat() *pointset.Dataset {
+	return pointset.MustFromSlices(d.Points)
 }
 
 // append adds points with the given label.
