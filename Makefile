@@ -4,9 +4,11 @@
 GO ?= go
 
 # The perf suite behind `make bench-json`: the sequential/engine/Dataset
-# renderings of the Fig. 2 and Fig. 9 workloads, the multi-resolution pass
-# and noise assignment. BENCHTIME is overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest
+# renderings of the Fig. 2 and Fig. 9 workloads, the multi-resolution pass,
+# noise assignment, and the streaming workloads (warm Session append+relabel
+# vs. cold recluster, incremental merge throughput). BENCHTIME is
+# overridable for quicker local runs.
+BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput
 BENCHTIME ?= 100x
 
 .PHONY: build test race bench bench-json fmt-check vet ci
@@ -17,19 +19,22 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-exercise the parallel engine: grid substrate, core pipeline, facade.
+# Race-exercise the parallel engine: grid substrate, core pipeline, facade,
+# and the HTTP serving layer (whose httptest smoke drives one writer and
+# many concurrent readers through a shared Session).
 race:
-	$(GO) test -race ./internal/grid/... ./internal/core/... .
+	$(GO) test -race ./internal/grid/... ./internal/core/... ./cmd/adawave-serve/... .
 
 # The CI benchmark smoke job: one iteration of the Fig. 2 benchmarks.
 bench:
 	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
 
 # The perf suite with allocation stats as test2json lines, committed as
-# BENCH_2.json so the repo records its own performance trajectory; CI also
-# uploads it as an artifact next to the Fig. 2 bench smoke.
+# BENCH_3.json so the repo records its own performance trajectory; CI also
+# uploads it as an artifact next to the Fig. 2 bench smoke. (BENCH_2.json is
+# the committed PR-2 snapshot, kept for the trajectory.)
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_2.json
+	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_3.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -19,6 +19,7 @@ import (
 	"adawave/internal/datasets"
 	"adawave/internal/grid"
 	"adawave/internal/metrics"
+	"adawave/internal/pointset"
 	"adawave/internal/stats"
 	"adawave/internal/synth"
 	"adawave/internal/wavelet"
@@ -641,4 +642,134 @@ func BenchmarkAMI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
 	}
+}
+
+// streamingFixture builds the streaming workload of the acceptance
+// criterion: a 50 000-point road network as the warm history plus a 1 %
+// delta batch of strictly interior points (copies of non-extreme rows), so
+// appending the delta — and taking it back out — provably never moves the
+// quantization bounding box and the warm path stays incremental.
+func streamingFixture(b *testing.B) (warm, delta *pointset.Dataset) {
+	data := datasets.Roadmap(50000, 1)
+	warm = data.Flat()
+	d := warm.D
+	mins := append([]float64(nil), warm.Row(0)...)
+	maxs := append([]float64(nil), warm.Row(0)...)
+	for i := 0; i < warm.N; i++ {
+		for j, v := range warm.Row(i) {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	delta = pointset.New(d, warm.N/100)
+	for i := 0; i < warm.N && delta.N < warm.N/100; i++ {
+		interior := true
+		for j, v := range warm.Row(i) {
+			if v == mins[j] || v == maxs[j] {
+				interior = false
+				break
+			}
+		}
+		if interior {
+			delta.AppendRow(warm.Row(i))
+		}
+	}
+	return warm, delta
+}
+
+// BenchmarkSessionAppendRelabel measures the streaming hot path: append a
+// 1 % delta batch into a warm 50 000-point Session and re-read the labels.
+// Quantization is amortized — only the 500 delta points are quantized and
+// folded in by one O(cells) merge; the grid-side stages re-run as usual.
+// Each iteration removes the delta again (untimed) so the session stays at
+// steady state. (The delta duplicates interior warm rows, so removal only
+// decrements masses that stay ≥ 1 — no cell ever empties and the
+// tombstone-sweep path is deliberately not part of this measurement.)
+// Compare against BenchmarkColdRecluster50k, the same read served from
+// scratch.
+func BenchmarkSessionAppendRelabel(b *testing.B) {
+	warm, delta := streamingFixture(b)
+	sess, err := core.NewSession(core.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Append(warm); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Labels(); err != nil {
+		b.Fatal(err)
+	}
+	idx := make([]int, delta.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Append(delta); err != nil {
+			b.Fatal(err)
+		}
+		labels, err := sess.Labels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(labels) != warm.N+delta.N {
+			b.Fatalf("labels: got %d", len(labels))
+		}
+		b.StopTimer()
+		for j := range idx {
+			idx[j] = warm.N + j
+		}
+		if err := sess.Remove(idx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkColdRecluster50k is the cold baseline for
+// BenchmarkSessionAppendRelabel: the same 50 500-point union clustered from
+// scratch (full quantization included) on every read.
+func BenchmarkColdRecluster50k(b *testing.B) {
+	warm, delta := streamingFixture(b)
+	union := pointset.New(warm.D, warm.N+delta.N)
+	union.Data = append(union.Data, warm.Data...)
+	union.Data = append(union.Data, delta.Data...)
+	union.N = warm.N + delta.N
+	eng, err := core.NewEngine(core.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.ClusterDataset(union)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Labels) != union.N {
+			b.Fatalf("labels: got %d", len(res.Labels))
+		}
+	}
+}
+
+// BenchmarkMergeThroughput measures the incremental grid merge alone:
+// 2-way merging a 1 % delta grid into the live 50k-point grid, reported in
+// cells/s over the cells both inputs carry.
+func BenchmarkMergeThroughput(b *testing.B) {
+	warm, delta := streamingFixture(b)
+	q, err := grid.NewQuantizerDataset(warm, 128, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live, _ := q.QuantizeDataset(warm, 1)
+	dg, _ := q.QuantizeDataset(delta, 1)
+	cells := live.Len() + dg.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, _, _ := grid.MergeFlat(live, dg)
+		if merged.Len() < live.Len() {
+			b.Fatal("merge lost cells")
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }

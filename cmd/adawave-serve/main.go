@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8321", "listen address")
+		workers         = flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = all processors)")
+		timeout         = flag.Duration("timeout", 30*time.Second, "request-scoped deadline for every endpoint")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+		csvBatch        = flag.Int("csv-batch", 8192, "rows per chunk when ingesting text/csv bodies")
+		maxBody         = flag.Int64("max-body-bytes", 256<<20, "largest accepted request body")
+		maxSessions     = flag.Int("max-sessions", 64, "most concurrent sessions")
+		maxPoints       = flag.Int("max-points", 10_000_000, "most points per session")
+	)
+	flag.Parse()
+
+	srv := newServer(*workers, *timeout, *csvBatch, *maxBody, *maxSessions, *maxPoints)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("adawave-serve listening on %s (request timeout %s)", *addr, *timeout)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("adawave-serve: draining (up to %s)", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("adawave-serve: forced close: %v", err)
+			hs.Close()
+		}
+	}
+}

@@ -1,0 +1,447 @@
+// Command adawave-serve exposes streaming AdaWave sessions over HTTP JSON:
+// create a session, POST point batches into it over time (JSON arrays or
+// chunked CSV bodies), and read labels or multi-resolution results from the
+// warm engine — each read pays only the grid-side stages, never a full
+// requantization of the history.
+//
+// Usage:
+//
+//	adawave-serve [-addr :8321] [-workers 0] [-timeout 30s]
+//	              [-shutdown-timeout 10s] [-csv-batch 8192]
+//	              [-max-body-bytes 268435456] [-max-sessions 64]
+//	              [-max-points 10000000]
+//
+// Endpoints:
+//
+//	POST   /sessions                       create a session (optional JSON config body)
+//	GET    /sessions                       list sessions
+//	POST   /sessions/{id}/points          append a batch (JSON {"points":[[…]]} or a text/csv
+//	                                      body; a CSV label column, if present, is ignored)
+//	DELETE /sessions/{id}/points          remove points (JSON {"indices":[…]})
+//	GET    /sessions/{id}/labels          cluster the current point set, return labels + diagnostics
+//	GET    /sessions/{id}/multiresolution multi-level results (?levels=L)
+//	DELETE /sessions/{id}                 drop the session
+//
+// Every request is bounded by the -timeout request-scoped deadline, and the
+// process drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adawave"
+	"adawave/internal/dataio"
+	"adawave/internal/grid"
+	"adawave/internal/pointset"
+)
+
+// server holds the session registry: one adawave.Session per id, each safe
+// for one writer and many readers, so concurrent label reads on a warm
+// session share its cached result.
+type server struct {
+	workers     int
+	timeout     time.Duration
+	csvBatch    int
+	maxBody     int64
+	maxSessions int
+	maxPoints   int
+
+	mu       sync.RWMutex
+	sessions map[string]*serveSession
+	nextID   atomic.Uint64
+}
+
+// serveSession pairs a Session with the server-side writer lock. The
+// Session itself is safe for one writer and many readers; writeMu
+// serializes HTTP mutation requests so that contract holds even when two
+// clients POST to the same session — and so the CSV rollback's "the
+// appended points are the tail" assumption is enforced, not assumed.
+type serveSession struct {
+	writeMu sync.Mutex
+	sess    *adawave.Session
+}
+
+func newServer(workers int, timeout time.Duration, csvBatch int, maxBody int64, maxSessions, maxPoints int) *server {
+	if csvBatch <= 0 {
+		csvBatch = 8192
+	}
+	if maxBody <= 0 {
+		maxBody = 256 << 20
+	}
+	if maxSessions <= 0 {
+		maxSessions = 64
+	}
+	if maxPoints <= 0 {
+		maxPoints = 10_000_000
+	}
+	return &server{
+		workers:     workers,
+		timeout:     timeout,
+		csvBatch:    csvBatch,
+		maxBody:     maxBody,
+		maxSessions: maxSessions,
+		maxPoints:   maxPoints,
+		sessions:    make(map[string]*serveSession),
+	}
+}
+
+// handler wires the routes and wraps them in the request body cap and the
+// request-scoped timeout.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.createSession)
+	mux.HandleFunc("GET /sessions", s.listSessions)
+	mux.HandleFunc("POST /sessions/{id}/points", s.appendPoints)
+	mux.HandleFunc("DELETE /sessions/{id}/points", s.removePoints)
+	mux.HandleFunc("GET /sessions/{id}/labels", s.labels)
+	mux.HandleFunc("GET /sessions/{id}/multiresolution", s.multiResolution)
+	mux.HandleFunc("DELETE /sessions/{id}", s.deleteSession)
+	var h http.Handler = mux
+	if s.timeout > 0 {
+		h = http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`)
+	}
+	limited := h
+	h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Cap every body so one oversized POST cannot exhaust memory; a
+		// breach surfaces as a decode/read error on the handler's path.
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		limited.ServeHTTP(w, r)
+	})
+	return h
+}
+
+// sessionConfig is the JSON body of POST /sessions; every field is
+// optional and defaults to the paper's parameter-free configuration.
+type sessionConfig struct {
+	Scale           *int     `json:"scale"`
+	Levels          *int     `json:"levels"`
+	Basis           string   `json:"basis"`
+	Connectivity    string   `json:"connectivity"`
+	CoeffEpsilon    *float64 `json:"coeffEpsilon"`
+	MinClusterCells *int     `json:"minClusterCells"`
+	MinClusterMass  *float64 `json:"minClusterMass"`
+}
+
+func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	cfg := adawave.DefaultConfig()
+	if r.Body != nil {
+		var sc sessionConfig
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&sc); err != nil && err != io.EOF {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad config: %v", err))
+			return
+		}
+		if sc.Scale != nil {
+			cfg.Scale = *sc.Scale
+		}
+		if sc.Levels != nil {
+			cfg.Levels = *sc.Levels
+		}
+		if sc.Basis != "" {
+			basis, err := adawave.BasisByName(sc.Basis)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			cfg.Basis = basis
+		}
+		switch sc.Connectivity {
+		case "", "faces":
+		case "full":
+			cfg.Connectivity = grid.Full
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown connectivity %q (want faces or full)", sc.Connectivity))
+			return
+		}
+		if sc.CoeffEpsilon != nil {
+			cfg.CoeffEpsilon = *sc.CoeffEpsilon
+		}
+		if sc.MinClusterCells != nil {
+			cfg.MinClusterCells = *sc.MinClusterCells
+		}
+		if sc.MinClusterMass != nil {
+			cfg.MinClusterMass = *sc.MinClusterMass
+		}
+	}
+	sess, err := adawave.NewSession(cfg, s.workers)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := "s" + strconv.FormatUint(s.nextID.Add(1), 10)
+	s.mu.Lock()
+	if len(s.sessions) >= s.maxSessions {
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, fmt.Sprintf("session limit %d reached", s.maxSessions))
+		return
+	}
+	s.sessions[id] = &serveSession{sess: sess}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
+}
+
+func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID     string `json:"id"`
+		Points int    `json:"points"`
+		Dim    int    `json:"dim"`
+	}
+	// Snapshot the registry first: Len/Dim take each session's own lock,
+	// which a long recompute holds, and blocking on it while holding the
+	// registry lock would stall session creation server-wide.
+	s.mu.RLock()
+	type entry struct {
+		id   string
+		sess *serveSession
+	}
+	entries := make([]entry, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		entries = append(entries, entry{id, sess})
+	}
+	s.mu.RUnlock()
+	rows := make([]row, 0, len(entries))
+	for _, e := range entries {
+		rows = append(rows, row{ID: e.id, Points: e.sess.sess.Len(), Dim: e.sess.sess.Dim()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": rows})
+}
+
+// lookup resolves {id}; a miss writes the 404 and returns nil.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *serveSession {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	sess := s.sessions[id]
+	s.mu.RUnlock()
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+	}
+	return sess
+}
+
+func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(w, r)
+	if ss == nil {
+		return
+	}
+	// One mutation request at a time per session: this upholds the
+	// Session's one-writer contract across HTTP clients and guarantees the
+	// rollback below only ever removes this request's own points.
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	sess := ss.sess
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var appended int
+	switch ct {
+	case "text/csv":
+		// Chunked ingestion: the body streams through the batch reader in
+		// -csv-batch chunks, so a large upload never materializes at once.
+		// On a mid-stream error — a parse failure, or the request deadline
+		// expiring (checked between chunks, since TimeoutHandler answers
+		// 503 but does not stop this goroutine) — the already-appended
+		// chunks are rolled back, so a failed upload is atomic and a
+		// client retry cannot duplicate points.
+		ctx := r.Context()
+		err := dataio.EachBatch(r.Body, s.csvBatch, func(ds *pointset.Dataset, labels []int) error {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("ingestion aborted: %w", err)
+			}
+			if sess.Len()+ds.N > s.maxPoints {
+				return fmt.Errorf("session point limit %d reached", s.maxPoints)
+			}
+			if err := sess.Append(ds); err != nil {
+				return err
+			}
+			appended += ds.N
+			return nil
+		})
+		if err != nil {
+			if appended > 0 {
+				n := sess.Len()
+				idx := make([]int, appended)
+				for i := range idx {
+					idx[i] = n - appended + i
+				}
+				if rerr := sess.Remove(idx); rerr != nil {
+					writeErr(w, http.StatusInternalServerError,
+						fmt.Sprintf("%v (and rolling back %d appended points failed: %v)", err, appended, rerr))
+					return
+				}
+			}
+			writeErr(w, bodyErrStatus(err), err.Error())
+			return
+		}
+	default:
+		var body struct {
+			Points [][]float64 `json:"points"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, bodyErrStatus(err), fmt.Sprintf("bad batch: %v", err))
+			return
+		}
+		// After the deadline TimeoutHandler has already answered 503;
+		// mutating anyway would make a client retry duplicate the batch.
+		if err := r.Context().Err(); err != nil {
+			return
+		}
+		if sess.Len()+len(body.Points) > s.maxPoints {
+			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("session point limit %d reached", s.maxPoints))
+			return
+		}
+		if err := sess.AppendPoints(body.Points); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		appended = len(body.Points)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"appended": appended, "points": sess.Len()})
+}
+
+func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(w, r)
+	if ss == nil {
+		return
+	}
+	var body struct {
+		Indices []int `json:"indices"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, bodyErrStatus(err), fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	// As with appends: once the deadline answered 503, removing anyway
+	// would make a client retry double-remove shifted indices.
+	if err := r.Context().Err(); err != nil {
+		return
+	}
+	if err := ss.sess.Remove(body.Indices); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": len(body.Indices), "points": ss.sess.Len()})
+}
+
+// resultJSON is the serialized form of one clustering result.
+type resultJSON struct {
+	Labels           []int   `json:"labels,omitempty"`
+	NumClusters      int     `json:"numClusters"`
+	Noise            int     `json:"noise"`
+	Threshold        float64 `json:"threshold"`
+	Levels           int     `json:"levels"`
+	Scale            int     `json:"scale"`
+	CellsQuantized   int     `json:"cellsQuantized"`
+	CellsTransformed int     `json:"cellsTransformed"`
+	CellsKept        int     `json:"cellsKept"`
+}
+
+func toResultJSON(res *adawave.Result, withLabels bool) resultJSON {
+	out := resultJSON{
+		NumClusters:      res.NumClusters,
+		Noise:            res.NoiseCount(),
+		Threshold:        res.Threshold,
+		Levels:           res.Levels,
+		Scale:            res.Scale,
+		CellsQuantized:   res.CellsQuantized,
+		CellsTransformed: res.CellsTransformed,
+		CellsKept:        res.CellsKept,
+	}
+	if withLabels {
+		out.Labels = res.Labels
+	}
+	return out
+}
+
+func (s *server) labels(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(w, r)
+	if ss == nil {
+		return
+	}
+	res, err := ss.sess.Result()
+	if err != nil {
+		writeReadErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultJSON(res, true))
+}
+
+func (s *server) multiResolution(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(w, r)
+	if ss == nil {
+		return
+	}
+	maxLevels := 3
+	if v := r.URL.Query().Get("levels"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad levels %q", v))
+			return
+		}
+		maxLevels = n
+	}
+	withLabels := r.URL.Query().Get("labels") != "false"
+	results, err := ss.sess.MultiResolution(maxLevels)
+	if err != nil {
+		writeReadErr(w, err)
+		return
+	}
+	out := make([]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = toResultJSON(res, withLabels)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"levels": out})
+}
+
+func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeReadErr maps clustering-read failures: an empty session is the
+// caller's sequencing problem (409), anything else is a config/data error.
+func writeReadErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, grid.ErrNoPoints) {
+		writeErr(w, http.StatusConflict, "session has no points")
+		return
+	}
+	writeErr(w, http.StatusUnprocessableEntity, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// bodyErrStatus distinguishes an over-limit body (413: split and retry)
+// from malformed input (400: don't retry).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}

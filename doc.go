@@ -22,6 +22,24 @@
 //		// label == adawave.Noise or 0 … res.NumClusters-1
 //	}
 //
+// Three point-facing engines share the same pipeline. Cluster is the
+// sequential reference. Clusterer is the parallel, allocation-lean engine
+// for one-shot requests: stages run sharded across workers over a flat
+// struct-of-arrays grid, scratch buffers are pooled, and the flat Dataset
+// entry points (ClusterDataset, ClusterMultiResolutionDataset) memoize
+// each point's grid cell during quantization. Session is the streaming
+// engine for long-lived workloads: Append and Remove mutate a live grid
+// incrementally — a delta batch quantizes alone and merges in by cell id,
+// a removed point subtracts its mass in place — and mark the session
+// dirty; the next Labels/Result read lazily re-runs only the grid-side
+// stages, then caches until the next mutation (MultiResolution reads the
+// same live grid but recomputes per call). The streamed
+// result is guaranteed bit-identical to the one-shot run over the same
+// points. cmd/adawave-serve exposes sessions over HTTP JSON (create →
+// POST point batches, JSON or chunked CSV → GET labels and
+// multi-resolution results → DELETE), with request-scoped timeouts and
+// graceful shutdown.
+//
 // The package also exposes the substrate the paper builds on (wavelet
 // bases, threshold strategies, multi-resolution clustering), the
 // evaluation metric the paper uses (adjusted mutual information), and the

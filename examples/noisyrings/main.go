@@ -18,7 +18,10 @@ func main() {
 	fmt.Printf("dataset: %d points, %.0f%% noise, rings + segments + ellipse\n\n",
 		data.N(), data.NoiseFraction()*100)
 
-	res, err := adawave.Cluster(data.Points, adawave.DefaultConfig())
+	// All three ablation runs share the flat Dataset: the points are packed
+	// into one row-major slice once and every run quantizes from it.
+	ds := data.Flat()
+	res, err := clusterWith(ds, adawave.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +32,7 @@ func main() {
 	// with WaveCluster's fixed cutoff and watch the rings drown.
 	fixed := adawave.DefaultConfig()
 	fixed.Threshold = adawave.FixedThreshold{Value: 5}
-	fres, err := adawave.Cluster(data.Points, fixed)
+	fres, err := clusterWith(ds, fixed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +42,7 @@ func main() {
 	// And with a quantile cutoff, the middle ground.
 	quant := adawave.DefaultConfig()
 	quant.Threshold = adawave.QuantileThreshold{Q: 0.8}
-	qres, err := adawave.Cluster(data.Points, quant)
+	qres, err := clusterWith(ds, quant)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,4 +53,13 @@ func main() {
 	fmt.Println(adawave.ScatterPlot(data.Points, data.Labels, 72, 20))
 	fmt.Println("AdaWave (adaptive threshold):")
 	fmt.Println(adawave.ScatterPlot(data.Points, res.Labels, 72, 20))
+}
+
+// clusterWith runs the flat Dataset fast path under the given config.
+func clusterWith(ds *adawave.Dataset, cfg adawave.Config) (*adawave.Result, error) {
+	clusterer, err := adawave.NewClusterer(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return clusterer.ClusterDataset(ds)
 }

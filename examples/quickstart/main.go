@@ -17,8 +17,14 @@ func main() {
 		data.N(), data.NumClusters(), data.NoiseFraction()*100)
 
 	// AdaWave is parameter free: DefaultConfig reproduces the paper's
-	// settings (scale 128, CDF(2,2) wavelet, adaptive threshold).
-	result, err := adawave.Cluster(data.Points, adawave.DefaultConfig())
+	// settings (scale 128, CDF(2,2) wavelet, adaptive threshold). The flat
+	// Dataset fast path quantizes rows out of one backing slice and
+	// memoizes each point's grid cell.
+	clusterer, err := adawave.NewClusterer(adawave.DefaultConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := clusterer.ClusterDataset(data.Flat())
 	if err != nil {
 		log.Fatal(err)
 	}

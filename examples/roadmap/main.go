@@ -16,7 +16,13 @@ func main() {
 	fmt.Printf("road network: %d segments, %.0f%% noise (arterials + countryside)\n\n",
 		data.N(), data.NoiseFraction()*100)
 
-	res, err := adawave.Cluster(data.Points, adawave.DefaultConfig())
+	// The flat Dataset fast path: one row-major backing slice, memoized
+	// point→cell ids, parallel sharded quantization.
+	clusterer, err := adawave.NewClusterer(adawave.DefaultConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := clusterer.ClusterDataset(data.Flat())
 	if err != nil {
 		log.Fatal(err)
 	}

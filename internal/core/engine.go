@@ -128,12 +128,26 @@ func (e *Engine) ClusterDataset(ds *pointset.Dataset) (*Result, error) {
 		return nil, err
 	}
 	base, ids := q.QuantizeDataset(ds, w)
-	cellsQuantized := base.Len()
+	return e.clusterFromBase(base, ids, cfg, w)
+}
 
+// clusterFromBase runs every pipeline stage after quantization — transform,
+// coefficient denoising, threshold, components, assignment — on a canonical
+// base grid with memoized per-point cell ids. This is the re-entry point of
+// the streaming Session: a live grid maintained by incremental merges feeds
+// the identical downstream code, so an incrementally built base yields the
+// same Result as a one-shot run, bit for bit. cfg must already be resolved
+// (see resolveScaleND). base's cell order is permuted during the transform
+// and restored to canonical before returning; its masses are not modified.
+func (e *Engine) clusterFromBase(base *grid.FlatGrid, ids []int32, cfg Config, w int) (*Result, error) {
+	cellsQuantized := base.Len()
 	var t *grid.FlatGrid
 	if cfg.Levels > 0 {
 		levels, err := grid.TransformLevelsFlat(base, cfg.Basis, cfg.Levels, w)
 		if err != nil {
+			// The failed transform may have permuted base mid-flight;
+			// restore the canonical order the memoized ids index into.
+			base.SortCanonical()
 			return nil, err
 		}
 		// The transform permuted base's cell order in place; restore the
@@ -191,8 +205,36 @@ func (e *Engine) ClusterMultiResolutionDataset(ds *pointset.Dataset, maxLevels i
 		return nil, err
 	}
 	base, ids := q.QuantizeDataset(ds, w)
-	cellsQuantized := base.Len()
+	return e.multiResolutionFromBase(base, ids, cfg, maxLevels, w)
+}
 
+// multiResolutionFromBase is the post-quantization half of
+// ClusterMultiResolutionDataset, shared with the streaming Session: the
+// transform chain starts from an existing canonical base grid with memoized
+// point ids, and the per-level finishing passes run concurrently. base's
+// cell order is permuted by the first transform and restored to canonical
+// before any finisher reads it (and before returning); masses are not
+// modified.
+func (e *Engine) multiResolutionFromBase(base *grid.FlatGrid, ids []int32, cfg Config, maxLevels, w int) ([]*Result, error) {
+	// The transform chain ends once any dimension shrinks below two cells,
+	// so levels beyond log2(max size) can never produce a result — clamp
+	// before sizing the result slices, so a caller-supplied (possibly
+	// attacker-supplied, via adawave-serve's ?levels=) count cannot force
+	// a giant upfront allocation.
+	maxUseful := 0
+	for _, s := range base.Size {
+		bits := 0
+		for v := s; v >= 2; v >>= 1 {
+			bits++
+		}
+		if bits > maxUseful {
+			maxUseful = bits
+		}
+	}
+	if maxLevels > maxUseful {
+		maxLevels = maxUseful
+	}
+	cellsQuantized := base.Len()
 	results := make([]*Result, maxLevels)
 	errs := make([]error, maxLevels)
 	var wg sync.WaitGroup

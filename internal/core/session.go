@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adawave/internal/grid"
+	"adawave/internal/pointset"
+)
+
+// Session is a long-lived, incrementally maintained clustering: instead of
+// paying the full quantize→transform→threshold→connect pipeline on an
+// immutable point slice, a Session owns a live base grid plus the memoized
+// per-point cell ids and folds mutations in as they arrive. AdaWave's grid
+// masses are additive point counts, so an appended batch quantizes into its
+// own small canonical grid and 2-way merges into the live grid by cell id —
+// O(cells_live + cells_delta), never re-touching the points already folded —
+// and a removed point subtracts its unit mass in place, leaving a zero-mass
+// tombstone that is swept on the next merge or compaction. Only the
+// downstream stages (transform, threshold, components, assignment), which
+// read the grid and never the points, re-run on the next read.
+//
+// Lifecycle: Append and Remove mark the session dirty and return
+// immediately; Labels, Result and MultiResolution lazily fold the pending
+// mutations and recompute, then cache until the next mutation. A Session is
+// safe for one writer and many concurrent readers: reads of a clean session
+// share a read lock, and the recompute (like every mutation) runs under the
+// write lock.
+//
+// Equivalence guarantee: after any sequence of Append and Remove calls, the
+// session's labels are bit-identical to a one-shot Engine.ClusterDataset
+// over the current point set, and MultiResolution matches
+// ClusterMultiResolutionDataset the same way. The incremental path is used
+// only while it provably preserves the one-shot quantization frame — the
+// session falls back to a full requantization when a batch expands the
+// bounding box, when a removal lets go of a boundary-touching point (the
+// box may shrink), or when the automatic scale resolves differently for the
+// new point count. Everything downstream of quantization is byte-for-byte
+// the one-shot code path.
+type Session struct {
+	eng *Engine
+
+	mu sync.RWMutex
+	// ds owns every current point, row-major; rows [0, folded) are folded
+	// into base/ids, rows [folded, ds.N) are pending appends.
+	ds     *pointset.Dataset
+	q      *grid.Quantizer
+	base   *grid.FlatGrid // live canonical grid; may hold tombstones
+	ids    []int32        // memoized base-cell id per folded point
+	scale  int            // resolved scale base was quantized at
+	folded int
+	// tombstoned records that a removal zeroed at least one cell; rebuild
+	// forces a full requantization (bounding box may have changed).
+	tombstoned bool
+	rebuild    bool
+	dirty      bool // cached res is stale
+	res        *Result
+}
+
+// NewSession validates cfg and returns an empty streaming session running
+// the given number of workers per stage (≤ 0 selects GOMAXPROCS).
+func NewSession(cfg Config, workers int) (*Session, error) {
+	eng, err := NewEngine(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return eng.NewSession(), nil
+}
+
+// NewSession returns an empty streaming session sharing the engine's
+// configuration and pooled buffers. Any number of sessions may share one
+// engine.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e, ds: &pointset.Dataset{}, dirty: true}
+}
+
+// Config returns the session's (validated) configuration.
+func (s *Session) Config() Config { return s.eng.Config() }
+
+// Len returns the current number of points.
+func (s *Session) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ds.N
+}
+
+// Dim returns the dimensionality, 0 before the first append.
+func (s *Session) Dim() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ds.D
+}
+
+// Append adds a batch of points (copied out of batch) and marks the session
+// dirty; the clustering is not recomputed until the next read. The first
+// batch fixes the session's dimensionality.
+func (s *Session) Append(batch *pointset.Dataset) error {
+	if batch == nil || batch.N == 0 {
+		return nil
+	}
+	if batch.D == 0 {
+		return fmt.Errorf("core: cannot append zero-dimensional points")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ds.N == 0 && s.ds.D == 0 {
+		s.ds.D = batch.D
+	}
+	if batch.D != s.ds.D {
+		return fmt.Errorf("core: appending %d-dimensional points to a %d-dimensional session", batch.D, s.ds.D)
+	}
+	s.ds.Data = append(s.ds.Data, batch.Data[:batch.N*batch.D]...)
+	s.ds.N += batch.N
+	s.dirty = true
+	return nil
+}
+
+// Remove deletes the points at the given indices (into the session's
+// current point order, as reported by Labels), preserving the order of the
+// survivors. Folded points give their unit mass back to the live grid as a
+// signed-mass subtraction — cells emptied this way become tombstones swept
+// on the next read — so a removal costs O(removed + n) row compaction, not
+// a requantization; only letting go of a bounding-box-touching point forces
+// the full rebuild (the one-shot frame may shrink).
+func (s *Session) Remove(indices []int) error {
+	if len(indices) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, d := s.ds.N, s.ds.D
+	idx := append([]int(nil), indices...)
+	sort.Ints(idx)
+	for k, i := range idx {
+		if i < 0 || i >= n {
+			return fmt.Errorf("core: remove index %d out of range [0,%d)", i, n)
+		}
+		if k > 0 && i == idx[k-1] {
+			return fmt.Errorf("core: duplicate remove index %d", i)
+		}
+	}
+	for _, i := range idx {
+		if i >= s.folded {
+			// A pending row never contributed to the grid or its bounding
+			// box; deleting it cannot change the one-shot frame.
+			continue
+		}
+		if s.q != nil && s.touchesBBox(s.ds.Data[i*d:(i+1)*d]) {
+			s.rebuild = true
+		}
+		s.base.Vals[s.ids[i]]--
+		if s.base.Vals[s.ids[i]] <= 0 {
+			s.tombstoned = true
+		}
+	}
+	// Compact rows and ids in place, preserving order. Folded rows precede
+	// pending rows, and survivors only move left, so ids stays aligned.
+	w, k, removedFolded := 0, 0, 0
+	for i := 0; i < n; i++ {
+		if k < len(idx) && idx[k] == i {
+			k++
+			if i < s.folded {
+				removedFolded++
+			}
+			continue
+		}
+		if w != i {
+			copy(s.ds.Data[w*d:(w+1)*d], s.ds.Data[i*d:(i+1)*d])
+			if i < s.folded {
+				s.ids[w] = s.ids[i]
+			}
+		}
+		w++
+	}
+	s.ds.Data = s.ds.Data[:w*d]
+	s.ds.N = w
+	s.folded -= removedFolded
+	s.ids = s.ids[:s.folded]
+	s.dirty = true
+	return nil
+}
+
+// touchesBBox reports whether any coordinate of row sits exactly on the
+// session quantizer's bounding box (so removing the point may shrink the
+// one-shot frame).
+func (s *Session) touchesBBox(row []float64) bool {
+	for j, v := range row {
+		if v == s.q.Mins[j] || v == s.q.Maxs[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// expandsBBox reports whether any pending row falls outside the session
+// quantizer's bounding box (non-finite coordinates count as outside, so the
+// full-rebuild path reports them exactly like the one-shot constructor).
+func (s *Session) expandsBBox() bool {
+	d := s.ds.D
+	mins, maxs := s.q.Mins, s.q.Maxs
+	for i := s.folded; i < s.ds.N; i++ {
+		for j, v := range s.ds.Data[i*d : (i+1)*d] {
+			if !(v >= mins[j] && v <= maxs[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// syncLocked folds pending appends into the live grid (or requantizes from
+// scratch when the incremental path cannot reproduce the one-shot frame)
+// and sweeps tombstones. The caller holds the write lock. It returns the
+// resolved configuration for the current point count.
+func (s *Session) syncLocked() (Config, error) {
+	n, d := s.ds.N, s.ds.D
+	if n == 0 {
+		return Config{}, grid.ErrNoPoints
+	}
+	cfg := resolveScaleND(s.eng.cfg, n, d)
+	w := s.eng.effectiveWorkers()
+	if s.q == nil || s.rebuild || cfg.Scale != s.scale || s.expandsBBox() {
+		q, err := grid.NewQuantizerDataset(s.ds, cfg.Scale, w)
+		if err != nil {
+			return Config{}, err
+		}
+		s.q = q
+		s.base, s.ids = q.QuantizeDataset(s.ds, w)
+		s.scale = cfg.Scale
+		s.folded, s.tombstoned, s.rebuild = n, false, false
+		return cfg, nil
+	}
+	if s.folded < n {
+		delta := &pointset.Dataset{Data: s.ds.Data[s.folded*d:], N: n - s.folded, D: d}
+		dg, dids := s.q.QuantizeDataset(delta, w)
+		merged, liveRemap, deltaRemap := grid.MergeFlat(s.base, dg)
+		for i, id := range s.ids {
+			s.ids[i] = liveRemap[id]
+		}
+		for _, id := range dids {
+			s.ids = append(s.ids, deltaRemap[id])
+		}
+		s.base = merged
+		s.folded, s.tombstoned = n, false
+	} else if s.tombstoned {
+		if remap := s.base.Compact(); remap != nil {
+			for i, id := range s.ids {
+				s.ids[i] = remap[id]
+			}
+		}
+		s.tombstoned = false
+	}
+	return cfg, nil
+}
+
+// Result returns the clustering of the current point set, recomputing only
+// if a mutation happened since the last read. The returned Result (its
+// Labels included) is shared between callers and must not be modified; a
+// later recompute replaces rather than mutates it, so concurrent readers
+// holding an older Result stay safe.
+func (s *Session) Result() (*Result, error) {
+	s.mu.RLock()
+	if !s.dirty {
+		res := s.res
+		s.mu.RUnlock()
+		return res, nil
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		cfg, err := s.syncLocked()
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.eng.clusterFromBase(s.base, s.ids, cfg, s.eng.effectiveWorkers())
+		if err != nil {
+			return nil, err
+		}
+		s.res = res
+		s.dirty = false
+	}
+	return s.res, nil
+}
+
+// Labels returns the per-point labels of the current point set, in the
+// session's point order (appends keep arrival order; removals close the
+// gaps). The slice is shared — treat it as read-only.
+func (s *Session) Labels() ([]int, error) {
+	res, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// MultiResolution clusters the current point set at every decomposition
+// level from 1 to maxLevels in one pass over the live grid (points are
+// never re-quantized), matching ClusterMultiResolutionDataset on the same
+// points level for level. Unlike Result it is not cached. The write lock
+// is held only to fold pending mutations and snapshot the grid state; the
+// multi-level pass itself runs on a private clone, so concurrent Labels
+// readers (and other MultiResolution calls) proceed during the compute.
+func (s *Session) MultiResolution(maxLevels int) ([]*Result, error) {
+	if maxLevels < 1 {
+		maxLevels = 1
+	}
+	s.mu.Lock()
+	cfg, err := s.syncLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	// Clone under the lock: the transform permutes its input grid in
+	// place, and a concurrent Remove mutates base masses and ids in place.
+	base := s.base.Clone()
+	ids := append([]int32(nil), s.ids...)
+	s.mu.Unlock()
+	return s.eng.multiResolutionFromBase(base, ids, cfg, maxLevels, s.eng.effectiveWorkers())
+}
+
+// Cells returns the number of occupied cells in the live base grid
+// (tombstones excluded), folding pending mutations first.
+func (s *Session) Cells() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.syncLocked(); err != nil {
+		return 0, err
+	}
+	return s.base.Len(), nil
+}

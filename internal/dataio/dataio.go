@@ -64,56 +64,13 @@ func WriteCSV(w io.Writer, points [][]float64, labels []int) error {
 // labels slice is nil when the file carries none, and the dataset is nil
 // when the file holds no points.
 func ReadCSVDataset(r io.Reader) (ds *pointset.Dataset, labels []int, err error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // validated manually for better messages
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, nil, fmt.Errorf("dataio: read csv: %w", err)
-	}
-	if len(records) == 0 {
+	// The one-shot read is the chunked reader draining the whole stream
+	// into a single batch.
+	ds, labels, err = NewBatchReader(r, 0).Next()
+	if err == io.EOF {
 		return nil, nil, nil
 	}
-	start := 0
-	hasLabels := false
-	if _, err := strconv.ParseFloat(records[0][0], 64); err != nil {
-		// Header row.
-		start = 1
-		last := records[0][len(records[0])-1]
-		hasLabels = last == "label"
-	}
-	if start == len(records) {
-		return nil, nil, nil
-	}
-	width := len(records[start])
-	d := width
-	if hasLabels {
-		d--
-	}
-	if d < 1 {
-		return nil, nil, fmt.Errorf("dataio: no coordinate columns (width %d)", width)
-	}
-	ds = pointset.New(d, len(records)-start)
-	for i, rec := range records[start:] {
-		if len(rec) != width {
-			return nil, nil, fmt.Errorf("dataio: row %d has %d fields, want %d", i+start+1, len(rec), width)
-		}
-		for j := 0; j < d; j++ {
-			v, err := strconv.ParseFloat(rec[j], 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("dataio: row %d column %d: %w", i+start+1, j, err)
-			}
-			ds.Data = append(ds.Data, v)
-		}
-		ds.N++
-		if hasLabels {
-			l, err := strconv.Atoi(rec[d])
-			if err != nil {
-				return nil, nil, fmt.Errorf("dataio: row %d label: %w", i+start+1, err)
-			}
-			labels = append(labels, l)
-		}
-	}
-	return ds, labels, nil
+	return ds, labels, err
 }
 
 // ReadCSV is ReadCSVDataset returning [][]float64: the rows are zero-copy

@@ -1,0 +1,155 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Grid snapshots: a FlatGrid serializes to a compact little-endian binary
+// stream so a long-lived session can checkpoint its live base grid (and a
+// restarted process can warm-start from it) without replaying every point.
+// The format is versioned by a 4-byte magic; all integers are little-endian.
+//
+//	"AWG1" | dim uint32 | size[dim] uint32 | cells uint64
+//	     | coords[cells*dim] uint16 | vals[cells] float64
+
+var snapshotMagic = [4]byte{'A', 'W', 'G', '1'}
+
+// WriteSnapshot serializes the grid to w in the snapshot format.
+func (f *FlatGrid) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("grid: write snapshot: %w", err)
+	}
+	d := f.Dim()
+	hdr := make([]uint32, 0, 1+d)
+	hdr = append(hdr, uint32(d))
+	for _, s := range f.Size {
+		hdr = append(hdr, uint32(s))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("grid: write snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(f.Len())); err != nil {
+		return fmt.Errorf("grid: write snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, f.Coords); err != nil {
+		return fmt.Errorf("grid: write snapshot coords: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, f.Vals); err != nil {
+		return fmt.Errorf("grid: write snapshot vals: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("grid: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot restores a grid written by WriteSnapshot, validating the
+// magic, the coordinate ranges against the recorded sizes, and mass
+// finiteness, so a truncated or corrupted stream is reported instead of
+// yielding a quietly broken grid.
+func ReadSnapshot(r io.Reader) (*FlatGrid, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("grid: read snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("grid: bad snapshot magic %q", magic[:])
+	}
+	var d32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &d32); err != nil {
+		return nil, fmt.Errorf("grid: read snapshot header: %w", err)
+	}
+	const maxDim = 1 << 10 // far above any real workload; bounds allocation
+	if d32 == 0 || d32 > maxDim {
+		return nil, fmt.Errorf("grid: snapshot dimension %d out of range", d32)
+	}
+	d := int(d32)
+	size := make([]int, d)
+	for j := range size {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("grid: read snapshot header: %w", err)
+		}
+		if s == 0 || s > 0x10000 {
+			return nil, fmt.Errorf("grid: snapshot size %d of dimension %d out of range", s, j)
+		}
+		size[j] = int(s)
+	}
+	var cells uint64
+	if err := binary.Read(br, binary.LittleEndian, &cells); err != nil {
+		return nil, fmt.Errorf("grid: read snapshot header: %w", err)
+	}
+	max := uint64(1)
+	for _, s := range size {
+		max *= uint64(s)
+		if max > 1<<40 {
+			max = 1 << 40 // cap the check; sparse grids never approach this
+			break
+		}
+	}
+	if cells > max {
+		return nil, fmt.Errorf("grid: snapshot cell count %d exceeds grid volume", cells)
+	}
+	// Read each section in bounded chunks, growing the buffer with the
+	// data actually present: a corrupt header declaring a huge cell count
+	// then fails on the first missing chunk instead of provoking a giant
+	// up-front allocation from a few bytes of input.
+	const chunk = 1 << 16
+	initial := int(cells)
+	if initial > chunk {
+		initial = chunk
+	}
+	f := NewFlat(size, initial)
+	var chunkC [chunk]uint16
+	for read := 0; read < int(cells)*d; {
+		n := int(cells)*d - read
+		if n > chunk {
+			n = chunk
+		}
+		if err := binary.Read(br, binary.LittleEndian, chunkC[:n]); err != nil {
+			return nil, fmt.Errorf("grid: read snapshot coords: %w", err)
+		}
+		f.Coords = append(f.Coords, chunkC[:n]...)
+		read += n
+	}
+	var chunkV [chunk / 4]float64
+	for read := 0; read < int(cells); {
+		n := int(cells) - read
+		if n > len(chunkV) {
+			n = len(chunkV)
+		}
+		if err := binary.Read(br, binary.LittleEndian, chunkV[:n]); err != nil {
+			return nil, fmt.Errorf("grid: read snapshot vals: %w", err)
+		}
+		f.Vals = append(f.Vals, chunkV[:n]...)
+		read += n
+	}
+	for i := 0; i < int(cells); i++ {
+		for j, c := range f.CellCoords(i) {
+			if int(c) >= size[j] {
+				return nil, fmt.Errorf("grid: snapshot cell %d coordinate %d out of range in dimension %d", i, c, j)
+			}
+		}
+		// Zero and negative masses are rejected too: tombstones are a
+		// transient in-session state the pipeline never clusters (the sync
+		// always sweeps first), so a checkpoint must be taken from — and
+		// restore to — a compacted grid.
+		if math.IsNaN(f.Vals[i]) || math.IsInf(f.Vals[i], 0) || f.Vals[i] <= 0 {
+			return nil, fmt.Errorf("grid: snapshot cell %d has non-positive or non-finite mass %v", i, f.Vals[i])
+		}
+		// Every consumer (Find, MergeFlat, the transform sweep) assumes
+		// strictly increasing canonical order, which also rules out
+		// duplicate cells; a reordered or duplicated stream must be
+		// reported, not restored.
+		if i > 0 && cmpCoords(f.CellCoords(i-1), f.CellCoords(i)) >= 0 {
+			return nil, fmt.Errorf("grid: snapshot cells %d and %d out of canonical order", i-1, i)
+		}
+	}
+	return f, nil
+}

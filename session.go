@@ -1,0 +1,95 @@
+package adawave
+
+import (
+	"adawave/internal/core"
+	"adawave/internal/pointset"
+)
+
+// Session is a long-lived, incrementally maintained clustering — the
+// streaming counterpart of Clusterer. Feed points in over time with Append
+// (and take them back out with Remove); the session keeps its sparse
+// density grid warm between requests, folding each delta batch in by one
+// O(cells) merge instead of requantizing every point, and lazily re-runs
+// only the grid-side stages (wavelet transform, adaptive threshold,
+// connected components) on the next read.
+//
+// The invalidation model: mutations never compute anything — they mark the
+// session dirty and return. The first read after a mutation folds the
+// pending deltas into the live grid and recomputes; subsequent reads of a
+// clean session return the cached Result under a shared read lock. A
+// Session is safe for one writer and many concurrent readers.
+//
+// Equivalence guarantee: after any sequence of Append and Remove calls the
+// labels are bit-identical to a one-shot Clusterer.ClusterDataset over the
+// current point set. The incremental merge is used only while it provably
+// preserves the one-shot quantization frame; a batch that expands the
+// bounding box, a removal that lets go of a boundary-touching point, or an
+// automatic scale change falls back to full requantization, so the
+// guarantee holds unconditionally.
+type Session struct {
+	s *core.Session
+}
+
+// NewSession validates cfg and returns an empty streaming session using the
+// given number of worker goroutines per pipeline stage (≤ 0 selects
+// runtime.GOMAXPROCS(0) at each call).
+func NewSession(cfg Config, workers int) (*Session, error) {
+	s, err := core.NewSession(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// NewSession returns an empty streaming session sharing this clusterer's
+// configuration, workers and pooled buffers.
+func (c *Clusterer) NewSession() *Session {
+	return &Session{s: c.eng.NewSession()}
+}
+
+// Append adds a batch of points (copied; the caller keeps ownership of ds)
+// and marks the session dirty. The first batch fixes the dimensionality.
+func (s *Session) Append(ds *Dataset) error { return s.s.Append(ds) }
+
+// AppendPoints is Append for [][]float64 callers (one copy).
+func (s *Session) AppendPoints(points [][]float64) error {
+	ds, err := pointset.FromSlices(points)
+	if err != nil {
+		return err
+	}
+	return s.s.Append(ds)
+}
+
+// Remove deletes the points at the given indices in the session's current
+// point order, preserving the order of the survivors.
+func (s *Session) Remove(indices []int) error { return s.s.Remove(indices) }
+
+// Labels returns the per-point labels of the current point set (appends
+// keep arrival order; removals close the gaps), recomputing only if the
+// session is dirty. The slice is shared — treat it as read-only.
+func (s *Session) Labels() ([]int, error) { return s.s.Labels() }
+
+// Result returns the full clustering result of the current point set,
+// recomputing only if the session is dirty. The Result is shared between
+// readers and must not be modified.
+func (s *Session) Result() (*Result, error) { return s.s.Result() }
+
+// MultiResolution clusters the current point set at every decomposition
+// level from 1 to maxLevels in one pass over the live grid, without
+// re-quantizing any point.
+func (s *Session) MultiResolution(maxLevels int) ([]*Result, error) {
+	return s.s.MultiResolution(maxLevels)
+}
+
+// Len returns the current number of points.
+func (s *Session) Len() int { return s.s.Len() }
+
+// Dim returns the session's dimensionality (0 before the first append).
+func (s *Session) Dim() int { return s.s.Dim() }
+
+// Cells returns the number of occupied cells in the live base grid after
+// folding any pending mutations.
+func (s *Session) Cells() (int, error) { return s.s.Cells() }
+
+// Config returns the session's (validated) configuration.
+func (s *Session) Config() Config { return s.s.Config() }
