@@ -5,10 +5,12 @@ GO ?= go
 
 # The perf suite behind `make bench-json`: the sequential/engine/Dataset
 # renderings of the Fig. 2 and Fig. 9 workloads, the multi-resolution pass,
-# noise assignment, and the streaming workloads (warm Session append+relabel
-# vs. cold recluster, incremental merge throughput). BENCHTIME is
-# overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput
+# noise assignment, the streaming workloads (warm Session append+relabel
+# vs. cold recluster, incremental merge throughput), and the durability
+# workloads (per-mutation WAL-append overhead under both fsync policies,
+# cold crash recovery of a 50k-point session from checkpoint + WAL tail).
+# BENCHTIME is overridable for quicker local runs.
+BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k
 BENCHTIME ?= 100x
 
 .PHONY: build test race bench bench-json fmt-check vet ci
@@ -19,22 +21,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-exercise the parallel engine: grid substrate, core pipeline, facade,
-# and the HTTP serving layer (whose httptest smoke drives one writer and
-# many concurrent readers through a shared Session).
+# Race-exercise the parallel engine: grid substrate, core pipeline, the
+# persistence layer, facade, and the HTTP serving layer (whose httptest
+# smoke drives one writer and many concurrent readers through a shared
+# Session, and whose crash-recovery property test replays every WAL crash
+# point).
 race:
-	$(GO) test -race ./internal/grid/... ./internal/core/... ./cmd/adawave-serve/... .
+	$(GO) test -race ./internal/grid/... ./internal/core/... ./internal/persist/... ./cmd/adawave-serve/... .
 
 # The CI benchmark smoke job: one iteration of the Fig. 2 benchmarks.
 bench:
 	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
 
 # The perf suite with allocation stats as test2json lines, committed as
-# BENCH_3.json so the repo records its own performance trajectory; CI also
-# uploads it as an artifact next to the Fig. 2 bench smoke. (BENCH_2.json is
-# the committed PR-2 snapshot, kept for the trajectory.)
+# BENCH_4.json so the repo records its own performance trajectory; CI also
+# uploads it as an artifact next to the Fig. 2 bench smoke. (BENCH_2.json
+# and BENCH_3.json are the committed PR-2/PR-3 snapshots, kept for the
+# trajectory.)
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_3.json
+	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_4.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

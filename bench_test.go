@@ -7,7 +7,9 @@ package adawave
 // cmd/experiments.
 
 import (
+	"bytes"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"adawave/internal/datasets"
 	"adawave/internal/grid"
 	"adawave/internal/metrics"
+	"adawave/internal/persist"
 	"adawave/internal/pointset"
 	"adawave/internal/stats"
 	"adawave/internal/synth"
@@ -748,6 +751,87 @@ func BenchmarkColdRecluster50k(b *testing.B) {
 		}
 		if len(res.Labels) != union.N {
 			b.Fatalf("labels: got %d", len(res.Labels))
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the write-ahead-log overhead every mutation
+// of a durable adawave-serve session pays: framing + CRC + write of a 1 %
+// (500-point) delta batch. policy=never isolates the serialization cost
+// (the page cache absorbs the write); policy=always adds the fsync a
+// zero-loss configuration pays before acknowledging.
+func BenchmarkWALAppend(b *testing.B) {
+	_, delta := streamingFixture(b)
+	for _, policy := range []persist.SyncPolicy{persist.SyncNever, persist.SyncAlways} {
+		b.Run("policy="+policy.String(), func(b *testing.B) {
+			wal, err := persist.OpenWAL(filepath.Join(b.TempDir(), "wal.log"), policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer wal.Close()
+			b.SetBytes(int64(8 * delta.N * delta.D))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wal.AppendBatch(delta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdRecovery50k measures crash recovery to first labels: restore
+// a 50k-point session checkpoint, replay a two-record WAL tail (a 1 % append
+// and a small removal), and serve the first read. Compare against
+// BenchmarkColdRecluster50k — recovery replaces the full requantization with
+// sequential reads plus one O(cells) merge per replayed record.
+func BenchmarkColdRecovery50k(b *testing.B) {
+	warm, delta := streamingFixture(b)
+	cfg := core.DefaultConfig()
+	sess, err := NewSession(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Append(warm); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Labels(); err != nil {
+		b.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := sess.Checkpoint(&ckpt); err != nil {
+		b.Fatal(err)
+	}
+	walPath := filepath.Join(b.TempDir(), "wal.log")
+	wal, err := persist.OpenWAL(walPath, persist.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wal.AppendBatch(delta); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wal.AppendRemove([]int{3, 1000, 2000}); err != nil {
+		b.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		b.Fatal(err)
+	}
+	wantN := warm.N + delta.N - 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, err := RestoreSession(bytes.NewReader(ckpt.Bytes()), cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := persist.ReplayInto(walPath, 0, restored); err != nil {
+			b.Fatal(err)
+		}
+		labels, err := restored.Labels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(labels) != wantN {
+			b.Fatalf("recovered labels: got %d, want %d", len(labels), wantN)
 		}
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"adawave/internal/persist"
 )
 
 func main() {
@@ -23,10 +25,34 @@ func main() {
 		maxBody         = flag.Int64("max-body-bytes", 256<<20, "largest accepted request body")
 		maxSessions     = flag.Int("max-sessions", 64, "most concurrent sessions")
 		maxPoints       = flag.Int("max-points", 10_000_000, "most points per session")
+		dataDir         = flag.String("data-dir", "", "directory for durable session state (checkpoints + write-ahead logs); empty disables persistence")
+		walSync         = flag.String("wal-sync", "always", "WAL fsync policy: always (durable before the response), interval (periodic), never (OS-scheduled)")
+		walSyncInterval = flag.Duration("wal-sync-interval", time.Second, "fsync period under -wal-sync=interval")
+		ckptInterval    = flag.Duration("checkpoint-interval", time.Minute, "how often the background checkpointer folds grown WALs into checkpoints (0 disables)")
 	)
 	flag.Parse()
 
-	srv := newServer(*workers, *timeout, *csvBatch, *maxBody, *maxSessions, *maxPoints)
+	policy, err := persist.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
+		os.Exit(2)
+	}
+	srv, err := newServer(serverOptions{
+		workers:         *workers,
+		timeout:         *timeout,
+		csvBatch:        *csvBatch,
+		maxBody:         *maxBody,
+		maxSessions:     *maxSessions,
+		maxPoints:       *maxPoints,
+		dataDir:         *dataDir,
+		walSync:         policy,
+		walSyncInterval: *walSyncInterval,
+		ckptInterval:    *ckptInterval,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
@@ -39,11 +65,16 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("adawave-serve listening on %s (request timeout %s)", *addr, *timeout)
+	if *dataDir != "" {
+		log.Printf("adawave-serve listening on %s (request timeout %s, data dir %s, wal sync %s)", *addr, *timeout, *dataDir, policy)
+	} else {
+		log.Printf("adawave-serve listening on %s (request timeout %s)", *addr, *timeout)
+	}
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
 			fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
 			os.Exit(1)
 		}
@@ -57,4 +88,6 @@ func main() {
 			hs.Close()
 		}
 	}
+	// Flush and close the WALs after the last in-flight mutation drained.
+	srv.Close()
 }

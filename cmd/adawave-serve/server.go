@@ -10,6 +10,8 @@
 //	              [-shutdown-timeout 10s] [-csv-batch 8192]
 //	              [-max-body-bytes 268435456] [-max-sessions 64]
 //	              [-max-points 10000000]
+//	              [-data-dir DIR] [-wal-sync always|interval|never]
+//	              [-wal-sync-interval 1s] [-checkpoint-interval 1m]
 //
 // Endpoints:
 //
@@ -20,10 +22,18 @@
 //	DELETE /sessions/{id}/points          remove points (JSON {"indices":[…]})
 //	GET    /sessions/{id}/labels          cluster the current point set, return labels + diagnostics
 //	GET    /sessions/{id}/multiresolution multi-level results (?levels=L)
-//	DELETE /sessions/{id}                 drop the session
+//	POST   /sessions/{id}/checkpoint      force a checkpoint now (admin; requires -data-dir)
+//	DELETE /sessions/{id}                 drop the session (and its on-disk state)
 //
 // Every request is bounded by the -timeout request-scoped deadline, and the
 // process drains in-flight requests on SIGINT/SIGTERM before exiting.
+//
+// With -data-dir set, sessions are durable: every acknowledged mutation is
+// journaled to a per-session write-ahead log (fsynced per -wal-sync), a
+// background checkpointer periodically folds the log into a full binary
+// checkpoint, and a restarted process recovers every session — newest
+// checkpoint plus WAL tail, torn trailing records discarded — with labels
+// bit-identical to the uninterrupted session. See store.go for the layout.
 package main
 
 import (
@@ -31,22 +41,42 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"mime"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adawave"
+	"adawave/internal/core"
 	"adawave/internal/dataio"
 	"adawave/internal/grid"
+	"adawave/internal/persist"
 	"adawave/internal/pointset"
 )
 
+// serverOptions bundles the serving configuration; zero values select the
+// documented defaults, and an empty dataDir disables persistence.
+type serverOptions struct {
+	workers         int
+	timeout         time.Duration
+	csvBatch        int
+	maxBody         int64
+	maxSessions     int
+	maxPoints       int
+	dataDir         string
+	walSync         persist.SyncPolicy
+	walSyncInterval time.Duration
+	ckptInterval    time.Duration
+}
+
 // server holds the session registry: one adawave.Session per id, each safe
 // for one writer and many readers, so concurrent label reads on a warm
-// session share its cached result.
+// session share its cached result. With persistence enabled it also owns
+// the background checkpointer and WAL-fsync tickers.
 type server struct {
 	workers     int
 	timeout     time.Duration
@@ -55,43 +85,159 @@ type server struct {
 	maxSessions int
 	maxPoints   int
 
+	pers            *persistence // nil when -data-dir is unset
+	walSyncInterval time.Duration
+	ckptInterval    time.Duration
+	stop            chan struct{}
+	bg              sync.WaitGroup
+	closeOnce       sync.Once
+
 	mu       sync.RWMutex
 	sessions map[string]*serveSession
 	nextID   atomic.Uint64
 }
 
-// serveSession pairs a Session with the server-side writer lock. The
-// Session itself is safe for one writer and many readers; writeMu
-// serializes HTTP mutation requests so that contract holds even when two
-// clients POST to the same session — and so the CSV rollback's "the
-// appended points are the tail" assumption is enforced, not assumed.
+// serveSession pairs a Session with the server-side writer lock and its
+// on-disk state. The Session itself is safe for one writer and many
+// readers; writeMu serializes HTTP mutation requests (and checkpoints) so
+// that contract holds even when two clients POST to the same session — and
+// so the CSV rollback's "the appended points are the tail" assumption is
+// enforced, not assumed. files (nil without -data-dir) is guarded by
+// writeMu too.
 type serveSession struct {
 	writeMu sync.Mutex
 	sess    *adawave.Session
+	files   *sessionFiles
 }
 
-func newServer(workers int, timeout time.Duration, csvBatch int, maxBody int64, maxSessions, maxPoints int) *server {
-	if csvBatch <= 0 {
-		csvBatch = 8192
+func newServer(opts serverOptions) (*server, error) {
+	if opts.csvBatch <= 0 {
+		opts.csvBatch = 8192
 	}
-	if maxBody <= 0 {
-		maxBody = 256 << 20
+	if opts.maxBody <= 0 {
+		opts.maxBody = 256 << 20
 	}
-	if maxSessions <= 0 {
-		maxSessions = 64
+	if opts.maxSessions <= 0 {
+		opts.maxSessions = 64
 	}
-	if maxPoints <= 0 {
-		maxPoints = 10_000_000
+	if opts.maxPoints <= 0 {
+		opts.maxPoints = 10_000_000
 	}
-	return &server{
-		workers:     workers,
-		timeout:     timeout,
-		csvBatch:    csvBatch,
-		maxBody:     maxBody,
-		maxSessions: maxSessions,
-		maxPoints:   maxPoints,
-		sessions:    make(map[string]*serveSession),
+	s := &server{
+		workers:         opts.workers,
+		timeout:         opts.timeout,
+		csvBatch:        opts.csvBatch,
+		maxBody:         opts.maxBody,
+		maxSessions:     opts.maxSessions,
+		maxPoints:       opts.maxPoints,
+		walSyncInterval: opts.walSyncInterval,
+		ckptInterval:    opts.ckptInterval,
+		stop:            make(chan struct{}),
+		sessions:        make(map[string]*serveSession),
 	}
+	if opts.dataDir != "" {
+		pers, err := openPersistence(opts.dataDir, opts.walSync)
+		if err != nil {
+			return nil, err
+		}
+		s.pers = pers
+		recovered, maxID := pers.recoverSessions(opts.workers)
+		s.sessions = recovered
+		s.nextID.Store(maxID)
+		s.startBackground()
+	}
+	return s, nil
+}
+
+// startBackground launches the periodic checkpointer and, under the
+// interval fsync policy, the WAL sync ticker.
+func (s *server) startBackground() {
+	if s.ckptInterval > 0 {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			t := time.NewTicker(s.ckptInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.checkpointDirty()
+				}
+			}
+		}()
+	}
+	if s.pers.policy == persist.SyncInterval {
+		interval := s.walSyncInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					for _, ss := range s.snapshotSessions() {
+						if ss.files != nil {
+							if err := ss.files.wal.Sync(); err != nil {
+								log.Printf("adawave-serve: wal sync: %v", err)
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+}
+
+// snapshotSessions copies the registry under the read lock.
+func (s *server) snapshotSessions() []*serveSession {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*serveSession, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		out = append(out, ss)
+	}
+	return out
+}
+
+// checkpointDirty checkpoints every session whose WAL has grown since its
+// last checkpoint, truncating the log.
+func (s *server) checkpointDirty() {
+	for _, ss := range s.snapshotSessions() {
+		ss.writeMu.Lock()
+		if ss.files != nil && (ss.files.wal.Records() > 0 || ss.files.broken) {
+			if _, err := ss.checkpointLocked(); err != nil {
+				log.Printf("adawave-serve: background checkpoint: %v", err)
+			}
+		}
+		ss.writeMu.Unlock()
+	}
+}
+
+// Close stops the background goroutines and closes every session's WAL
+// (flushing buffered records). It does not checkpoint; recovery replays the
+// log on the next boot.
+func (s *server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.bg.Wait()
+		for _, ss := range s.snapshotSessions() {
+			ss.writeMu.Lock()
+			if ss.files != nil {
+				if err := ss.files.wal.Close(); err != nil {
+					log.Printf("adawave-serve: wal close: %v", err)
+				}
+			}
+			ss.writeMu.Unlock()
+		}
+	})
 }
 
 // handler wires the routes and wraps them in the request body cap and the
@@ -104,6 +250,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /sessions/{id}/points", s.removePoints)
 	mux.HandleFunc("GET /sessions/{id}/labels", s.labels)
 	mux.HandleFunc("GET /sessions/{id}/multiresolution", s.multiResolution)
+	mux.HandleFunc("POST /sessions/{id}/checkpoint", s.checkpointSession)
 	mux.HandleFunc("DELETE /sessions/{id}", s.deleteSession)
 	var h http.Handler = mux
 	if s.timeout > 0 {
@@ -180,13 +327,26 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := "s" + strconv.FormatUint(s.nextID.Add(1), 10)
+	ss := &serveSession{sess: sess}
+	if s.pers != nil {
+		files, err := s.pers.create(id, core.ConfigFingerprint(sess.Config()))
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("session storage: %v", err))
+			return
+		}
+		ss.files = files
+	}
 	s.mu.Lock()
 	if len(s.sessions) >= s.maxSessions {
 		s.mu.Unlock()
+		if ss.files != nil {
+			ss.files.wal.Close()
+			os.RemoveAll(ss.files.dir)
+		}
 		writeErr(w, http.StatusTooManyRequests, fmt.Sprintf("session limit %d reached", s.maxSessions))
 		return
 	}
-	s.sessions[id] = &serveSession{sess: sess}
+	s.sessions[id] = ss
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
 }
@@ -245,13 +405,23 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 	switch ct {
 	case "text/csv":
 		// Chunked ingestion: the body streams through the batch reader in
-		// -csv-batch chunks, so a large upload never materializes at once.
-		// On a mid-stream error — a parse failure, or the request deadline
-		// expiring (checked between chunks, since TimeoutHandler answers
-		// 503 but does not stop this goroutine) — the already-appended
-		// chunks are rolled back, so a failed upload is atomic and a
-		// client retry cannot duplicate points.
+		// -csv-batch chunks, so a large upload is never JSON-materialized at
+		// once. On a mid-stream error — a parse failure, or the request
+		// deadline expiring (checked between chunks, since TimeoutHandler
+		// answers 503 but does not stop this goroutine) — the already-
+		// appended chunks are rolled back, so a failed upload is atomic and
+		// a client retry cannot duplicate points. The upload is journaled as
+		// ONE record after it fully succeeds, never per chunk: a crash
+		// mid-upload must leave nothing in the log (the client saw an error
+		// and will re-send the whole body), so the crash-recovered session
+		// holds no half-applied upload to duplicate. The journal copy
+		// (uploaded) is bounded by the upload itself, which the session
+		// retains anyway.
 		ctx := r.Context()
+		var uploaded *pointset.Dataset
+		if ss.files != nil {
+			uploaded = &pointset.Dataset{}
+		}
 		err := dataio.EachBatch(r.Body, s.csvBatch, func(ds *pointset.Dataset, labels []int) error {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("ingestion aborted: %w", err)
@@ -263,8 +433,16 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 				return err
 			}
 			appended += ds.N
+			if uploaded != nil {
+				uploaded.D = ds.D
+				uploaded.Data = append(uploaded.Data, ds.Data[:ds.N*ds.D]...)
+				uploaded.N += ds.N
+			}
 			return nil
 		})
+		if err == nil && uploaded != nil && uploaded.N > 0 {
+			err = ss.journalAppend(uploaded)
+		}
 		if err != nil {
 			if appended > 0 {
 				n := sess.Len()
@@ -298,11 +476,32 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("session point limit %d reached", s.maxPoints))
 			return
 		}
-		if err := sess.AppendPoints(body.Points); err != nil {
+		ds, err := pointset.FromSlices(body.Points)
+		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		appended = len(body.Points)
+		if err := sess.Append(ds); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := ss.journalAppend(ds); err != nil {
+			// The batch is not durable: roll it back so the 500 keeps the
+			// mutation at-most-once under client retries.
+			if ds.N > 0 {
+				n := sess.Len()
+				idx := make([]int, ds.N)
+				for i := range idx {
+					idx[i] = n - ds.N + i
+				}
+				if rerr := sess.Remove(idx); rerr != nil {
+					err = fmt.Errorf("%v (and rolling back failed: %v)", err, rerr)
+				}
+			}
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		appended = ds.N
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"appended": appended, "points": sess.Len()})
 }
@@ -328,6 +527,14 @@ func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := ss.sess.Remove(body.Indices); err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := ss.journalRemove(body.Indices); err != nil {
+		// A removal cannot be rolled back; the fallback checkpoint inside
+		// journalRemove already tried to capture the state, so a failure
+		// here means the session is marked broken and further mutations are
+		// refused until a checkpoint succeeds.
+		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": len(body.Indices), "points": ss.sess.Len()})
@@ -403,27 +610,66 @@ func (s *server) multiResolution(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"levels": out})
 }
 
+// checkpointSession is the admin endpoint: force a checkpoint now (folding
+// the WAL into a fresh full-state file and truncating the log), e.g. before
+// a planned deploy to make the subsequent recovery O(read) with no replay.
+func (s *server) checkpointSession(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(w, r)
+	if ss == nil {
+		return
+	}
+	if ss.files == nil {
+		writeErr(w, http.StatusConflict, "persistence is disabled (start with -data-dir)")
+		return
+	}
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	seq, err := ss.checkpointLocked()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Sprintf("checkpoint: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "points": ss.sess.Len()})
+}
+
 func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	ss, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
 		return
 	}
+	if ss.files != nil {
+		// Dropping the session drops its durable state too; in-flight
+		// mutations finished before the registry delete (or 404 after it).
+		ss.writeMu.Lock()
+		ss.files.wal.Close()
+		if err := os.RemoveAll(ss.files.dir); err != nil {
+			log.Printf("adawave-serve: remove session dir: %v", err)
+		}
+		ss.writeMu.Unlock()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // writeReadErr maps clustering-read failures: an empty session is the
-// caller's sequencing problem (409), anything else is a config/data error.
+// caller's sequencing problem (409); errors the client can fix by changing
+// its data or session configuration — a non-finite coordinate, a grid too
+// small for the configured levels, a transform-densified high-dimensional
+// grid — are 422; everything else (engine invariants, IO) is an internal
+// fault and must say so with a 500, not blame the request.
 func writeReadErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, grid.ErrNoPoints) {
+	switch {
+	case errors.Is(err, grid.ErrNoPoints):
 		writeErr(w, http.StatusConflict, "session has no points")
-		return
+	case errors.Is(err, grid.ErrInvalidInput):
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, err.Error())
 	}
-	writeErr(w, http.StatusUnprocessableEntity, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -436,9 +682,13 @@ func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
-// bodyErrStatus distinguishes an over-limit body (413: split and retry)
+// bodyErrStatus distinguishes a server-side durability failure (500: the
+// client did nothing wrong) and an over-limit body (413: split and retry)
 // from malformed input (400: don't retry).
 func bodyErrStatus(err error) int {
+	if errors.Is(err, errDurability) {
+		return http.StatusInternalServerError
+	}
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
 		return http.StatusRequestEntityTooLarge

@@ -14,6 +14,18 @@ import (
 	"adawave/internal/dataio"
 )
 
+// mustServer builds a server from opts, failing the test on error and
+// closing it (stopping background goroutines, flushing WALs) at cleanup.
+func mustServer(t *testing.T, opts serverOptions) *server {
+	t.Helper()
+	srv, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
 // doJSON issues one request against the test server and decodes the JSON
 // response into out (skipped when out is nil).
 func doJSON(t *testing.T, ts *httptest.Server, method, path, contentType string, body []byte, wantCode int, out any) {
@@ -52,7 +64,7 @@ func doJSON(t *testing.T, ts *httptest.Server, method, path, contentType string,
 // chunked CSV) → read labels (asserted bit-identical to the one-shot
 // library call) → multi-resolution → remove → delete → 404.
 func TestServeLifecycle(t *testing.T) {
-	srv := newServer(2, 30*time.Second, 64, 0, 0, 0)
+	srv := mustServer(t, serverOptions{workers: 2, timeout: 30 * time.Second, csvBatch: 64})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -163,7 +175,7 @@ func TestServeLifecycle(t *testing.T) {
 // TestServeConcurrentReaders hammers labels reads while batches stream in —
 // the race-detector rendering of the one-writer-many-readers contract.
 func TestServeConcurrentReaders(t *testing.T) {
-	srv := newServer(2, 30*time.Second, 0, 0, 0, 0)
+	srv := mustServer(t, serverOptions{workers: 2, timeout: 30 * time.Second})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -226,7 +238,7 @@ func TestServeConcurrentReaders(t *testing.T) {
 
 // TestServeBadRequests covers the 4xx surface.
 func TestServeBadRequests(t *testing.T) {
-	srv := newServer(1, 30*time.Second, 0, 0, 0, 0)
+	srv := mustServer(t, serverOptions{workers: 1, timeout: 30 * time.Second})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -261,7 +273,7 @@ func TestServeBadRequests(t *testing.T) {
 // already appended must roll those chunks back — failed ingestion is
 // atomic, so a client retry cannot duplicate points.
 func TestServeCSVRollback(t *testing.T) {
-	srv := newServer(1, 30*time.Second, 2, 0, 0, 0) // 2-row chunks
+	srv := mustServer(t, serverOptions{workers: 1, timeout: 30 * time.Second, csvBatch: 2}) // 2-row chunks
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 	var created struct {
@@ -289,7 +301,7 @@ func TestServeCSVRollback(t *testing.T) {
 // TestServeResourceCaps: the session-count and per-session point limits
 // answer 429/413 instead of letting a client grow memory without bound.
 func TestServeResourceCaps(t *testing.T) {
-	srv := newServer(1, 30*time.Second, 2, 0, 2, 5)
+	srv := mustServer(t, serverOptions{workers: 1, timeout: 30 * time.Second, csvBatch: 2, maxSessions: 2, maxPoints: 5})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 	var created struct {
@@ -321,7 +333,7 @@ func TestServeResourceCaps(t *testing.T) {
 // TestServeRequestTimeout: a request exceeding the request-scoped deadline
 // is answered with 503 instead of hanging.
 func TestServeRequestTimeout(t *testing.T) {
-	srv := newServer(1, 1*time.Nanosecond, 0, 0, 0, 0)
+	srv := mustServer(t, serverOptions{workers: 1, timeout: time.Nanosecond})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 	resp, err := ts.Client().Get(ts.URL + "/sessions")
@@ -341,7 +353,7 @@ func TestServeRequestTimeout(t *testing.T) {
 // TestServeAppendEquivalence streams a dataset over HTTP in many batch
 // shapes; the served labels must be bit-identical regardless of batching.
 func TestServeAppendEquivalence(t *testing.T) {
-	srv := newServer(1, 30*time.Second, 16, 0, 0, 0)
+	srv := mustServer(t, serverOptions{workers: 1, timeout: 30 * time.Second, csvBatch: 16})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 	data := adawave.SyntheticEvaluation(100, 0.3, 11)

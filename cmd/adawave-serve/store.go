@@ -1,0 +1,361 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"adawave"
+	"adawave/internal/core"
+	"adawave/internal/grid"
+	"adawave/internal/persist"
+	"adawave/internal/pointset"
+)
+
+// Durable session storage. With -data-dir set, every session owns one
+// directory under <data-dir>/sessions/<id>/:
+//
+//	config.json          the session's configuration fingerprint
+//	checkpoint-<seq>.awc newest full-state checkpoint; <seq> is the last
+//	                     WAL sequence number it folds in
+//	wal.log              write-ahead log of mutations after that sequence
+//
+// Every acknowledged mutation is journaled to the WAL after it applies (only
+// successful mutations are logged, so replay can never fail on a valid log).
+// A checkpoint — background, admin-triggered, or the fallback when a WAL
+// write fails — serializes the full session under the per-session writer
+// lock to a temp file, fsyncs, renames it into place and truncates the WAL.
+// Boot-time recovery walks the session directories: newest restorable
+// checkpoint, then the WAL tail with sequences above the checkpoint's,
+// discarding any torn trailing record. Because AdaWave's grid masses are
+// additive, each replayed batch folds into the restored grid by one
+// O(cells) merge, and the recovered session's labels are bit-identical to
+// the uninterrupted session's.
+
+// errDurability tags mutation failures caused by the persistence layer (WAL
+// append and the checkpoint fallback both failed): the handler answers 500,
+// not a 4xx that would blame the client.
+var errDurability = errors.New("durability failure")
+
+const (
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".awc"
+)
+
+// persistence is the server-wide durable-storage root.
+type persistence struct {
+	root   string
+	policy persist.SyncPolicy
+}
+
+func openPersistence(dir string, policy persist.SyncPolicy) (*persistence, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "sessions"), 0o755); err != nil {
+		return nil, fmt.Errorf("data dir: %w", err)
+	}
+	return &persistence{root: dir, policy: policy}, nil
+}
+
+func (p *persistence) sessionDir(id string) string {
+	return filepath.Join(p.root, "sessions", id)
+}
+
+// sessionFiles is one session's on-disk state. All fields are guarded by
+// the owning serveSession's writeMu (the WAL additionally locks itself, so
+// the background fsync ticker may call wal.Sync concurrently).
+type sessionFiles struct {
+	dir     string
+	wal     *persist.WAL
+	ckptSeq uint64 // sequence covered by the newest on-disk checkpoint
+	broken  bool   // double durability failure: mutations refused
+}
+
+// create provisions the directory, fingerprint and WAL of a new session.
+func (p *persistence) create(id string, meta persist.ConfigMeta) (*sessionFiles, error) {
+	dir := p.sessionDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cfg, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "config.json"), cfg, 0o644); err != nil {
+		return nil, err
+	}
+	wal, err := persist.OpenWAL(filepath.Join(dir, "wal.log"), p.policy)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionFiles{dir: dir, wal: wal}, nil
+}
+
+// configFromMeta rebuilds the adawave.Config a recovered session runs
+// under, then verifies it re-renders to exactly the stored fingerprint
+// through core.ConfigFingerprint — the same canonical renderer session
+// creation and checkpointing use — so the serving layer cannot drift from
+// the checkpoint format. Only threshold strategies this server can create
+// (the default) are restorable.
+func configFromMeta(m persist.ConfigMeta) (adawave.Config, error) {
+	cfg := adawave.DefaultConfig()
+	cfg.Scale = m.Scale
+	cfg.Levels = m.Levels
+	basis, err := adawave.BasisByName(m.Basis)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Basis = basis
+	switch m.Connectivity {
+	case "faces":
+		cfg.Connectivity = grid.Faces
+	case "full":
+		cfg.Connectivity = grid.Full
+	default:
+		return cfg, fmt.Errorf("unknown connectivity %q", m.Connectivity)
+	}
+	cfg.CoeffEpsilon = m.CoeffEpsilon
+	cfg.MinClusterCells = m.MinClusterCells
+	cfg.MinClusterMass = m.MinClusterMass
+	if got := core.ConfigFingerprint(cfg); got != m {
+		return cfg, fmt.Errorf("config fingerprint does not round-trip (stored %+v, rebuilt %+v)", m, got)
+	}
+	return cfg, nil
+}
+
+// journalAppend logs an acknowledged append. On a WAL failure it falls back
+// to an immediate checkpoint (which captures the batch and truncates the
+// log); only a double failure is reported, tagged errDurability.
+func (ss *serveSession) journalAppend(ds *pointset.Dataset) error {
+	if ss.files == nil || ds.N == 0 {
+		return nil
+	}
+	if ss.files.broken {
+		return fmt.Errorf("%w: session storage needs a successful checkpoint", errDurability)
+	}
+	if _, err := ss.files.wal.AppendBatch(ds); err != nil {
+		return ss.checkpointFallback(err)
+	}
+	return nil
+}
+
+// journalRemove is journalAppend for removals.
+func (ss *serveSession) journalRemove(indices []int) error {
+	if ss.files == nil || len(indices) == 0 {
+		return nil
+	}
+	if ss.files.broken {
+		return fmt.Errorf("%w: session storage needs a successful checkpoint", errDurability)
+	}
+	if _, err := ss.files.wal.AppendRemove(indices); err != nil {
+		return ss.checkpointFallback(err)
+	}
+	return nil
+}
+
+// checkpointFallback tries to re-establish durability after a WAL write
+// failed; a second failure marks the session broken (mutations are refused
+// until an admin-triggered checkpoint succeeds).
+func (ss *serveSession) checkpointFallback(walErr error) error {
+	if _, err := ss.checkpointLocked(); err != nil {
+		ss.files.broken = true
+		return fmt.Errorf("%w: wal append: %v; checkpoint fallback: %v", errDurability, walErr, err)
+	}
+	log.Printf("adawave-serve: wal append failed (%v); state captured by fallback checkpoint", walErr)
+	return nil
+}
+
+// checkpointLocked writes a full checkpoint and truncates the WAL. The
+// caller holds writeMu. On success the session's storage is healthy again.
+func (ss *serveSession) checkpointLocked() (seq uint64, err error) {
+	fl := ss.files
+	seq = fl.wal.Seq()
+	tmp := filepath.Join(fl.dir, "checkpoint.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err := ss.sess.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	final := filepath.Join(fl.dir, ckptName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	syncDir(fl.dir)
+	// The WAL's records are all ≤ seq now; truncate. A crash between the
+	// rename and this truncation is safe: replay skips records ≤ seq.
+	if err := fl.wal.Reset(); err != nil {
+		return 0, err
+	}
+	// Older checkpoints are strictly dominated; sweep them.
+	if entries, err := os.ReadDir(fl.dir); err == nil {
+		for _, e := range entries {
+			if s, ok := ckptSeqOf(e.Name()); ok && s != seq {
+				os.Remove(filepath.Join(fl.dir, e.Name()))
+			}
+		}
+	}
+	fl.ckptSeq = seq
+	fl.broken = false
+	return seq, nil
+}
+
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%020d%s", ckptPrefix, seq, ckptSuffix)
+}
+
+func ckptSeqOf(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// syncDir fsyncs a directory so a just-renamed checkpoint survives power
+// loss; best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// loadSessionDir recovers one session directory: fingerprint → engine,
+// newest restorable checkpoint → warm session, WAL tail replay (records
+// above the checkpoint's sequence; a torn trailing record is discarded).
+// It returns the live session ready to serve, with its reopened WAL.
+func loadSessionDir(dir string, workers int, policy persist.SyncPolicy) (*adawave.Session, *sessionFiles, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "config.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var meta persist.ConfigMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, nil, fmt.Errorf("config.json: %w", err)
+	}
+	cfg, err := configFromMeta(meta)
+	if err != nil {
+		return nil, nil, fmt.Errorf("config.json: %w", err)
+	}
+
+	// Newest checkpoint first; on a restore failure fall back to older ones
+	// (normally at most one exists — older files mean a crash interrupted
+	// the post-checkpoint sweep).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type ckpt struct {
+		name string
+		seq  uint64
+	}
+	var ckpts []ckpt
+	for _, e := range entries {
+		if seq, ok := ckptSeqOf(e.Name()); ok {
+			ckpts = append(ckpts, ckpt{e.Name(), seq})
+		}
+	}
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a].seq > ckpts[b].seq })
+
+	var sess *adawave.Session
+	var ckptSeq, newestSeq uint64
+	if len(ckpts) > 0 {
+		newestSeq = ckpts[0].seq
+	}
+	for _, c := range ckpts {
+		f, err := os.Open(filepath.Join(dir, c.name))
+		if err != nil {
+			continue
+		}
+		restored, rerr := adawave.RestoreSession(f, cfg, workers)
+		f.Close()
+		if rerr != nil {
+			log.Printf("adawave-serve: checkpoint %s unrestorable: %v", c.name, rerr)
+			continue
+		}
+		sess, ckptSeq = restored, c.seq
+		break
+	}
+	if sess == nil {
+		// No (restorable) checkpoint: an empty session replays the whole log.
+		if sess, err = adawave.NewSession(cfg, workers); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	walPath := filepath.Join(dir, "wal.log")
+	lastSeq, _, err := persist.ReplayInto(walPath, ckptSeq, sess)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal replay: %w", err)
+	}
+	// If recovery had to fall back past the newest checkpoint (it existed
+	// but would not restore), the WAL must still cover every sequence the
+	// newest checkpoint had folded in — otherwise mutations this server
+	// acknowledged are gone, and serving the stale state as if it were
+	// current would be a silent data loss. Refuse instead; the directory is
+	// left untouched for inspection.
+	if ckptSeq < newestSeq && lastSeq < newestSeq {
+		return nil, nil, fmt.Errorf("newest checkpoint (seq %d) unrestorable and wal ends at seq %d: acknowledged state missing", newestSeq, lastSeq)
+	}
+	wal, err := persist.OpenWAL(walPath, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	// A fresh log (no checkpoint, no records — or a log orphaned by a
+	// crash before its first record) must not restart sequences below an
+	// existing checkpoint's.
+	wal.SkipTo(ckptSeq)
+	return sess, &sessionFiles{dir: dir, wal: wal, ckptSeq: ckptSeq}, nil
+}
+
+// recoverSessions restores every session directory under the root,
+// returning the live sessions and the highest numeric id seen (so new ids
+// never collide with recovered or unrecoverable ones). A directory that
+// fails to recover is logged and left untouched for inspection.
+func (p *persistence) recoverSessions(workers int) (map[string]*serveSession, uint64) {
+	out := make(map[string]*serveSession)
+	var maxID uint64
+	root := filepath.Join(p.root, "sessions")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return out, 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+		sess, files, err := loadSessionDir(filepath.Join(root, id), workers, p.policy)
+		if err != nil {
+			log.Printf("adawave-serve: session %s not recovered: %v", id, err)
+			continue
+		}
+		out[id] = &serveSession{sess: sess, files: files}
+		log.Printf("adawave-serve: recovered session %s (%d points, wal seq %d)", id, sess.Len(), files.wal.Seq())
+	}
+	return out, maxID
+}

@@ -40,6 +40,26 @@
 // multi-resolution results → DELETE), with request-scoped timeouts and
 // graceful shutdown.
 //
+// Sessions are durable. Session.Checkpoint serializes the full session
+// state — configuration fingerprint, point rows, memoized cell ids,
+// quantizer frame and live grid — to a versioned, CRC-32C-framed binary
+// stream (internal/persist), and RestoreSession rebuilds a warm session
+// from it without requantizing a point: the restored session reproduces
+// the original's labels bit for bit and keeps streaming. A checkpoint is
+// valid at any moment in an append/remove sequence (pending mutations are
+// folded first, and removal tombstones are swept on write), and a
+// checkpoint taken under one configuration refuses to restore under
+// another. adawave-serve builds log-structured crash recovery on top: with
+// -data-dir every acknowledged mutation is journaled to a per-session
+// write-ahead log (fsync policy selectable via -wal-sync: always /
+// interval / never), a background checkpointer (and the admin endpoint
+// POST /sessions/{id}/checkpoint) folds grown logs into fresh checkpoints
+// and truncates them, and a restarted process recovers each session from
+// its newest checkpoint plus the WAL tail, discarding a torn trailing
+// record. Because grid masses are additive, each replayed batch re-merges
+// in O(cells); recovery at any crash point is bit-identical to the
+// never-crashed session.
+//
 // The package also exposes the substrate the paper builds on (wavelet
 // bases, threshold strategies, multi-resolution clustering), the
 // evaluation metric the paper uses (adjusted mutual information), and the

@@ -1,0 +1,66 @@
+package adawave
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSessionCheckpointFacade: the exported Checkpoint/RestoreSession pair
+// round-trips a mutated session bit-identically, through both the shared
+// Clusterer engine and the standalone constructor.
+func TestSessionCheckpointFacade(t *testing.T) {
+	data := SyntheticEvaluation(300, 0.6, 9)
+	clusterer, err := NewClusterer(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := clusterer.NewSession()
+	if err := sess.AppendPoints(data.Points); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Labels(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Remove([]int{10, 11, 40}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared, err := clusterer.RestoreSession(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := RestoreSession(bytes.NewReader(buf.Bytes()), DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, restored := range []*Session{shared, standalone} {
+		got, err := restored.Labels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("labels: got %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("label %d: got %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+
+	// A mismatched configuration must refuse to restore.
+	bad := DefaultConfig()
+	bad.Basis = HaarBasis()
+	if _, err := RestoreSession(bytes.NewReader(buf.Bytes()), bad, 1); err == nil {
+		t.Fatal("config mismatch must not restore")
+	}
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
 	"adawave/internal/grid"
+	"adawave/internal/persist"
 	"adawave/internal/pointset"
 )
 
@@ -318,6 +320,85 @@ func (s *Session) MultiResolution(maxLevels int) ([]*Result, error) {
 	ids := append([]int32(nil), s.ids...)
 	s.mu.Unlock()
 	return s.eng.multiResolutionFromBase(base, ids, cfg, maxLevels, s.eng.effectiveWorkers())
+}
+
+// ConfigFingerprint renders cfg as the persisted configuration fingerprint
+// — the single canonical renderer shared by Session.Checkpoint,
+// RestoreSession and the serving layer's config.json, so the two sides can
+// never drift apart. The basis is named (the built-in filter banks are
+// fixed by name); the threshold strategy is rendered with its parameter
+// values (%#v of the concrete strategy), so restoring a checkpoint under
+// e.g. a FixedThreshold with a different cut is a detected mismatch, not a
+// silent divergence.
+func ConfigFingerprint(cfg Config) persist.ConfigMeta {
+	conn := "faces"
+	if cfg.Connectivity == grid.Full {
+		conn = "full"
+	}
+	return persist.ConfigMeta{
+		Scale:           cfg.Scale,
+		Levels:          cfg.Levels,
+		Basis:           cfg.Basis.Name,
+		Connectivity:    conn,
+		CoeffEpsilon:    cfg.CoeffEpsilon,
+		Threshold:       fmt.Sprintf("%s %#v", cfg.Threshold.Name(), cfg.Threshold),
+		MinClusterCells: cfg.MinClusterCells,
+		MinClusterMass:  cfg.MinClusterMass,
+	}
+}
+
+// Checkpoint serializes the session's full state to w in the versioned,
+// CRC-framed checkpoint format of internal/persist: configuration
+// fingerprint, every current point row, the memoized per-point cell ids,
+// the quantizer frame and the live grid. It runs under the writer lock and
+// folds pending mutations first (which also sweeps any removal tombstones),
+// so the written grid is canonical and compact at any point in an
+// append/remove sequence — a checkpoint taken between a Remove and the next
+// read round-trips like any other. RestoreSession rebuilds a session that
+// reproduces this one's labels bit for bit without requantizing a point.
+func (s *Session) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := persist.SessionState{Config: ConfigFingerprint(s.eng.cfg), DS: s.ds}
+	if s.ds.N > 0 {
+		if _, err := s.syncLocked(); err != nil {
+			return err
+		}
+		st.IDs, st.Scale, st.Grid = s.ids, s.scale, s.base
+		st.Mins, st.Maxs = s.q.Mins, s.q.Maxs
+	}
+	return persist.WriteSessionCheckpoint(w, &st)
+}
+
+// RestoreSession rebuilds a streaming session from a checkpoint written by
+// Session.Checkpoint, attached to eng (which must be configured exactly as
+// the checkpointing engine was; a differing fingerprint is reported as
+// persist.ErrConfigMismatch, since restoring under a different
+// configuration would silently break the bit-identical equivalence
+// guarantee). The restored session is warm: its grid and memoized cell ids
+// are adopted as-is, so the first read pays only the grid-side stages and
+// subsequent appends fold in incrementally, exactly as if the process had
+// never died.
+func RestoreSession(r io.Reader, eng *Engine) (*Session, error) {
+	st, err := persist.ReadSessionCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := persist.CheckConfig(st.Config, ConfigFingerprint(eng.cfg)); err != nil {
+		return nil, err
+	}
+	s := eng.NewSession()
+	s.ds = st.DS
+	if st.DS.N == 0 {
+		return s, nil
+	}
+	q, err := grid.RestoreQuantizer(st.Mins, st.Maxs, st.Scale)
+	if err != nil {
+		return nil, err
+	}
+	s.q, s.base, s.ids, s.scale = q, st.Grid, st.IDs, st.Scale
+	s.folded = st.DS.N
+	return s, nil
 }
 
 // Cells returns the number of occupied cells in the live base grid

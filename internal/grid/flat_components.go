@@ -17,7 +17,7 @@ func ComponentsFlat(f *FlatGrid, conn Connectivity) ([]int32, int, error) {
 	d := f.Dim()
 	m := f.Len()
 	if conn == Full && d > maxFullDim {
-		return nil, 0, fmt.Errorf("grid: Full connectivity limited to %d dimensions, grid has %d", maxFullDim, d)
+		return nil, 0, invalidInput(fmt.Errorf("grid: Full connectivity limited to %d dimensions, grid has %d", maxFullDim, d))
 	}
 	labels := make([]int32, m)
 	if m == 0 {

@@ -183,16 +183,16 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 	if _, err := ReadSnapshot(bytes.NewReader(dup)); err == nil {
 		t.Fatal("duplicate cells must error")
 	}
-	// Tombstones (zero-mass cells) are transient in-session state; a
-	// snapshot carrying one must be rejected, not restored.
-	tomb := NewFlat([]int{8, 8}, 2)
-	tomb.Append([]uint16{1, 2}, 0)
-	tomb.Append([]uint16{4, 4}, 1)
-	var tbuf bytes.Buffer
-	if err := tomb.WriteSnapshot(&tbuf); err != nil {
-		t.Fatal(err)
+	// Tombstones (zero-mass cells) are transient in-session state:
+	// WriteSnapshot sweeps them (see TestSnapshotSweepsTombstonesOnWrite),
+	// so a stream carrying one was hand-crafted or corrupted and must be
+	// rejected. Zero the first cell's mass bytes in an otherwise valid
+	// stream (vals follow the 24-byte header and 8 coordinate bytes).
+	tomb := append([]byte(nil), good...)
+	for i := 32; i < 40; i++ {
+		tomb[i] = 0
 	}
-	if _, err := ReadSnapshot(&tbuf); err == nil {
+	if _, err := ReadSnapshot(bytes.NewReader(tomb)); err == nil {
 		t.Fatal("zero-mass cell must error")
 	}
 	// A header declaring billions of cells with no body must fail on the

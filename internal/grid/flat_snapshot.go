@@ -3,6 +3,7 @@ package grid
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -18,13 +19,36 @@ import (
 
 var snapshotMagic = [4]byte{'A', 'W', 'G', '1'}
 
+// ErrUnserializableGrid is returned by WriteSnapshot for a grid holding a
+// non-finite cell mass: such a grid is corrupt, and no byte stream restored
+// by ReadSnapshot could represent it.
+var ErrUnserializableGrid = errors.New("grid: non-finite cell mass cannot be snapshotted")
+
 // WriteSnapshot serializes the grid to w in the snapshot format.
+//
+// Tombstone cells (mass ≤ 0, left behind by a streaming session's
+// signed-mass removal until the next merge or compaction sweeps them) are
+// skipped: they are transient in-session state no consumer ever clusters,
+// and ReadSnapshot rejects them, so writing them would produce a snapshot
+// that can never be restored. Sweeping on write keeps every written
+// snapshot round-trippable regardless of when in an append/remove sequence
+// it is taken. A non-finite mass, by contrast, is corruption and is
+// reported as ErrUnserializableGrid.
 func (f *FlatGrid) WriteSnapshot(w io.Writer) error {
+	d := f.Dim()
+	live := 0
+	for _, v := range f.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("grid: write snapshot: cell mass %v: %w", v, ErrUnserializableGrid)
+		}
+		if v > 0 {
+			live++
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("grid: write snapshot: %w", err)
 	}
-	d := f.Dim()
 	hdr := make([]uint32, 0, 1+d)
 	hdr = append(hdr, uint32(d))
 	for _, s := range f.Size {
@@ -33,14 +57,37 @@ func (f *FlatGrid) WriteSnapshot(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
 		return fmt.Errorf("grid: write snapshot header: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(f.Len())); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint64(live)); err != nil {
 		return fmt.Errorf("grid: write snapshot header: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, f.Coords); err != nil {
-		return fmt.Errorf("grid: write snapshot coords: %w", err)
-	}
-	if err := binary.Write(bw, binary.LittleEndian, f.Vals); err != nil {
-		return fmt.Errorf("grid: write snapshot vals: %w", err)
+	if live == f.Len() {
+		// No tombstones: write the backing slices in two straight runs.
+		if err := binary.Write(bw, binary.LittleEndian, f.Coords); err != nil {
+			return fmt.Errorf("grid: write snapshot coords: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, f.Vals); err != nil {
+			return fmt.Errorf("grid: write snapshot vals: %w", err)
+		}
+	} else {
+		// Tombstones present: emit only live cells. Skipping preserves the
+		// canonical cell order (a subsequence of an ordered sequence), so
+		// the restored grid satisfies ReadSnapshot's ordering check.
+		for i, v := range f.Vals {
+			if v <= 0 {
+				continue
+			}
+			if err := binary.Write(bw, binary.LittleEndian, f.Coords[i*d:(i+1)*d]); err != nil {
+				return fmt.Errorf("grid: write snapshot coords: %w", err)
+			}
+		}
+		for _, v := range f.Vals {
+			if v <= 0 {
+				continue
+			}
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("grid: write snapshot vals: %w", err)
+			}
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("grid: write snapshot: %w", err)
@@ -99,47 +146,54 @@ func ReadSnapshot(r io.Reader) (*FlatGrid, error) {
 	// Read each section in bounded chunks, growing the buffer with the
 	// data actually present: a corrupt header declaring a huge cell count
 	// then fails on the first missing chunk instead of provoking a giant
-	// up-front allocation from a few bytes of input.
+	// up-front allocation from a few bytes of input. All section-size math
+	// stays in uint64: converting the declared cell count to int first
+	// would truncate (and the product cells*d could wrap) on 32-bit
+	// platforms, letting an adversarial header bypass this bounded-chunk
+	// guard. cells ≤ 2^40 and d ≤ 2^10 are already enforced above, so the
+	// uint64 products below cannot overflow.
 	const chunk = 1 << 16
-	initial := int(cells)
-	if initial > chunk {
-		initial = chunk
+	initial := chunk
+	if cells < chunk {
+		initial = int(cells)
 	}
 	f := NewFlat(size, initial)
 	var chunkC [chunk]uint16
-	for read := 0; read < int(cells)*d; {
-		n := int(cells)*d - read
-		if n > chunk {
-			n = chunk
+	for read, total := uint64(0), cells*uint64(d); read < total; {
+		n := chunk
+		if rem := total - read; rem < chunk {
+			n = int(rem)
 		}
 		if err := binary.Read(br, binary.LittleEndian, chunkC[:n]); err != nil {
 			return nil, fmt.Errorf("grid: read snapshot coords: %w", err)
 		}
 		f.Coords = append(f.Coords, chunkC[:n]...)
-		read += n
+		read += uint64(n)
 	}
 	var chunkV [chunk / 4]float64
-	for read := 0; read < int(cells); {
-		n := int(cells) - read
-		if n > len(chunkV) {
-			n = len(chunkV)
+	for read := uint64(0); read < cells; {
+		n := len(chunkV)
+		if rem := cells - read; rem < uint64(len(chunkV)) {
+			n = int(rem)
 		}
 		if err := binary.Read(br, binary.LittleEndian, chunkV[:n]); err != nil {
 			return nil, fmt.Errorf("grid: read snapshot vals: %w", err)
 		}
 		f.Vals = append(f.Vals, chunkV[:n]...)
-		read += n
+		read += uint64(n)
 	}
-	for i := 0; i < int(cells); i++ {
+	// Every declared cell arrived; f.Len() == cells now fits in memory (and
+	// an int) by construction.
+	for i := 0; i < f.Len(); i++ {
 		for j, c := range f.CellCoords(i) {
 			if int(c) >= size[j] {
 				return nil, fmt.Errorf("grid: snapshot cell %d coordinate %d out of range in dimension %d", i, c, j)
 			}
 		}
 		// Zero and negative masses are rejected too: tombstones are a
-		// transient in-session state the pipeline never clusters (the sync
-		// always sweeps first), so a checkpoint must be taken from — and
-		// restore to — a compacted grid.
+		// transient in-session state the pipeline never clusters, and
+		// WriteSnapshot sweeps them on write, so a stream carrying one was
+		// not produced by this package.
 		if math.IsNaN(f.Vals[i]) || math.IsInf(f.Vals[i], 0) || f.Vals[i] <= 0 {
 			return nil, fmt.Errorf("grid: snapshot cell %d has non-positive or non-finite mass %v", i, f.Vals[i])
 		}

@@ -221,9 +221,9 @@ func transformCappedFlat(f *FlatGrid, b wavelet.Basis, maxCells, workers int) (*
 	for j := 0; j < f.Dim(); j++ {
 		out = TransformDimFlat(out, j, b, workers)
 		if maxCells > 0 && out.Len() > maxCells {
-			return nil, fmt.Errorf(
+			return nil, invalidInput(fmt.Errorf(
 				"grid: wavelet transform densified the sparse grid to %d cells after dimension %d (cap %d); use the 2-tap haar basis for high-dimensional data",
-				out.Len(), j+1, maxCells)
+				out.Len(), j+1, maxCells))
 		}
 	}
 	return out, nil
@@ -244,7 +244,7 @@ func TransformLevelsFlat(f *FlatGrid, b wavelet.Basis, levels, workers int) ([]*
 	for l := 0; l < levels; l++ {
 		for j := 0; j < cur.Dim(); j++ {
 			if cur.Size[j] < 2 {
-				return nil, fmt.Errorf("grid: dimension %d of size %d too small for level %d", j, cur.Size[j], l+1)
+				return nil, invalidInput(fmt.Errorf("grid: dimension %d of size %d too small for level %d", j, cur.Size[j], l+1))
 			}
 		}
 		if l > 0 {

@@ -53,7 +53,7 @@ func (st *bboxShard) init(row []float64) {
 func (st *bboxShard) scan(i int, row []float64) bool {
 	for j, v := range row {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			st.err = fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j)
+			st.err = invalidInput(fmt.Errorf("grid: point %d has non-finite coordinate %v in dimension %d", i, v, j))
 			st.errAt = i
 			return false
 		}
@@ -140,6 +140,40 @@ func NewQuantizer(points [][]float64, scale int) (*Quantizer, error) {
 		}
 	}
 	return finishQuantizer([]bboxShard{st}, scale, d)
+}
+
+// RestoreQuantizer rebuilds a quantizer from a persisted frame — the exact
+// bounds and scale a checkpointed session was quantized in. The cell-width
+// inverses are derived with the same float arithmetic as finishQuantizer,
+// so a restored quantizer maps every point to the same cell the original
+// did, bit for bit.
+func RestoreQuantizer(mins, maxs []float64, scale int) (*Quantizer, error) {
+	if err := checkScale(scale); err != nil {
+		return nil, err
+	}
+	d := len(mins)
+	if d == 0 || len(maxs) != d {
+		return nil, fmt.Errorf("grid: quantizer frame with %d mins and %d maxs", d, len(maxs))
+	}
+	q := &Quantizer{
+		Mins:  append([]float64(nil), mins...),
+		Maxs:  append([]float64(nil), maxs...),
+		Scale: scale,
+		inv:   make([]float64, d),
+	}
+	for j := range q.inv {
+		if math.IsNaN(mins[j]) || math.IsInf(mins[j], 0) || math.IsNaN(maxs[j]) || math.IsInf(maxs[j], 0) || mins[j] > maxs[j] {
+			return nil, fmt.Errorf("grid: quantizer frame [%v, %v] invalid in dimension %d", mins[j], maxs[j], j)
+		}
+		w := q.Maxs[j] - q.Mins[j]
+		if w <= 0 {
+			// Degenerate (constant) dimension: everything in cell 0.
+			q.inv[j] = 0
+			continue
+		}
+		q.inv[j] = float64(scale) / w
+	}
+	return q, nil
 }
 
 // Dim returns the quantizer's dimensionality.

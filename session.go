@@ -1,6 +1,8 @@
 package adawave
 
 import (
+	"io"
+
 	"adawave/internal/core"
 	"adawave/internal/pointset"
 )
@@ -93,3 +95,39 @@ func (s *Session) Cells() (int, error) { return s.s.Cells() }
 
 // Config returns the session's (validated) configuration.
 func (s *Session) Config() Config { return s.s.Config() }
+
+// Checkpoint serializes the session's full state — configuration
+// fingerprint, point rows, memoized cell ids, quantizer frame and live
+// grid — to w in a versioned, CRC-framed binary format. The write runs
+// under the session's writer lock after folding any pending mutations, so a
+// checkpoint is valid at any point in an append/remove sequence. Restore it
+// with RestoreSession (or Clusterer.RestoreSession) under the identical
+// configuration; the restored session reproduces this one's labels bit for
+// bit and stays warm for further mutations.
+func (s *Session) Checkpoint(w io.Writer) error { return s.s.Checkpoint(w) }
+
+// RestoreSession rebuilds a streaming session from a Checkpoint stream.
+// cfg and workers configure the session's engine; cfg must match the
+// checkpointing configuration (a mismatch is reported, never restored
+// silently).
+func RestoreSession(r io.Reader, cfg Config, workers int) (*Session, error) {
+	eng, err := core.NewEngine(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.RestoreSession(r, eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// RestoreSession is RestoreSession sharing this clusterer's engine and
+// pooled buffers (the streaming counterpart of NewSession).
+func (c *Clusterer) RestoreSession(r io.Reader) (*Session, error) {
+	s, err := core.RestoreSession(r, c.eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
