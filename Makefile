@@ -6,11 +6,13 @@ GO ?= go
 # The perf suite behind `make bench-json`: the sequential/engine/Dataset
 # renderings of the Fig. 2 and Fig. 9 workloads, the multi-resolution pass,
 # noise assignment, the streaming workloads (warm Session append+relabel
-# vs. cold recluster, incremental merge throughput), and the durability
+# vs. cold recluster, incremental merge throughput), the durability
 # workloads (per-mutation WAL-append overhead under both fsync policies,
-# cold crash recovery of a 50k-point session from checkpoint + WAL tail).
+# cold crash recovery of a 50k-point session from checkpoint + WAL tail),
+# and the ctx-check overhead probe (Fig. 2 through the cancellable
+# ClusterDatasetContext; acceptance ≤2 % over the ctx-free path).
 # BENCHTIME is overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k
+BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2
 BENCHTIME ?= 100x
 
 .PHONY: build test race bench bench-json fmt-check vet ci
@@ -34,12 +36,12 @@ bench:
 	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
 
 # The perf suite with allocation stats as test2json lines, committed as
-# BENCH_4.json so the repo records its own performance trajectory; CI also
+# BENCH_5.json so the repo records its own performance trajectory; CI also
 # uploads it as an artifact next to the Fig. 2 bench smoke. (BENCH_2.json
-# and BENCH_3.json are the committed PR-2/PR-3 snapshots, kept for the
+# through BENCH_4.json are the committed PR-2…PR-4 snapshots, kept for the
 # trajectory.)
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_4.json
+	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_5.json
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,6 +1,8 @@
 package adawave
 
 import (
+	"context"
+
 	"adawave/internal/core"
 	"adawave/internal/wavelet"
 )
@@ -89,12 +91,28 @@ func (c *Clusterer) Cluster(points [][]float64) (*Result, error) {
 	return c.eng.Cluster(points)
 }
 
+// ClusterContext is Cluster with cooperative cancellation: every pipeline
+// stage polls ctx at its shard boundaries, and a cancelled run unwinds
+// cleanly — pooled buffers returned, no partial result — reporting an error
+// matched by errors.Is against ErrCanceled or ErrDeadlineExceeded (and the
+// originating context sentinel). The ctx-free methods are thin
+// context.Background() wrappers over these.
+func (c *Clusterer) ClusterContext(ctx context.Context, points [][]float64) (*Result, error) {
+	return c.eng.ClusterContext(ctx, points)
+}
+
 // ClusterDataset runs the parallel AdaWave pipeline on a flat row-major
 // Dataset — the allocation-free point-facing entry point. Each point's base
 // cell is memoized during quantization, so assignment is one array lookup
 // per point.
 func (c *Clusterer) ClusterDataset(ds *Dataset) (*Result, error) {
 	return c.eng.ClusterDataset(ds)
+}
+
+// ClusterDatasetContext is ClusterDataset with cooperative cancellation
+// (see ClusterContext).
+func (c *Clusterer) ClusterDatasetContext(ctx context.Context, ds *Dataset) (*Result, error) {
+	return c.eng.ClusterDatasetContext(ctx, ds)
 }
 
 // ClusterMultiResolution runs the parallel pipeline at every decomposition
@@ -104,12 +122,24 @@ func (c *Clusterer) ClusterMultiResolution(points [][]float64, maxLevels int) ([
 	return c.eng.ClusterMultiResolution(points, maxLevels)
 }
 
+// ClusterMultiResolutionContext is ClusterMultiResolution with cooperative
+// cancellation (see ClusterContext).
+func (c *Clusterer) ClusterMultiResolutionContext(ctx context.Context, points [][]float64, maxLevels int) ([]*Result, error) {
+	return c.eng.ClusterMultiResolutionContext(ctx, points, maxLevels)
+}
+
 // ClusterMultiResolutionDataset is ClusterMultiResolution on a flat
 // Dataset: points are quantized once, and every level's assignment is
 // rebuilt from one pass over the grid cells instead of one search per
 // point per level.
 func (c *Clusterer) ClusterMultiResolutionDataset(ds *Dataset, maxLevels int) ([]*Result, error) {
 	return c.eng.ClusterMultiResolutionDataset(ds, maxLevels)
+}
+
+// ClusterMultiResolutionDatasetContext is ClusterMultiResolutionDataset with
+// cooperative cancellation (see ClusterContext).
+func (c *Clusterer) ClusterMultiResolutionDatasetContext(ctx context.Context, ds *Dataset, maxLevels int) ([]*Result, error) {
+	return c.eng.ClusterMultiResolutionDatasetContext(ctx, ds, maxLevels)
 }
 
 // Config returns the clusterer's (validated) configuration.

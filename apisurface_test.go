@@ -1,0 +1,164 @@
+package adawave_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden API-surface gate: every exported symbol of the public packages
+// (the adawave facade and the adawave/client HTTP client) is rendered from
+// source and diffed against testdata/api_surface.golden. An accidental
+// signature change, removal or rename fails this test — and therefore CI —
+// before it ships as a silent breaking change; a deliberate surface change
+// is recorded by re-running with -update-api-surface and reviewing the
+// golden diff alongside the code.
+
+var updateSurface = flag.Bool("update-api-surface", false, "rewrite testdata/api_surface.golden from the current source")
+
+// surfaceOf renders the exported declarations of the package in dir, one
+// canonical snippet per declaration, sorted.
+func surfaceOf(t *testing.T, dir, label string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := (&printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}).Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					fn := *d
+					fn.Body = nil
+					fn.Doc = nil
+					out = append(out, label+": "+strings.TrimSpace(render(&fn)))
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						if !exportedSpec(spec) {
+							continue
+						}
+						single := &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{spec}}
+						out = append(out, label+": "+strings.TrimSpace(render(single)))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportedRecv reports whether a method's receiver type is exported (plain
+// functions pass trivially).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func exportedSpec(spec ast.Spec) bool {
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		return s.Name.IsExported()
+	case *ast.ValueSpec:
+		for _, n := range s.Names {
+			if n.IsExported() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestAPISurfaceGolden(t *testing.T) {
+	var lines []string
+	lines = append(lines, surfaceOf(t, ".", "adawave")...)
+	lines = append(lines, surfaceOf(t, "client", "client")...)
+	got := strings.Join(lines, "\n\n") + "\n"
+
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d exported declarations)", golden, len(lines))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden API surface (run `go test -run APISurface -update-api-surface .`): %v", err)
+	}
+	if got != string(want) {
+		t.Fatal(surfaceDiff(string(want), got) +
+			"\nThe exported API surface changed. If this is deliberate, re-run " +
+			"`go test -run APISurface -update-api-surface .` and commit the golden diff; " +
+			"if not, you are about to ship an accidental breaking change.")
+	}
+}
+
+// surfaceDiff renders a compact ± diff of the two surface renderings.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	gotSet := make(map[string]bool)
+	for _, b := range strings.Split(want, "\n\n") {
+		wantSet[b] = true
+	}
+	for _, b := range strings.Split(got, "\n\n") {
+		gotSet[b] = true
+	}
+	var sb strings.Builder
+	for _, b := range strings.Split(want, "\n\n") {
+		if !gotSet[b] {
+			fmt.Fprintf(&sb, "- %s\n", strings.TrimSpace(b))
+		}
+	}
+	for _, b := range strings.Split(got, "\n\n") {
+		if !wantSet[b] {
+			fmt.Fprintf(&sb, "+ %s\n", strings.TrimSpace(b))
+		}
+	}
+	return sb.String()
+}

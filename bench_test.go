@@ -8,6 +8,7 @@ package adawave
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -127,6 +128,34 @@ func BenchmarkEngineDatasetFig2RunningExample(b *testing.B) {
 			b.ReportMetric(ami, "AMI")
 		})
 	}
+}
+
+// BenchmarkCtxOverheadFig2 measures the cost of the context-first pipeline:
+// the exact workload of BenchmarkEngineDatasetFig2RunningExample/workers=1,
+// driven through ClusterDatasetContext with a live cancellable context — the
+// worst case for the shard-boundary ctx.Err() polls, since a cancelable
+// context's Err is an atomic load where Background's is a constant nil.
+// Acceptance: ≤2 % over the ctx-free Fig. 2 numbers of BENCH_4.json.
+func BenchmarkCtxOverheadFig2(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	flat := ds.Flat()
+	cfg := core.DefaultConfig()
+	eng, err := core.NewEngine(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ami float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.ClusterDatasetContext(ctx, flat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+	}
+	b.ReportMetric(ami, "AMI")
 }
 
 // BenchmarkEngineDatasetFig9Roadmap is the flat-Dataset rendering of

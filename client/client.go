@@ -1,0 +1,310 @@
+// Package client is the thin Go client of the adawave-serve v1 HTTP
+// surface. It speaks the typed DTOs of internal/api — the same types the
+// server renders, so client and server cannot drift — and maps the
+// structured error envelope back onto the adawave error taxonomy: a
+// *client.APIError returned here matches errors.Is against
+// adawave.ErrInvalidInput, adawave.ErrNoPoints, adawave.ErrConfigMismatch,
+// adawave.ErrCanceled and adawave.ErrDeadlineExceeded according to its wire
+// code, so callers branch on the same sentinels whether the engine runs
+// in-process or behind HTTP.
+//
+// Every method is context-first. The context travels two ways: it cancels
+// the local HTTP round trip, and — because every server handler threads the
+// request context into the engine — hanging up also aborts the server-side
+// pipeline at its next shard boundary.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"adawave"
+	"adawave/internal/api"
+)
+
+// Client talks to one adawave-serve base URL. The zero value is not usable;
+// construct with New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8321"); a trailing slash is tolerated.
+func New(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the v1 error envelope.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // stable machine code (api error vocabulary)
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("adawave server: %s (code %s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// Is maps wire codes back onto the adawave error taxonomy, so
+// errors.Is(err, adawave.ErrInvalidInput) (etc.) works across the HTTP
+// boundary.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case adawave.ErrInvalidInput:
+		return e.Code == api.CodeInvalidInput
+	case adawave.ErrNoPoints:
+		return e.Code == api.CodeNoPoints
+	case adawave.ErrConfigMismatch:
+		return e.Code == api.CodeConfigMismatch
+	case adawave.ErrCanceled:
+		return e.Code == api.CodeCanceled
+	case adawave.ErrDeadlineExceeded:
+		return e.Code == api.CodeDeadlineExceeded
+	}
+	return false
+}
+
+// do issues one JSON round trip: method + path, optional request body,
+// optional response decode. Non-2xx responses decode into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	apiErr := &APIError{Status: resp.StatusCode, Code: api.CodeInternal, Message: string(raw)}
+	var env api.ErrorResponse
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+	}
+	return apiErr
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) (*api.HealthzResponse, error) {
+	var out api.HealthzResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the per-route request/latency counters.
+func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
+	var out api.MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateSession creates a streaming session; cfg nil selects the paper's
+// parameter-free defaults. It returns the session id.
+func (c *Client) CreateSession(ctx context.Context, cfg *api.SessionConfig) (string, error) {
+	if cfg == nil {
+		cfg = &api.SessionConfig{}
+	}
+	var out api.CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", cfg, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// ListSessions lists every live session.
+func (c *Client) ListSessions(ctx context.Context) ([]api.SessionInfo, error) {
+	var out api.ListSessionsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
+}
+
+// Session fetches one session's detail (points, dim, live-grid cells,
+// durability state).
+func (c *Client) Session(ctx context.Context, id string) (*api.SessionDetail, error) {
+	var out api.SessionDetail
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Append adds a batch of points to the session.
+func (c *Client) Append(ctx context.Context, id string, points [][]float64) (*api.AppendResponse, error) {
+	var out api.AppendResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/points", api.AppendRequest{Points: points}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AppendCSV streams a text/csv body into the session (the server ingests it
+// in bounded chunks; a mid-stream failure rolls the whole upload back).
+func (c *Client) AppendCSV(ctx context.Context, id string, csv io.Reader) (*api.AppendResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions/"+id+"/points", csv)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var out api.AppendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Remove deletes the points at the given indices (current point order).
+func (c *Client) Remove(ctx context.Context, id string, indices []int) (*api.RemoveResponse, error) {
+	var out api.RemoveResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+id+"/points", api.RemoveRequest{Indices: indices}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Labels clusters the current point set and returns the full result,
+// labels included, as one JSON document. For very large sessions prefer
+// LabelsStream. Cancelling ctx mid-call aborts the server-side pipeline.
+func (c *Client) Labels(ctx context.Context, id string) (*api.Result, error) {
+	var out api.Result
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/labels", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LabelsStream clusters the current point set and consumes the NDJSON
+// streamed representation: the result meta is returned, and fn is invoked
+// once per streamed chunk with the offset of its first label — million-label
+// sessions arrive in bounded memory on both sides. A non-nil error from fn
+// aborts the stream (and, through ctx, the transfer).
+func (c *Client) LabelsStream(ctx context.Context, id string, fn func(offset int, labels []int) error) (*api.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sessions/"+id+"/labels", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	var meta api.LabelsMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return nil, fmt.Errorf("bad NDJSON meta line: %w", err)
+	}
+	seen := 0
+	for sc.Scan() {
+		var chunk api.LabelsChunk
+		if err := json.Unmarshal(sc.Bytes(), &chunk); err != nil {
+			return nil, fmt.Errorf("bad NDJSON chunk line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(chunk.Offset, chunk.Labels); err != nil {
+				return nil, err
+			}
+		}
+		seen += len(chunk.Labels)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != meta.Meta.Points {
+		return nil, fmt.Errorf("NDJSON stream truncated: %d of %d labels", seen, meta.Meta.Points)
+	}
+	res := meta.Meta.Result
+	return &res, nil
+}
+
+// MultiResolution clusters the current point set at levels 1…maxLevels.
+func (c *Client) MultiResolution(ctx context.Context, id string, maxLevels int) ([]api.Result, error) {
+	var out api.MultiResolutionResponse
+	path := fmt.Sprintf("/v1/sessions/%s/multiresolution?levels=%d", id, maxLevels)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Levels, nil
+}
+
+// Checkpoint forces a durable checkpoint now (requires the server to run
+// with -data-dir).
+func (c *Client) Checkpoint(ctx context.Context, id string) (*api.CheckpointResponse, error) {
+	var out api.CheckpointResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/checkpoint", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSession drops the session and its durable state.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adawave/internal/api"
+)
+
+// Per-route request counters and latency aggregates, exposed at
+// GET /v1/metrics as expvar-style JSON (no external metrics dependency).
+// Routes are registered statically when the handler table is built, so the
+// request path is lock-free: four atomic adds per request.
+
+// routeStats is one route's counters. Errors counts 5xx responses only;
+// ClientAborts counts 499s — a disconnect-aborted pipeline is the client
+// hanging up, not a server fault, and keeping the two apart is what makes
+// the abort observable without polluting the error rate.
+type routeStats struct {
+	requests     atomic.Int64
+	errors       atomic.Int64
+	clientAborts atomic.Int64
+	totalNanos   atomic.Int64
+	maxNanos     atomic.Int64
+}
+
+// serverMetrics is the registry. The map is written only during route
+// registration (before the server accepts traffic) and read-only afterwards.
+type serverMetrics struct {
+	start  time.Time
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+// register returns the stats cell for a route name, creating it on first
+// use (registration happens once, at handler-table build time).
+func (m *serverMetrics) register(route string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.routes[route]
+	if st == nil {
+		st = &routeStats{}
+		m.routes[route] = st
+	}
+	return st
+}
+
+// snapshot renders the registry as the wire DTO.
+func (m *serverMetrics) snapshot() api.MetricsResponse {
+	out := api.MetricsResponse{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Routes:        make(map[string]api.RouteMetrics, len(m.routes)),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, st := range m.routes {
+		out.Routes[name] = api.RouteMetrics{
+			Requests:     st.requests.Load(),
+			Errors:       st.errors.Load(),
+			ClientAborts: st.clientAborts.Load(),
+			TotalMs:      float64(st.totalNanos.Load()) / 1e6,
+			MaxMs:        float64(st.maxNanos.Load()) / 1e6,
+		}
+	}
+	return out
+}
+
+// statusRecorder captures the response status for the metrics counters.
+// Unwrap lets http.ResponseController reach the underlying writer, so the
+// NDJSON streaming handler's per-chunk Flush works through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code, r.wrote = code, true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// instrument wraps a handler with the per-route counters: request count,
+// 5xx count, 499 client-abort count, total and max latency.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.metrics.register(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		elapsed := time.Since(t0).Nanoseconds()
+		st.requests.Add(1)
+		st.totalNanos.Add(elapsed)
+		for {
+			cur := st.maxNanos.Load()
+			if elapsed <= cur || st.maxNanos.CompareAndSwap(cur, elapsed) {
+				break
+			}
+		}
+		switch {
+		case rec.code >= http.StatusInternalServerError:
+			st.errors.Add(1)
+		case rec.code == api.StatusClientClosedRequest:
+			st.clientAborts.Add(1)
+		}
+	}
+}
+
+// metricsHandler answers GET /v1/metrics.
+func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}

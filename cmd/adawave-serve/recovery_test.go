@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"adawave"
+	"adawave/internal/api"
 	"adawave/internal/core"
 	"adawave/internal/datasets"
 	"adawave/internal/grid"
@@ -23,29 +25,60 @@ import (
 	"adawave/internal/synth"
 )
 
-// TestWriteReadErrClassification: the read-error mapping — empty session is
-// the caller's sequencing (409), input-shaped failures the client can fix
-// are 422, and everything else is an internal fault that must answer 500
-// instead of blaming the request.
+// TestWriteReadErrClassification: the taxonomy-driven read-error mapping —
+// empty session is the caller's sequencing (409 no_points), input-shaped
+// failures the client can fix are 422 invalid_input, a pipeline aborted by
+// the client's own disconnect is the 499 client-abort convention (never a
+// 5xx that would page an operator for a hang-up), an expired request
+// deadline is 504, a checkpoint/config divergence is 409 config_mismatch,
+// and everything else is an internal fault that must answer 500 instead of
+// blaming the request.
 func TestWriteReadErrClassification(t *testing.T) {
+	canceled := func() error {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return grid.CtxErr(ctx)
+	}()
+	expired := func() error {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		return grid.CtxErr(ctx)
+	}()
 	cases := []struct {
-		name string
-		err  error
-		want int
+		name     string
+		err      error
+		want     int
+		wantCode string
 	}{
-		{"no-points", grid.ErrNoPoints, http.StatusConflict},
-		{"wrapped-no-points", fmt.Errorf("read: %w", grid.ErrNoPoints), http.StatusConflict},
-		{"invalid-input", fmt.Errorf("grid: point 3 has non-finite coordinate NaN in dimension 0: %w", grid.ErrInvalidInput), http.StatusUnprocessableEntity},
-		{"wrapped-invalid-input", fmt.Errorf("engine: %w", fmt.Errorf("transform: %w", grid.ErrInvalidInput)), http.StatusUnprocessableEntity},
-		{"internal", errors.New("grid: invariant broken"), http.StatusInternalServerError},
-		{"io-fault", io.ErrUnexpectedEOF, http.StatusInternalServerError},
+		{"no-points", grid.ErrNoPoints, http.StatusConflict, api.CodeNoPoints},
+		{"wrapped-no-points", fmt.Errorf("read: %w", grid.ErrNoPoints), http.StatusConflict, api.CodeNoPoints},
+		{"invalid-input", fmt.Errorf("grid: point 3 has non-finite coordinate NaN in dimension 0: %w", grid.ErrInvalidInput), http.StatusUnprocessableEntity, api.CodeInvalidInput},
+		{"wrapped-invalid-input", fmt.Errorf("engine: %w", fmt.Errorf("transform: %w", grid.ErrInvalidInput)), http.StatusUnprocessableEntity, api.CodeInvalidInput},
+		{"canceled", canceled, api.StatusClientClosedRequest, api.CodeCanceled},
+		{"wrapped-canceled", fmt.Errorf("labels: %w", canceled), api.StatusClientClosedRequest, api.CodeCanceled},
+		{"raw-context-canceled", context.Canceled, api.StatusClientClosedRequest, api.CodeCanceled},
+		{"deadline", expired, http.StatusGatewayTimeout, api.CodeDeadlineExceeded},
+		{"wrapped-deadline", fmt.Errorf("labels: %w", expired), http.StatusGatewayTimeout, api.CodeDeadlineExceeded},
+		{"raw-context-deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, api.CodeDeadlineExceeded},
+		{"config-mismatch", fmt.Errorf("restore: %w", persist.ErrConfigMismatch), http.StatusConflict, api.CodeConfigMismatch},
+		{"internal", errors.New("grid: invariant broken"), http.StatusInternalServerError, api.CodeInternal},
+		{"io-fault", io.ErrUnexpectedEOF, http.StatusInternalServerError, api.CodeInternal},
 	}
+	srv := &server{metrics: newServerMetrics()}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			rec := httptest.NewRecorder()
-			writeReadErr(rec, tc.err)
+			req := httptest.NewRequest("GET", "/v1/sessions/s1/labels", nil)
+			srv.writeReadErr(rec, req, tc.err)
 			if rec.Code != tc.want {
 				t.Fatalf("status: got %d, want %d", rec.Code, tc.want)
+			}
+			var env api.ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("envelope: %v (%s)", err, rec.Body.Bytes())
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Fatalf("code: got %q, want %q", env.Error.Code, tc.wantCode)
 			}
 		})
 	}
@@ -183,7 +216,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ss := &serveSession{sess: sess, files: files}
+			ss := newServeSession(sess, files)
 			live := pers.sessionDir("s1")
 
 			// Build the random mutation sequence, journaling each step with

@@ -13,20 +13,36 @@
 //	              [-data-dir DIR] [-wal-sync always|interval|never]
 //	              [-wal-sync-interval 1s] [-checkpoint-interval 1m]
 //
-// Endpoints:
+// Endpoints (v1, the versioned wire contract of internal/api):
 //
-//	POST   /sessions                       create a session (optional JSON config body)
-//	GET    /sessions                       list sessions
-//	POST   /sessions/{id}/points          append a batch (JSON {"points":[[…]]} or a text/csv
-//	                                      body; a CSV label column, if present, is ignored)
-//	DELETE /sessions/{id}/points          remove points (JSON {"indices":[…]})
-//	GET    /sessions/{id}/labels          cluster the current point set, return labels + diagnostics
-//	GET    /sessions/{id}/multiresolution multi-level results (?levels=L)
-//	POST   /sessions/{id}/checkpoint      force a checkpoint now (admin; requires -data-dir)
-//	DELETE /sessions/{id}                 drop the session (and its on-disk state)
+//	GET    /healthz                           liveness + session count
+//	GET    /v1/metrics                        per-route request/latency counters (expvar-style JSON)
+//	POST   /v1/sessions                       create a session (optional JSON config body)
+//	GET    /v1/sessions                       list sessions
+//	GET    /v1/sessions/{id}                  session detail (points, dim, cells, checkpoint seq)
+//	POST   /v1/sessions/{id}/points           append a batch (JSON {"points":[[…]]} or a text/csv
+//	                                          body; a CSV label column, if present, is ignored)
+//	DELETE /v1/sessions/{id}/points           remove points (JSON {"indices":[…]})
+//	GET    /v1/sessions/{id}/labels           cluster the current point set; JSON by default,
+//	                                          chunked NDJSON stream under Accept: application/x-ndjson
+//	GET    /v1/sessions/{id}/multiresolution  multi-level results (?levels=L)
+//	POST   /v1/sessions/{id}/checkpoint       force a checkpoint now (admin; requires -data-dir)
+//	DELETE /v1/sessions/{id}                  drop the session (and its on-disk state)
 //
-// Every request is bounded by the -timeout request-scoped deadline, and the
-// process drains in-flight requests on SIGINT/SIGTERM before exiting.
+// The pre-v1 unversioned /sessions... routes remain as deprecated aliases
+// (one rewrite shim onto the /v1 handlers, marked with a Deprecation
+// header). Errors are a structured envelope {"error":{code,message}} with
+// the stable code vocabulary of internal/api.
+//
+// The -timeout request-scoped deadline rides the request context: the
+// ctx-aware engine aborts in-flight compute at the next shard boundary
+// (504 deadline_exceeded), a client disconnect aborts it the same way (499
+// logged as a client abort, never a 5xx), and a mutation queued behind a
+// long writer gives up at its deadline instead of blocking. The one wait
+// the deadline does not cut short is a read arriving while ANOTHER
+// request's recompute holds the session lock — it waits for that compute,
+// which is itself bounded by its own request's deadline. The process
+// drains in-flight requests on SIGINT/SIGTERM before exiting.
 //
 // With -data-dir set, sessions are durable: every acknowledged mutation is
 // journaled to a per-session write-ahead log (fsynced per -wal-sync), a
@@ -37,6 +53,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,11 +63,13 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adawave"
+	"adawave/internal/api"
 	"adawave/internal/core"
 	"adawave/internal/dataio"
 	"adawave/internal/grid"
@@ -91,6 +110,7 @@ type server struct {
 	stop            chan struct{}
 	bg              sync.WaitGroup
 	closeOnce       sync.Once
+	metrics         *serverMetrics
 
 	mu       sync.RWMutex
 	sessions map[string]*serveSession
@@ -99,16 +119,41 @@ type server struct {
 
 // serveSession pairs a Session with the server-side writer lock and its
 // on-disk state. The Session itself is safe for one writer and many
-// readers; writeMu serializes HTTP mutation requests (and checkpoints) so
-// that contract holds even when two clients POST to the same session — and
-// so the CSV rollback's "the appended points are the tail" assumption is
-// enforced, not assumed. files (nil without -data-dir) is guarded by
-// writeMu too.
+// readers; the writer lock serializes HTTP mutation requests (and
+// checkpoints) so that contract holds even when two clients POST to the
+// same session — and so the CSV rollback's "the appended points are the
+// tail" assumption is enforced, not assumed. files (nil without -data-dir)
+// is guarded by the writer lock too.
+//
+// The lock is a 1-slot channel semaphore rather than a sync.Mutex so a
+// handler queued behind a long writer (a multi-minute CSV upload holds the
+// lock for its whole body) can give up when its request deadline expires or
+// its client disconnects: lockWrite answers 504/499 at the deadline instead
+// of blocking unresponsively until the writer finishes.
 type serveSession struct {
-	writeMu sync.Mutex
-	sess    *adawave.Session
-	files   *sessionFiles
+	writeSem chan struct{}
+	sess     *adawave.Session
+	files    *sessionFiles
 }
+
+func newServeSession(sess *adawave.Session, files *sessionFiles) *serveSession {
+	return &serveSession{writeSem: make(chan struct{}, 1), sess: sess, files: files}
+}
+
+// lockWrite acquires the session writer lock, giving up with the context's
+// taxonomy error if ctx dies first (background callers pass
+// context.Background(), which never does). The caller must unlockWrite
+// after a nil return.
+func (ss *serveSession) lockWrite(ctx context.Context) error {
+	select {
+	case ss.writeSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return grid.CtxErr(ctx)
+	}
+}
+
+func (ss *serveSession) unlockWrite() { <-ss.writeSem }
 
 func newServer(opts serverOptions) (*server, error) {
 	if opts.csvBatch <= 0 {
@@ -134,6 +179,7 @@ func newServer(opts serverOptions) (*server, error) {
 		ckptInterval:    opts.ckptInterval,
 		stop:            make(chan struct{}),
 		sessions:        make(map[string]*serveSession),
+		metrics:         newServerMetrics(),
 	}
 	if opts.dataDir != "" {
 		pers, err := openPersistence(opts.dataDir, opts.walSync)
@@ -211,13 +257,13 @@ func (s *server) snapshotSessions() []*serveSession {
 // last checkpoint, truncating the log.
 func (s *server) checkpointDirty() {
 	for _, ss := range s.snapshotSessions() {
-		ss.writeMu.Lock()
+		ss.lockWrite(context.Background())
 		if ss.files != nil && (ss.files.wal.Records() > 0 || ss.files.broken) {
 			if _, err := ss.checkpointLocked(); err != nil {
 				log.Printf("adawave-serve: background checkpoint: %v", err)
 			}
 		}
-		ss.writeMu.Unlock()
+		ss.unlockWrite()
 	}
 }
 
@@ -229,109 +275,102 @@ func (s *server) Close() {
 		close(s.stop)
 		s.bg.Wait()
 		for _, ss := range s.snapshotSessions() {
-			ss.writeMu.Lock()
+			ss.lockWrite(context.Background())
 			if ss.files != nil {
 				if err := ss.files.wal.Close(); err != nil {
 					log.Printf("adawave-serve: wal close: %v", err)
 				}
 			}
-			ss.writeMu.Unlock()
+			ss.unlockWrite()
 		}
 	})
 }
 
-// handler wires the routes and wraps them in the request body cap and the
-// request-scoped timeout.
+// handler wires the versioned routes (each instrumented with the per-route
+// metrics) and layers the middleware: body cap → request-id propagation →
+// legacy-route shim → request-scoped deadline → mux.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.createSession)
-	mux.HandleFunc("GET /sessions", s.listSessions)
-	mux.HandleFunc("POST /sessions/{id}/points", s.appendPoints)
-	mux.HandleFunc("DELETE /sessions/{id}/points", s.removePoints)
-	mux.HandleFunc("GET /sessions/{id}/labels", s.labels)
-	mux.HandleFunc("GET /sessions/{id}/multiresolution", s.multiResolution)
-	mux.HandleFunc("POST /sessions/{id}/checkpoint", s.checkpointSession)
-	mux.HandleFunc("DELETE /sessions/{id}", s.deleteSession)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.healthz))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.metricsHandler))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("create_session", s.createSession))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("list_sessions", s.listSessions))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session_detail", s.sessionDetail))
+	mux.HandleFunc("POST /v1/sessions/{id}/points", s.instrument("append_points", s.appendPoints))
+	mux.HandleFunc("DELETE /v1/sessions/{id}/points", s.instrument("remove_points", s.removePoints))
+	mux.HandleFunc("GET /v1/sessions/{id}/labels", s.instrument("labels", s.labels))
+	mux.HandleFunc("GET /v1/sessions/{id}/multiresolution", s.instrument("multiresolution", s.multiResolution))
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.instrument("checkpoint", s.checkpointSession))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.deleteSession))
+
 	var h http.Handler = mux
-	if s.timeout > 0 {
-		h = http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`)
-	}
-	limited := h
-	h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Cap every body so one oversized POST cannot exhaust memory; a
-		// breach surfaces as a decode/read error on the handler's path.
-		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-		}
-		limited.ServeHTTP(w, r)
-	})
+	h = s.withDeadline(h)
+	h = legacyShim(h)
+	h = requestIDMiddleware(h)
+	h = s.bodyCap(h)
 	return h
 }
 
-// sessionConfig is the JSON body of POST /sessions; every field is
-// optional and defaults to the paper's parameter-free configuration.
-type sessionConfig struct {
-	Scale           *int     `json:"scale"`
-	Levels          *int     `json:"levels"`
-	Basis           string   `json:"basis"`
-	Connectivity    string   `json:"connectivity"`
-	CoeffEpsilon    *float64 `json:"coeffEpsilon"`
-	MinClusterCells *int     `json:"minClusterCells"`
-	MinClusterMass  *float64 `json:"minClusterMass"`
+// configFromAPI layers an api.SessionConfig over the paper's parameter-free
+// defaults; every unset field keeps its default.
+func configFromAPI(sc *api.SessionConfig) (adawave.Config, error) {
+	cfg := adawave.DefaultConfig()
+	if sc.Scale != nil {
+		cfg.Scale = *sc.Scale
+	}
+	if sc.Levels != nil {
+		cfg.Levels = *sc.Levels
+	}
+	if sc.Basis != "" {
+		basis, err := adawave.BasisByName(sc.Basis)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Basis = basis
+	}
+	switch sc.Connectivity {
+	case "", "faces":
+	case "full":
+		cfg.Connectivity = grid.Full
+	default:
+		return cfg, fmt.Errorf("unknown connectivity %q (want faces or full)", sc.Connectivity)
+	}
+	if sc.CoeffEpsilon != nil {
+		cfg.CoeffEpsilon = *sc.CoeffEpsilon
+	}
+	if sc.MinClusterCells != nil {
+		cfg.MinClusterCells = *sc.MinClusterCells
+	}
+	if sc.MinClusterMass != nil {
+		cfg.MinClusterMass = *sc.MinClusterMass
+	}
+	return cfg, nil
 }
 
 func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
-	cfg := adawave.DefaultConfig()
+	var sc api.SessionConfig
 	if r.Body != nil {
-		var sc sessionConfig
-		dec := json.NewDecoder(r.Body)
-		if err := dec.Decode(&sc); err != nil && err != io.EOF {
-			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad config: %v", err))
+		if err := json.NewDecoder(r.Body).Decode(&sc); err != nil && err != io.EOF {
+			writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, fmt.Sprintf("bad config: %v", err))
 			return
 		}
-		if sc.Scale != nil {
-			cfg.Scale = *sc.Scale
-		}
-		if sc.Levels != nil {
-			cfg.Levels = *sc.Levels
-		}
-		if sc.Basis != "" {
-			basis, err := adawave.BasisByName(sc.Basis)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			cfg.Basis = basis
-		}
-		switch sc.Connectivity {
-		case "", "faces":
-		case "full":
-			cfg.Connectivity = grid.Full
-		default:
-			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown connectivity %q (want faces or full)", sc.Connectivity))
-			return
-		}
-		if sc.CoeffEpsilon != nil {
-			cfg.CoeffEpsilon = *sc.CoeffEpsilon
-		}
-		if sc.MinClusterCells != nil {
-			cfg.MinClusterCells = *sc.MinClusterCells
-		}
-		if sc.MinClusterMass != nil {
-			cfg.MinClusterMass = *sc.MinClusterMass
-		}
+	}
+	cfg, err := configFromAPI(&sc)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
+		return
 	}
 	sess, err := adawave.NewSession(cfg, s.workers)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
 		return
 	}
 	id := "s" + strconv.FormatUint(s.nextID.Add(1), 10)
-	ss := &serveSession{sess: sess}
+	ss := newServeSession(sess, nil)
 	if s.pers != nil {
 		files, err := s.pers.create(id, core.ConfigFingerprint(sess.Config()))
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("session storage: %v", err))
+			writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("session storage: %v", err))
 			return
 		}
 		ss.files = files
@@ -343,20 +382,15 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 			ss.files.wal.Close()
 			os.RemoveAll(ss.files.dir)
 		}
-		writeErr(w, http.StatusTooManyRequests, fmt.Sprintf("session limit %d reached", s.maxSessions))
+		writeCode(w, http.StatusTooManyRequests, api.CodeSessionLimit, fmt.Sprintf("session limit %d reached", s.maxSessions))
 		return
 	}
 	s.sessions[id] = ss
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id})
+	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{ID: id})
 }
 
 func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
-	type row struct {
-		ID     string `json:"id"`
-		Points int    `json:"points"`
-		Dim    int    `json:"dim"`
-	}
 	// Snapshot the registry first: Len/Dim take each session's own lock,
 	// which a long recompute holds, and blocking on it while holding the
 	// registry lock would stall session creation server-wide.
@@ -370,11 +404,45 @@ func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
 		entries = append(entries, entry{id, sess})
 	}
 	s.mu.RUnlock()
-	rows := make([]row, 0, len(entries))
+	rows := make([]api.SessionInfo, 0, len(entries))
 	for _, e := range entries {
-		rows = append(rows, row{ID: e.id, Points: e.sess.sess.Len(), Dim: e.sess.sess.Dim()})
+		rows = append(rows, api.SessionInfo{ID: e.id, Points: e.sess.sess.Len(), Dim: e.sess.sess.Dim()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": rows})
+	writeJSON(w, http.StatusOK, api.ListSessionsResponse{Sessions: rows})
+}
+
+// healthz is the liveness probe: always 200 while the process serves.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, api.HealthzResponse{Status: "ok", Sessions: n})
+}
+
+// sessionDetail answers GET /v1/sessions/{id}: shape, live-grid cell count
+// (pending mutations folded, cancellable via the request context) and the
+// durability state.
+func (s *server) sessionDetail(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(w, r)
+	if ss == nil {
+		return
+	}
+	detail := api.SessionDetail{ID: r.PathValue("id"), Points: ss.sess.Len(), Dim: ss.sess.Dim()}
+	if detail.Points > 0 {
+		cells, err := ss.sess.CellsContext(r.Context())
+		if err != nil {
+			s.writeReadErr(w, r, err)
+			return
+		}
+		detail.Cells = cells
+	}
+	if ss.files != nil {
+		// ckptSeq is atomic, so this monitoring read never queues behind a
+		// long mutation holding the writer lock.
+		detail.Durable = true
+		detail.LastCheckpointSeq = ss.files.ckptSeq.Load()
+	}
+	writeJSON(w, http.StatusOK, detail)
 }
 
 // lookup resolves {id}; a miss writes the 404 and returns nil.
@@ -384,7 +452,7 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *serveSession {
 	sess := s.sessions[id]
 	s.mu.RUnlock()
 	if sess == nil {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		writeCode(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", id))
 	}
 	return sess
 }
@@ -396,9 +464,14 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 	}
 	// One mutation request at a time per session: this upholds the
 	// Session's one-writer contract across HTTP clients and guarantees the
-	// rollback below only ever removes this request's own points.
-	ss.writeMu.Lock()
-	defer ss.writeMu.Unlock()
+	// rollback below only ever removes this request's own points. Queued
+	// writers give up at their request deadline (504) or on client
+	// disconnect (499) instead of blocking unresponsively.
+	if err := ss.lockWrite(r.Context()); err != nil {
+		s.writeReadErr(w, r, err)
+		return
+	}
+	defer ss.unlockWrite()
 	sess := ss.sess
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var appended int
@@ -423,13 +496,13 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 			uploaded = &pointset.Dataset{}
 		}
 		err := dataio.EachBatch(r.Body, s.csvBatch, func(ds *pointset.Dataset, labels []int) error {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("ingestion aborted: %w", err)
-			}
 			if sess.Len()+ds.N > s.maxPoints {
-				return fmt.Errorf("session point limit %d reached", s.maxPoints)
+				return errPointLimit(s.maxPoints)
 			}
-			if err := sess.Append(ds); err != nil {
+			// AppendContext refuses the chunk once the request deadline
+			// expired or the client went away, so an aborted upload stops
+			// between chunks and rolls back below.
+			if err := sess.AppendContext(ctx, ds); err != nil {
 				return err
 			}
 			appended += ds.N
@@ -450,39 +523,38 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 				for i := range idx {
 					idx[i] = n - appended + i
 				}
+				// The rollback runs on a fresh context: it must succeed even
+				// when the failure being rolled back is the request's own
+				// dead context.
 				if rerr := sess.Remove(idx); rerr != nil {
-					writeErr(w, http.StatusInternalServerError,
+					writeCode(w, http.StatusInternalServerError, api.CodeInternal,
 						fmt.Sprintf("%v (and rolling back %d appended points failed: %v)", err, appended, rerr))
 					return
 				}
 			}
-			writeErr(w, bodyErrStatus(err), err.Error())
+			s.writeBodyErr(w, r, err)
 			return
 		}
 	default:
-		var body struct {
-			Points [][]float64 `json:"points"`
-		}
+		var body api.AppendRequest
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeErr(w, bodyErrStatus(err), fmt.Sprintf("bad batch: %v", err))
-			return
-		}
-		// After the deadline TimeoutHandler has already answered 503;
-		// mutating anyway would make a client retry duplicate the batch.
-		if err := r.Context().Err(); err != nil {
+			s.writeBodyErr(w, r, fmt.Errorf("bad batch: %w", err))
 			return
 		}
 		if sess.Len()+len(body.Points) > s.maxPoints {
-			writeErr(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("session point limit %d reached", s.maxPoints))
+			writeCode(w, http.StatusRequestEntityTooLarge, api.CodePointLimit, errPointLimit(s.maxPoints).Error())
 			return
 		}
 		ds, err := pointset.FromSlices(body.Points)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
+			writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
 			return
 		}
-		if err := sess.Append(ds); err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
+		// AppendContext refuses the mutation once the deadline expired or
+		// the client went away: a client retry must never duplicate the
+		// batch it believes failed.
+		if err := sess.AppendContext(r.Context(), ds); err != nil {
+			s.writeMutationErr(w, r, err)
 			return
 		}
 		if err := ss.journalAppend(ds); err != nil {
@@ -498,12 +570,22 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 					err = fmt.Errorf("%v (and rolling back failed: %v)", err, rerr)
 				}
 			}
-			writeErr(w, http.StatusInternalServerError, err.Error())
+			writeCode(w, http.StatusInternalServerError, api.CodeDurability, err.Error())
 			return
 		}
 		appended = ds.N
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"appended": appended, "points": sess.Len()})
+	writeJSON(w, http.StatusOK, api.AppendResponse{Appended: appended, Points: sess.Len()})
+}
+
+// errPointLimit is the over-cap mutation error, recognized by writeBodyErr
+// so the CSV path classifies it 413 point_limit like the JSON path.
+type pointLimitError int
+
+func errPointLimit(limit int) error { return pointLimitError(limit) }
+
+func (e pointLimitError) Error() string {
+	return fmt.Sprintf("session point limit %d reached", int(e))
 }
 
 func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
@@ -511,22 +593,21 @@ func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
 	if ss == nil {
 		return
 	}
-	var body struct {
-		Indices []int `json:"indices"`
-	}
+	var body api.RemoveRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, bodyErrStatus(err), fmt.Sprintf("bad body: %v", err))
+		s.writeBodyErr(w, r, fmt.Errorf("bad body: %w", err))
 		return
 	}
-	ss.writeMu.Lock()
-	defer ss.writeMu.Unlock()
-	// As with appends: once the deadline answered 503, removing anyway
-	// would make a client retry double-remove shifted indices.
-	if err := r.Context().Err(); err != nil {
+	if err := ss.lockWrite(r.Context()); err != nil {
+		s.writeReadErr(w, r, err)
 		return
 	}
-	if err := ss.sess.Remove(body.Indices); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	defer ss.unlockWrite()
+	// RemoveContext refuses the mutation once the deadline expired or the
+	// client went away: a client retry must never double-remove shifted
+	// indices.
+	if err := ss.sess.RemoveContext(r.Context(), body.Indices); err != nil {
+		s.writeMutationErr(w, r, err)
 		return
 	}
 	if err := ss.journalRemove(body.Indices); err != nil {
@@ -534,27 +615,14 @@ func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
 		// journalRemove already tried to capture the state, so a failure
 		// here means the session is marked broken and further mutations are
 		// refused until a checkpoint succeeds.
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		writeCode(w, http.StatusInternalServerError, api.CodeDurability, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": len(body.Indices), "points": ss.sess.Len()})
+	writeJSON(w, http.StatusOK, api.RemoveResponse{Removed: len(body.Indices), Points: ss.sess.Len()})
 }
 
-// resultJSON is the serialized form of one clustering result.
-type resultJSON struct {
-	Labels           []int   `json:"labels,omitempty"`
-	NumClusters      int     `json:"numClusters"`
-	Noise            int     `json:"noise"`
-	Threshold        float64 `json:"threshold"`
-	Levels           int     `json:"levels"`
-	Scale            int     `json:"scale"`
-	CellsQuantized   int     `json:"cellsQuantized"`
-	CellsTransformed int     `json:"cellsTransformed"`
-	CellsKept        int     `json:"cellsKept"`
-}
-
-func toResultJSON(res *adawave.Result, withLabels bool) resultJSON {
-	out := resultJSON{
+func toAPIResult(res *adawave.Result, withLabels bool) api.Result {
+	out := api.Result{
 		NumClusters:      res.NumClusters,
 		Noise:            res.NoiseCount(),
 		Threshold:        res.Threshold,
@@ -570,17 +638,79 @@ func toResultJSON(res *adawave.Result, withLabels bool) resultJSON {
 	return out
 }
 
+// ndjsonChunk is how many labels each streamed NDJSON line carries.
+const ndjsonChunk = 8192
+
+// wantsNDJSON reports whether the client negotiated the streaming label
+// representation.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
 func (s *server) labels(w http.ResponseWriter, r *http.Request) {
 	ss := s.lookup(w, r)
 	if ss == nil {
 		return
 	}
-	res, err := ss.sess.Result()
+	// The request context rides into the pipeline: a client disconnect or
+	// the request deadline aborts the compute at the next shard boundary
+	// and the session stays exactly as it was.
+	res, err := ss.sess.ResultContext(r.Context())
 	if err != nil {
-		writeReadErr(w, err)
+		s.writeReadErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResultJSON(res, true))
+	if wantsNDJSON(r) {
+		s.streamLabels(w, r, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, toAPIResult(res, true))
+}
+
+// streamLabels writes the NDJSON representation: one meta line, then the
+// label vector in ndjsonChunk-sized lines, each flushed as soon as it is
+// encoded — a million-label session streams in constant server memory
+// instead of materializing one giant JSON array.
+func (s *server) streamLabels(w http.ResponseWriter, r *http.Request, res *adawave.Result) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	var meta api.LabelsMeta
+	meta.Meta.Result = toAPIResult(res, false)
+	meta.Meta.Points = len(res.Labels)
+	meta.Meta.Chunk = ndjsonChunk
+	if err := enc.Encode(meta); err != nil {
+		return
+	}
+	_ = rc.Flush()
+	for off := 0; off < len(res.Labels); off += ndjsonChunk {
+		if r.Context().Err() != nil {
+			// The 200 header is long gone, so instrument() cannot see this
+			// abort by status; record it explicitly so a mid-stream hang-up
+			// still shows in the clientAborts counter and the abort log.
+			s.noteStreamAbort(r, "labels")
+			return
+		}
+		end := off + ndjsonChunk
+		if end > len(res.Labels) {
+			end = len(res.Labels)
+		}
+		if err := enc.Encode(api.LabelsChunk{Offset: off, Labels: res.Labels[off:end]}); err != nil {
+			return
+		}
+		_ = rc.Flush()
+	}
+}
+
+// noteStreamAbort records a client disconnect that landed mid-stream,
+// after the status line was already written: the route's clientAborts
+// counter is bumped directly (the 200 already on the wire can't be
+// reclassified) and the abort is logged like a pre-compute 499.
+func (s *server) noteStreamAbort(r *http.Request, route string) {
+	s.metrics.register(route).clientAborts.Add(1)
+	log.Printf("adawave-serve: request %s %s %s: stream aborted by client disconnect",
+		requestIDFrom(r.Context()), r.Method, r.URL.Path)
 }
 
 func (s *server) multiResolution(w http.ResponseWriter, r *http.Request) {
@@ -592,22 +722,22 @@ func (s *server) multiResolution(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("levels"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad levels %q", v))
+			writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, fmt.Sprintf("bad levels %q", v))
 			return
 		}
 		maxLevels = n
 	}
 	withLabels := r.URL.Query().Get("labels") != "false"
-	results, err := ss.sess.MultiResolution(maxLevels)
+	results, err := ss.sess.MultiResolutionContext(r.Context(), maxLevels)
 	if err != nil {
-		writeReadErr(w, err)
+		s.writeReadErr(w, r, err)
 		return
 	}
-	out := make([]resultJSON, len(results))
+	out := make([]api.Result, len(results))
 	for i, res := range results {
-		out[i] = toResultJSON(res, withLabels)
+		out[i] = toAPIResult(res, withLabels)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"levels": out})
+	writeJSON(w, http.StatusOK, api.MultiResolutionResponse{Levels: out})
 }
 
 // checkpointSession is the admin endpoint: force a checkpoint now (folding
@@ -619,17 +749,20 @@ func (s *server) checkpointSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ss.files == nil {
-		writeErr(w, http.StatusConflict, "persistence is disabled (start with -data-dir)")
+		writeCode(w, http.StatusConflict, api.CodeConflict, "persistence is disabled (start with -data-dir)")
 		return
 	}
-	ss.writeMu.Lock()
-	defer ss.writeMu.Unlock()
+	if err := ss.lockWrite(r.Context()); err != nil {
+		s.writeReadErr(w, r, err)
+		return
+	}
+	defer ss.unlockWrite()
 	seq, err := ss.checkpointLocked()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Sprintf("checkpoint: %v", err))
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("checkpoint: %v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "points": ss.sess.Len()})
+	writeJSON(w, http.StatusOK, api.CheckpointResponse{Seq: seq, Points: ss.sess.Len()})
 }
 
 func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
@@ -639,36 +772,78 @@ func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		writeCode(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", id))
 		return
 	}
 	if ss.files != nil {
 		// Dropping the session drops its durable state too; in-flight
 		// mutations finished before the registry delete (or 404 after it).
-		ss.writeMu.Lock()
+		ss.lockWrite(context.Background())
 		ss.files.wal.Close()
 		if err := os.RemoveAll(ss.files.dir); err != nil {
 			log.Printf("adawave-serve: remove session dir: %v", err)
 		}
-		ss.writeMu.Unlock()
+		ss.unlockWrite()
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// writeReadErr maps clustering-read failures: an empty session is the
-// caller's sequencing problem (409); errors the client can fix by changing
-// its data or session configuration — a non-finite coordinate, a grid too
-// small for the configured levels, a transform-densified high-dimensional
-// grid — are 422; everything else (engine invariants, IO) is an internal
-// fault and must say so with a 500, not blame the request.
-func writeReadErr(w http.ResponseWriter, err error) {
+// writeReadErr maps pipeline failures through the taxonomy (api.Classify):
+// an empty session is the caller's sequencing problem (409 no_points);
+// errors the client can fix by changing its data or session configuration —
+// a non-finite coordinate, a grid too small for the configured levels, a
+// transform-densified high-dimensional grid — are 422 invalid_input; a
+// pipeline aborted by the client's own disconnect is 499 canceled and is
+// logged as a client abort, never counted as a server error; an expired
+// request deadline is 504 deadline_exceeded; everything else (engine
+// invariants, IO) is an internal fault and must say so with a 500, not
+// blame the request.
+func (s *server) writeReadErr(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := api.Classify(err)
+	switch status {
+	case api.StatusClientClosedRequest:
+		// The response is written into a torn-down connection; the log line
+		// (and the 499 in the metrics) is the observable record.
+		log.Printf("adawave-serve: request %s %s %s: pipeline aborted by client disconnect: %v",
+			requestIDFrom(r.Context()), r.Method, r.URL.Path, err)
+	case http.StatusConflict:
+		if code == api.CodeNoPoints {
+			writeCode(w, status, code, "session has no points")
+			return
+		}
+	}
+	writeCode(w, status, code, err.Error())
+}
+
+// writeMutationErr maps a session mutation failure: an input-shaped error —
+// a dimension mismatch, an out-of-range or duplicate remove index — is the
+// caller's mistake and answers 400 invalid_input (not the 422 of a failed
+// read, and never a 500 that would blame the server); everything else (a
+// dead context, an internal fault) routes through writeReadErr.
+func (s *server) writeMutationErr(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, adawave.ErrInvalidInput) {
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
+		return
+	}
+	s.writeReadErr(w, r, err)
+}
+
+// writeBodyErr maps request-body failures: a durability fault is the
+// server's (500), an over-cap body or point count is retryable-after-split
+// (413), a dead request context classifies as 499/504, anything else is
+// malformed input (400).
+func (s *server) writeBodyErr(w http.ResponseWriter, r *http.Request, err error) {
+	var ple pointLimitError
+	_, code := api.Classify(err)
 	switch {
-	case errors.Is(err, grid.ErrNoPoints):
-		writeErr(w, http.StatusConflict, "session has no points")
-	case errors.Is(err, grid.ErrInvalidInput):
-		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.Is(err, errDurability):
+		writeCode(w, http.StatusInternalServerError, api.CodeDurability, err.Error())
+	case errors.As(err, &ple):
+		writeCode(w, http.StatusRequestEntityTooLarge, api.CodePointLimit, err.Error())
+	case code == api.CodeTooLarge || code == api.CodeCanceled || code == api.CodeDeadlineExceeded:
+		s.writeReadErr(w, r, err)
 	default:
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
 	}
 }
 
@@ -678,20 +853,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
-}
-
-// bodyErrStatus distinguishes a server-side durability failure (500: the
-// client did nothing wrong) and an over-limit body (413: split and retry)
-// from malformed input (400: don't retry).
-func bodyErrStatus(err error) int {
-	if errors.Is(err, errDurability) {
-		return http.StatusInternalServerError
-	}
-	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) {
-		return http.StatusRequestEntityTooLarge
-	}
-	return http.StatusBadRequest
+// writeCode writes the structured v1 error envelope.
+func writeCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorResponse{Error: api.ErrorBody{Code: code, Message: msg}})
 }

@@ -264,6 +264,10 @@ func TestServeBadRequests(t *testing.T) {
 	if len(listed.Sessions) != 1 || listed.Sessions[0].Points != 0 {
 		t.Fatalf("failed uploads must roll back: %+v", listed.Sessions)
 	}
+	// A dimension mismatch against the session is the caller's mistake: 400
+	// invalid_input, never a 500 that would blame (and page) the server.
+	doJSON(t, ts, "POST", base+"/points", "application/json", []byte(`{"points":[[1,2]]}`), http.StatusOK, nil)
+	doJSON(t, ts, "POST", base+"/points", "application/json", []byte(`{"points":[[1,2,3]]}`), http.StatusBadRequest, nil)
 	doJSON(t, ts, "DELETE", base+"/points", "application/json", []byte(`{"indices":[5]}`), http.StatusBadRequest, nil)
 	doJSON(t, ts, "GET", base+"/multiresolution?levels=zero", "", nil, http.StatusBadRequest, nil)
 	doJSON(t, ts, "GET", base+"/multiresolution?levels=-1", "", nil, http.StatusBadRequest, nil)
@@ -313,9 +317,10 @@ func TestServeResourceCaps(t *testing.T) {
 	base := "/sessions/" + created.ID
 	doJSON(t, ts, "POST", base+"/points", "application/json", []byte(`{"points":[[1,2],[3,4],[5,6]]}`), http.StatusOK, nil)
 	doJSON(t, ts, "POST", base+"/points", "application/json", []byte(`{"points":[[1,2],[3,4],[5,6]]}`), http.StatusRequestEntityTooLarge, nil)
-	// The CSV path enforces the same cap mid-stream and rolls back its own
-	// chunks, leaving exactly the pre-existing 3 points.
-	doJSON(t, ts, "POST", base+"/points", "text/csv", []byte("1,2\n3,4\n5,6\n7,8\n"), http.StatusBadRequest, nil)
+	// The CSV path enforces the same cap mid-stream (classified 413
+	// point_limit like the JSON path) and rolls back its own chunks,
+	// leaving exactly the pre-existing 3 points.
+	doJSON(t, ts, "POST", base+"/points", "text/csv", []byte("1,2\n3,4\n5,6\n7,8\n"), http.StatusRequestEntityTooLarge, nil)
 	var listed struct {
 		Sessions []struct {
 			ID     string `json:"id"`
@@ -330,22 +335,30 @@ func TestServeResourceCaps(t *testing.T) {
 	}
 }
 
-// TestServeRequestTimeout: a request exceeding the request-scoped deadline
-// is answered with 503 instead of hanging.
+// TestServeRequestTimeout: the request-scoped deadline rides the request
+// context into the engine, so a request that cannot finish in time answers
+// 504 deadline_exceeded — and, because the ctx-aware mutation path refuses
+// to apply after the deadline, the session is left untouched (a client
+// retry cannot duplicate the batch).
 func TestServeRequestTimeout(t *testing.T) {
 	srv := mustServer(t, serverOptions{workers: 1, timeout: time.Nanosecond})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
-	resp, err := ts.Client().Get(ts.URL + "/sessions")
+	var created struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, ts, "POST", "/v1/sessions", "", nil, http.StatusCreated, &created)
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions/"+created.ID+"/points",
+		"application/json", bytes.NewReader([]byte(`{"points":[[1,2],[3,4]]}`)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status: got %d, want %d", resp.StatusCode, http.StatusServiceUnavailable)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status: got %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
 	}
 	body, _ := io.ReadAll(resp.Body)
-	if !bytes.Contains(body, []byte("timed out")) {
+	if !bytes.Contains(body, []byte("deadline_exceeded")) {
 		t.Fatalf("timeout body: %s", body)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"adawave"
 	"adawave/internal/core"
@@ -66,13 +67,15 @@ func (p *persistence) sessionDir(id string) string {
 }
 
 // sessionFiles is one session's on-disk state. All fields are guarded by
-// the owning serveSession's writeMu (the WAL additionally locks itself, so
-// the background fsync ticker may call wal.Sync concurrently).
+// the owning serveSession's writer lock, with two exceptions: the WAL
+// additionally locks itself (so the background fsync ticker may call
+// wal.Sync concurrently), and ckptSeq is atomic so the read-only detail
+// endpoint can report it without queueing behind a long mutation.
 type sessionFiles struct {
 	dir     string
 	wal     *persist.WAL
-	ckptSeq uint64 // sequence covered by the newest on-disk checkpoint
-	broken  bool   // double durability failure: mutations refused
+	ckptSeq atomic.Uint64 // sequence covered by the newest on-disk checkpoint
+	broken  bool          // double durability failure: mutations refused
 }
 
 // create provisions the directory, fingerprint and WAL of a new session.
@@ -170,7 +173,7 @@ func (ss *serveSession) checkpointFallback(walErr error) error {
 }
 
 // checkpointLocked writes a full checkpoint and truncates the WAL. The
-// caller holds writeMu. On success the session's storage is healthy again.
+// caller holds the writer lock. On success the session's storage is healthy again.
 func (ss *serveSession) checkpointLocked() (seq uint64, err error) {
 	fl := ss.files
 	seq = fl.wal.Seq()
@@ -212,7 +215,7 @@ func (ss *serveSession) checkpointLocked() (seq uint64, err error) {
 			}
 		}
 	}
-	fl.ckptSeq = seq
+	fl.ckptSeq.Store(seq)
 	fl.broken = false
 	return seq, nil
 }
@@ -326,7 +329,9 @@ func loadSessionDir(dir string, workers int, policy persist.SyncPolicy) (*adawav
 	// crash before its first record) must not restart sequences below an
 	// existing checkpoint's.
 	wal.SkipTo(ckptSeq)
-	return sess, &sessionFiles{dir: dir, wal: wal, ckptSeq: ckptSeq}, nil
+	files := &sessionFiles{dir: dir, wal: wal}
+	files.ckptSeq.Store(ckptSeq)
+	return sess, files, nil
 }
 
 // recoverSessions restores every session directory under the root,
@@ -354,7 +359,7 @@ func (p *persistence) recoverSessions(workers int) (map[string]*serveSession, ui
 			log.Printf("adawave-serve: session %s not recovered: %v", id, err)
 			continue
 		}
-		out[id] = &serveSession{sess: sess, files: files}
+		out[id] = newServeSession(sess, files)
 		log.Printf("adawave-serve: recovered session %s (%d points, wal seq %d)", id, sess.Len(), files.wal.Seq())
 	}
 	return out, maxID

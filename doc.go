@@ -35,10 +35,51 @@
 // stages, then caches until the next mutation (MultiResolution reads the
 // same live grid but recomputes per call). The streamed
 // result is guaranteed bit-identical to the one-shot run over the same
-// points. cmd/adawave-serve exposes sessions over HTTP JSON (create →
-// POST point batches, JSON or chunked CSV → GET labels and
-// multi-resolution results → DELETE), with request-scoped timeouts and
-// graceful shutdown.
+// points. cmd/adawave-serve exposes sessions over versioned HTTP JSON
+// (POST /v1/sessions → POST point batches, JSON or chunked CSV → GET
+// labels — JSON, or a chunked NDJSON stream under Accept:
+// application/x-ndjson — and multi-resolution results → DELETE), with
+// request-scoped deadlines, per-route metrics and graceful shutdown; the
+// adawave/client package is its typed Go client.
+//
+// # Construction and options
+//
+// New builds a Clusterer from functional options layered over
+// DefaultConfig: WithWorkers, WithBasis, WithScale, WithLevels,
+// WithThreshold, WithConnectivity, WithCoeffEpsilon, WithMinClusterCells,
+// WithMinClusterMass, and WithConfig for callers holding an explicit
+// Config. Zero options reproduce the paper's parameter-free defaults. The
+// same option set configures streaming sessions through
+// Clusterer.NewSession and Clusterer.RestoreSession, which share the
+// clusterer's engine and pooled buffers. NewClusterer(cfg, workers)
+// remains as the explicit-Config constructor.
+//
+// # Context semantics
+//
+// Every compute entry point has a Context variant — ClusterContext,
+// ClusterDatasetContext, ClusterMultiResolution(Dataset)Context on
+// Clusterer; AppendContext, RemoveContext, LabelsContext, ResultContext,
+// MultiResolutionContext, CheckpointContext on Session — and the ctx-free
+// methods are thin context.Background() wrappers. The pipeline polls
+// ctx.Err() at every shard boundary (quantization shards, transform line
+// sweeps, the incremental merge, connected components, assignment), so a
+// cancelled or deadline-expired context aborts in-flight compute within
+// microseconds of work, not after it. A cancelled call unwinds cleanly:
+// pooled buffers are returned, a session's live grid is restored to
+// canonical order, pending mutations stay pending, and the next read
+// recomputes a result bit-identical to a never-cancelled run. Mutations
+// (AppendContext, RemoveContext) refuse to apply once their context is
+// dead, so an aborted client request never half-commits.
+//
+// # Error taxonomy
+//
+// Failures classify under the exported roots — ErrInvalidInput,
+// ErrNoPoints, ErrConfigMismatch, ErrCanceled, ErrDeadlineExceeded —
+// matched with errors.Is (see errors.go for the full contract).
+// ErrCanceled and ErrDeadlineExceeded wrap the originating context error,
+// and the serving layer maps the taxonomy onto stable wire codes
+// (internal/api): a client disconnect logs as a 499 client abort, never a
+// 5xx; an expired request deadline answers 504.
 //
 // Sessions are durable. Session.Checkpoint serializes the full session
 // state — configuration fingerprint, point rows, memoized cell ids,

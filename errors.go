@@ -1,0 +1,55 @@
+package adawave
+
+import (
+	"adawave/internal/grid"
+	"adawave/internal/persist"
+)
+
+// The exported error taxonomy. Every error returned by the package's
+// clustering, streaming and persistence entry points is classified under
+// exactly one of these roots, matched with errors.Is — the message text is
+// for humans and carries no contract. Serving layers map the taxonomy to
+// wire codes (see cmd/adawave-serve and the adawave/client package):
+//
+//	errors.Is(err, adawave.ErrInvalidInput)      the caller's data or the
+//	                                             effective configuration is at
+//	                                             fault (non-finite coordinate,
+//	                                             grid too small for the
+//	                                             decomposition depth, transform
+//	                                             densified past the growth cap,
+//	                                             connectivity unsupported at
+//	                                             this dimensionality) — fix the
+//	                                             input, then retry
+//	errors.Is(err, adawave.ErrNoPoints)          a read on an empty dataset or
+//	                                             session — a sequencing error,
+//	                                             not a crash
+//	errors.Is(err, adawave.ErrConfigMismatch)    a checkpoint restored under a
+//	                                             configuration other than the
+//	                                             one it was written with
+//	errors.Is(err, adawave.ErrCanceled)          the caller's context was
+//	                                             canceled mid-pipeline; the
+//	                                             engine unwound cleanly and the
+//	                                             call can simply be retried
+//	errors.Is(err, adawave.ErrDeadlineExceeded)  the caller's context deadline
+//	                                             expired mid-pipeline; same
+//	                                             clean-unwind guarantee
+//
+// ErrCanceled and ErrDeadlineExceeded wrap the originating context error, so
+// errors.Is(err, context.Canceled) / errors.Is(err, context.DeadlineExceeded)
+// hold as well.
+var (
+	// ErrInvalidInput tags failures the caller can fix by changing the data
+	// or the configuration.
+	ErrInvalidInput = grid.ErrInvalidInput
+	// ErrNoPoints reports a clustering request over zero points.
+	ErrNoPoints = grid.ErrNoPoints
+	// ErrConfigMismatch reports a session checkpoint restored under a
+	// differing configuration fingerprint.
+	ErrConfigMismatch = persist.ErrConfigMismatch
+	// ErrCanceled tags computation abandoned because the context was
+	// canceled.
+	ErrCanceled = grid.ErrCanceled
+	// ErrDeadlineExceeded tags computation abandoned because the context
+	// deadline expired.
+	ErrDeadlineExceeded = grid.ErrDeadlineExceeded
+)

@@ -20,17 +20,18 @@ func main() {
 	fmt.Printf("dataset: %d points in %d dimensions, %d classes\n\n",
 		data.N(), data.Dim(), data.NumClusters())
 
-	cfg := adawave.DefaultConfig()
-	cfg.Scale = 0 // automatic scale: high dimension needs coarse cells
-	// In high dimension the basis matters for sparsity: the default
-	// CDF(2,2) filter scatters every occupied cell into two cells per
-	// dimension (×2³³ here — the library aborts rather than letting the
-	// sparse grid densify). Haar maps each cell to exactly one, keeping
-	// the transform linear in the number of occupied cells.
-	cfg.Basis = adawave.HaarBasis()
-	// The flat Dataset fast path matters most here: 33 columns per point
-	// stream out of one backing slice instead of 33-float heap rows.
-	clusterer, err := adawave.NewClusterer(cfg, 0)
+	// Two options off the defaults: automatic scale (high dimension needs
+	// coarse cells), and — because the basis matters for sparsity in high
+	// dimension — Haar. The default CDF(2,2) filter scatters every occupied
+	// cell into two cells per dimension (×2³³ here — the library aborts
+	// rather than letting the sparse grid densify), while Haar maps each
+	// cell to exactly one, keeping the transform linear in the occupied
+	// cells. The flat Dataset fast path matters most here: 33 columns per
+	// point stream out of one backing slice instead of 33-float heap rows.
+	clusterer, err := adawave.New(
+		adawave.WithScale(0),
+		adawave.WithBasis(adawave.HaarBasis()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,15 +17,17 @@ func main() {
 	fmt.Printf("dataset: %d points, %d clusters, %.0f%% noise\n",
 		data.N(), data.NumClusters(), data.NoiseFraction()*100)
 
-	// AdaWave is parameter free: DefaultConfig reproduces the paper's
-	// settings (scale 128, CDF(2,2) wavelet, adaptive threshold). The flat
-	// Dataset fast path quantizes rows out of one backing slice and
-	// memoizes each point's grid cell.
-	clusterer, err := adawave.NewClusterer(adawave.DefaultConfig(), 0)
+	// AdaWave is parameter free: adawave.New with no options reproduces the
+	// paper's settings (scale 128, CDF(2,2) wavelet, adaptive threshold) —
+	// functional options (WithScale, WithBasis, WithWorkers, …) override
+	// individual knobs. The flat Dataset fast path quantizes rows out of
+	// one backing slice and memoizes each point's grid cell, and the
+	// Context entry point aborts cleanly if ctx is cancelled mid-pipeline.
+	clusterer, err := adawave.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := clusterer.ClusterDataset(data.Flat())
+	result, err := clusterer.ClusterDatasetContext(context.Background(), data.Flat())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,156 @@
+// Package api is the versioned wire contract of the adawave HTTP surface:
+// the typed request/response DTOs, the structured error envelope and the
+// error-code vocabulary shared by cmd/adawave-serve (which renders them) and
+// the adawave/client package (which consumes them). Keeping both sides on
+// one set of types makes a silent server/client drift a compile error
+// instead of a production incident.
+//
+// The wire surface is versioned under /v1; the DTOs here describe v1.
+// Compatible additions (new optional fields, new endpoints) extend these
+// types in place; an incompatible change must fork a v2 package and mount it
+// beside /v1, never mutate v1.
+package api
+
+// Version is the wire-contract version these DTOs describe, as mounted in
+// the URL space.
+const Version = "v1"
+
+// SessionConfig is the JSON body of POST /v1/sessions; every field is
+// optional (pointer or zero value = keep the paper's parameter-free
+// default).
+type SessionConfig struct {
+	Scale           *int     `json:"scale,omitempty"`
+	Levels          *int     `json:"levels,omitempty"`
+	Basis           string   `json:"basis,omitempty"`
+	Connectivity    string   `json:"connectivity,omitempty"`
+	CoeffEpsilon    *float64 `json:"coeffEpsilon,omitempty"`
+	MinClusterCells *int     `json:"minClusterCells,omitempty"`
+	MinClusterMass  *float64 `json:"minClusterMass,omitempty"`
+}
+
+// CreateSessionResponse answers POST /v1/sessions.
+type CreateSessionResponse struct {
+	ID string `json:"id"`
+}
+
+// SessionInfo is one row of GET /v1/sessions.
+type SessionInfo struct {
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+	Dim    int    `json:"dim"`
+}
+
+// ListSessionsResponse answers GET /v1/sessions.
+type ListSessionsResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// SessionDetail answers GET /v1/sessions/{id}: the session's shape plus its
+// live-grid cell count (pending mutations folded first) and, when the server
+// runs with -data-dir, its durability state.
+type SessionDetail struct {
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+	Dim    int    `json:"dim"`
+	Cells  int    `json:"cells"`
+	// Durable reports whether the session is backed by a checkpoint + WAL
+	// directory; LastCheckpointSeq is the WAL sequence the newest on-disk
+	// checkpoint folds in (0 before the first checkpoint).
+	Durable           bool   `json:"durable"`
+	LastCheckpointSeq uint64 `json:"lastCheckpointSeq"`
+}
+
+// AppendRequest is the JSON body of POST /v1/sessions/{id}/points (the
+// text/csv body is the streaming alternative).
+type AppendRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// AppendResponse answers POST /v1/sessions/{id}/points.
+type AppendResponse struct {
+	Appended int `json:"appended"`
+	Points   int `json:"points"`
+}
+
+// RemoveRequest is the JSON body of DELETE /v1/sessions/{id}/points.
+type RemoveRequest struct {
+	Indices []int `json:"indices"`
+}
+
+// RemoveResponse answers DELETE /v1/sessions/{id}/points.
+type RemoveResponse struct {
+	Removed int `json:"removed"`
+	Points  int `json:"points"`
+}
+
+// Result is the serialized form of one clustering result. Labels is omitted
+// where the endpoint (or ?labels=false) returns diagnostics only.
+type Result struct {
+	Labels           []int   `json:"labels,omitempty"`
+	NumClusters      int     `json:"numClusters"`
+	Noise            int     `json:"noise"`
+	Threshold        float64 `json:"threshold"`
+	Levels           int     `json:"levels"`
+	Scale            int     `json:"scale"`
+	CellsQuantized   int     `json:"cellsQuantized"`
+	CellsTransformed int     `json:"cellsTransformed"`
+	CellsKept        int     `json:"cellsKept"`
+}
+
+// MultiResolutionResponse answers GET /v1/sessions/{id}/multiresolution.
+type MultiResolutionResponse struct {
+	Levels []Result `json:"levels"`
+}
+
+// CheckpointResponse answers POST /v1/sessions/{id}/checkpoint.
+type CheckpointResponse struct {
+	Seq    uint64 `json:"seq"`
+	Points int    `json:"points"`
+}
+
+// HealthzResponse answers GET /healthz.
+type HealthzResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+}
+
+// RouteMetrics is one route's counters in GET /v1/metrics: total requests,
+// responses with a 5xx status, client-abort (499) responses, and latency
+// aggregates in milliseconds.
+type RouteMetrics struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	ClientAborts int64   `json:"clientAborts"`
+	TotalMs      float64 `json:"totalMs"`
+	MaxMs        float64 `json:"maxMs"`
+}
+
+// MetricsResponse answers GET /v1/metrics — expvar-style JSON counters, no
+// external metrics dependency.
+type MetricsResponse struct {
+	UptimeSeconds float64                 `json:"uptimeSeconds"`
+	Routes        map[string]RouteMetrics `json:"routes"`
+}
+
+// NDJSON label streaming (GET /v1/sessions/{id}/labels with
+// Accept: application/x-ndjson): the response is one LabelsMeta line
+// followed by ⌈points/chunk⌉ LabelsChunk lines in ascending offset order,
+// each flushed as soon as it is encoded — a million-label session streams in
+// constant server memory instead of buffering one giant JSON array.
+
+// LabelsMeta is the first NDJSON line: the result diagnostics (Labels
+// omitted), the total point count and the chunk size of the following lines.
+type LabelsMeta struct {
+	Meta struct {
+		Result Result `json:"result"`
+		Points int    `json:"points"`
+		Chunk  int    `json:"chunk"`
+	} `json:"meta"`
+}
+
+// LabelsChunk is one streamed slice of the label vector: Labels holds the
+// labels of points [Offset, Offset+len(Labels)).
+type LabelsChunk struct {
+	Offset int   `json:"offset"`
+	Labels []int `json:"labels"`
+}

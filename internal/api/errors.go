@@ -1,0 +1,102 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"adawave"
+)
+
+// The v1 error envelope: every non-2xx response is
+//
+//	{"error": {"code": "...", "message": "...", "details": {...}}}
+//
+// Code is the stable, machine-matchable vocabulary below; Message is for
+// humans and carries no contract; Details is optional structured context.
+
+// Error codes of the v1 surface.
+const (
+	// CodeInvalidInput: the request body or the session data is at fault
+	// (malformed JSON/CSV, ragged rows, non-finite coordinate, grid too
+	// small for the decomposition depth) — fix the input before retrying.
+	CodeInvalidInput = "invalid_input"
+	// CodeNotFound: the session id does not exist.
+	CodeNotFound = "not_found"
+	// CodeNoPoints: a read on a session that holds no points yet.
+	CodeNoPoints = "no_points"
+	// CodeConfigMismatch: a checkpoint or restore under a configuration
+	// other than the one the state was written with.
+	CodeConfigMismatch = "config_mismatch"
+	// CodeCanceled: the client went away and the in-flight pipeline was
+	// aborted; nothing was computed or mutated.
+	CodeCanceled = "canceled"
+	// CodeDeadlineExceeded: the per-request deadline expired before the
+	// pipeline finished; the session is untouched.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeTooLarge: the request body exceeded the configured byte cap.
+	CodeTooLarge = "too_large"
+	// CodeSessionLimit / CodePointLimit: a resource cap was reached.
+	CodeSessionLimit = "session_limit"
+	CodePointLimit   = "point_limit"
+	// CodeConflict: the request is valid but the server state refuses it
+	// (e.g. checkpointing with persistence disabled).
+	CodeConflict = "conflict"
+	// CodeDurability: the mutation applied but could not be journaled; the
+	// session refuses further mutations until a checkpoint succeeds.
+	CodeDurability = "durability"
+	// CodeInternal: an engine invariant or IO failure — the server's fault.
+	CodeInternal = "internal"
+)
+
+// StatusClientClosedRequest is the nginx-convention 499 used when the
+// pipeline was aborted because the client disconnected: the response is
+// almost never delivered, but the status keeps access logs and metrics from
+// counting a client hang-up as a 5xx server fault.
+const StatusClientClosedRequest = 499
+
+// ErrorBody is the inner object of the envelope.
+type ErrorBody struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// ErrorResponse is the envelope itself.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Classify maps an error from the adawave taxonomy (or the raw context
+// sentinels, or net/http's body-cap error) to the HTTP status and stable
+// error code of the v1 contract:
+//
+//	ErrNoPoints                 → 409 no_points
+//	ErrConfigMismatch           → 409 config_mismatch
+//	ErrInvalidInput             → 422 invalid_input
+//	ErrCanceled                 → 499 canceled      (client abort, not a 5xx)
+//	ErrDeadlineExceeded         → 504 deadline_exceeded
+//	http.MaxBytesError          → 413 too_large
+//	anything else               → 500 internal
+//
+// The taxonomy is matched with errors.Is, so wrapped errors classify the
+// same as bare ones.
+func Classify(err error) (status int, code string) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, adawave.ErrNoPoints):
+		return http.StatusConflict, CodeNoPoints
+	case errors.Is(err, adawave.ErrConfigMismatch):
+		return http.StatusConflict, CodeConfigMismatch
+	case errors.Is(err, adawave.ErrInvalidInput):
+		return http.StatusUnprocessableEntity, CodeInvalidInput
+	case errors.Is(err, adawave.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	case errors.Is(err, adawave.ErrCanceled), errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, CodeCanceled
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge, CodeTooLarge
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"adawave/internal/grid"
+)
+
+// Pipeline stage names, in execution order, as reported to the stage hook:
+// quantize → transform → threshold → connect → assign (plus "fold" when the
+// streaming Session folds pending mutations before a read). Tests use them
+// to target a cancellation at an exact pipeline position.
+const (
+	StageQuantize  = "quantize"
+	StageFold      = "fold"
+	StageTransform = "transform"
+	StageThreshold = "threshold"
+	StageConnect   = "connect"
+	StageAssign    = "assign"
+)
+
+// stageHook holds the test-only stage observer as a func(string) (atomic, so
+// the race-instrumented serving tests can install one while engine
+// goroutines run). A nil func disables it; the hot path pays one atomic load
+// and a nil check per stage boundary — six per clustering run.
+var stageHook atomic.Value
+
+func init() { stageHook.Store((func(string))(nil)) }
+
+// SetStageHook installs h as the pipeline-stage observer: it is called at
+// every stage boundary of every engine in the process, before the boundary's
+// cancellation poll — so a hook that cancels a context makes that very
+// boundary return ErrCanceled, deterministically. Passing nil uninstalls it.
+// This is the cancellation test hook; production code must not use it.
+func SetStageHook(h func(stage string)) { stageHook.Store(h) }
+
+// stage marks a pipeline stage boundary: it notifies the test hook (if any)
+// and returns the context's taxonomy error, nil while ctx is live.
+func stage(ctx context.Context, name string) error {
+	if h, _ := stageHook.Load().(func(string)); h != nil {
+		h(name)
+	}
+	return grid.CtxErr(ctx)
+}

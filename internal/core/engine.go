@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -103,6 +104,14 @@ func ClusterParallel(points [][]float64, cfg Config, workers int) (*Result, erro
 // adapter: the rows are copied into a flat dataset first). The result is
 // identical to the sequential Cluster for the same configuration.
 func (e *Engine) Cluster(points [][]float64) (*Result, error) {
+	return e.ClusterContext(context.Background(), points)
+}
+
+// ClusterContext is Cluster with cooperative cancellation: every pipeline
+// stage polls ctx at its shard boundaries, and a cancelled run unwinds
+// cleanly (pooled buffers returned, no partial result), reporting an
+// ErrCanceled- or ErrDeadlineExceeded-tagged error.
+func (e *Engine) ClusterContext(ctx context.Context, points [][]float64) (*Result, error) {
 	if len(points) == 0 {
 		return nil, grid.ErrNoPoints
 	}
@@ -110,25 +119,37 @@ func (e *Engine) Cluster(points [][]float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.ClusterDataset(ds)
+	return e.ClusterDatasetContext(ctx, ds)
 }
 
 // ClusterDataset runs the parallel AdaWave pipeline on a flat row-major
 // dataset — the allocation-free point-facing entry point. The result is
 // identical to Cluster on the same rows.
 func (e *Engine) ClusterDataset(ds *pointset.Dataset) (*Result, error) {
+	return e.ClusterDatasetContext(context.Background(), ds)
+}
+
+// ClusterDatasetContext is ClusterDataset with cooperative cancellation
+// (see ClusterContext).
+func (e *Engine) ClusterDatasetContext(ctx context.Context, ds *pointset.Dataset) (*Result, error) {
 	if ds == nil || ds.N == 0 {
 		return nil, grid.ErrNoPoints
 	}
 	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
 	w := e.effectiveWorkers()
 
-	q, err := grid.NewQuantizerDataset(ds, cfg.Scale, w)
+	if err := stage(ctx, StageQuantize); err != nil {
+		return nil, err
+	}
+	q, err := grid.NewQuantizerDatasetCtx(ctx, ds, cfg.Scale, w)
 	if err != nil {
 		return nil, err
 	}
-	base, ids := q.QuantizeDataset(ds, w)
-	return e.clusterFromBase(base, ids, cfg, w)
+	base, ids, err := q.QuantizeDatasetCtx(ctx, ds, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.clusterFromBase(ctx, base, ids, cfg, w)
 }
 
 // clusterFromBase runs every pipeline stage after quantization — transform,
@@ -139,14 +160,20 @@ func (e *Engine) ClusterDataset(ds *pointset.Dataset) (*Result, error) {
 // same Result as a one-shot run, bit for bit. cfg must already be resolved
 // (see resolveScaleND). base's cell order is permuted during the transform
 // and restored to canonical before returning; its masses are not modified.
-func (e *Engine) clusterFromBase(base *grid.FlatGrid, ids []int32, cfg Config, w int) (*Result, error) {
+// A cancelled run restores base to canonical order before returning, so a
+// streaming Session's live grid survives the abort intact.
+func (e *Engine) clusterFromBase(ctx context.Context, base *grid.FlatGrid, ids []int32, cfg Config, w int) (*Result, error) {
 	cellsQuantized := base.Len()
 	var t *grid.FlatGrid
+	if err := stage(ctx, StageTransform); err != nil {
+		return nil, err
+	}
 	if cfg.Levels > 0 {
-		levels, err := grid.TransformLevelsFlat(base, cfg.Basis, cfg.Levels, w)
+		levels, err := grid.TransformLevelsFlatCtx(ctx, base, cfg.Basis, cfg.Levels, w)
 		if err != nil {
-			// The failed transform may have permuted base mid-flight;
-			// restore the canonical order the memoized ids index into.
+			// The failed (or cancelled) transform may have permuted base
+			// mid-flight; restore the canonical order the memoized ids
+			// index into.
 			base.SortCanonical()
 			return nil, err
 		}
@@ -161,7 +188,7 @@ func (e *Engine) clusterFromBase(base *grid.FlatGrid, ids []int32, cfg Config, w
 	}
 	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
 
-	out, err := e.finishClusteringFlat(t, base, ids, cfg.Levels, cfg, w)
+	out, err := e.finishClusteringFlat(ctx, t, base, ids, cfg.Levels, cfg, w)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +203,12 @@ func (e *Engine) clusterFromBase(base *grid.FlatGrid, ids []int32, cfg Config, w
 // components/assignment stages — data-independent between levels — run
 // concurrently.
 func (e *Engine) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*Result, error) {
+	return e.ClusterMultiResolutionContext(context.Background(), points, maxLevels)
+}
+
+// ClusterMultiResolutionContext is ClusterMultiResolution with cooperative
+// cancellation across the transform chain and every level's finishing pass.
+func (e *Engine) ClusterMultiResolutionContext(ctx context.Context, points [][]float64, maxLevels int) ([]*Result, error) {
 	if len(points) == 0 {
 		return nil, grid.ErrNoPoints
 	}
@@ -183,7 +216,7 @@ func (e *Engine) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*R
 	if err != nil {
 		return nil, err
 	}
-	return e.ClusterMultiResolutionDataset(ds, maxLevels)
+	return e.ClusterMultiResolutionDatasetContext(ctx, ds, maxLevels)
 }
 
 // ClusterMultiResolutionDataset is ClusterMultiResolution on a flat
@@ -191,6 +224,12 @@ func (e *Engine) ClusterMultiResolution(points [][]float64, maxLevels int) ([]*R
 // level's assignment is rebuilt from one pass over the cells, so per-level
 // cost is O(cells·log cells + n) instead of O(n·d + n·log cells).
 func (e *Engine) ClusterMultiResolutionDataset(ds *pointset.Dataset, maxLevels int) ([]*Result, error) {
+	return e.ClusterMultiResolutionDatasetContext(context.Background(), ds, maxLevels)
+}
+
+// ClusterMultiResolutionDatasetContext is ClusterMultiResolutionDataset with
+// cooperative cancellation (see ClusterMultiResolutionContext).
+func (e *Engine) ClusterMultiResolutionDatasetContext(ctx context.Context, ds *pointset.Dataset, maxLevels int) ([]*Result, error) {
 	if maxLevels < 1 {
 		maxLevels = 1
 	}
@@ -200,12 +239,18 @@ func (e *Engine) ClusterMultiResolutionDataset(ds *pointset.Dataset, maxLevels i
 	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
 	w := e.effectiveWorkers()
 
-	q, err := grid.NewQuantizerDataset(ds, cfg.Scale, w)
+	if err := stage(ctx, StageQuantize); err != nil {
+		return nil, err
+	}
+	q, err := grid.NewQuantizerDatasetCtx(ctx, ds, cfg.Scale, w)
 	if err != nil {
 		return nil, err
 	}
-	base, ids := q.QuantizeDataset(ds, w)
-	return e.multiResolutionFromBase(base, ids, cfg, maxLevels, w)
+	base, ids, err := q.QuantizeDatasetCtx(ctx, ds, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.multiResolutionFromBase(ctx, base, ids, cfg, maxLevels, w)
 }
 
 // multiResolutionFromBase is the post-quantization half of
@@ -215,7 +260,7 @@ func (e *Engine) ClusterMultiResolutionDataset(ds *pointset.Dataset, maxLevels i
 // cell order is permuted by the first transform and restored to canonical
 // before any finisher reads it (and before returning); masses are not
 // modified.
-func (e *Engine) multiResolutionFromBase(base *grid.FlatGrid, ids []int32, cfg Config, maxLevels, w int) ([]*Result, error) {
+func (e *Engine) multiResolutionFromBase(ctx context.Context, base *grid.FlatGrid, ids []int32, cfg Config, maxLevels, w int) ([]*Result, error) {
 	// The transform chain ends once any dimension shrinks below two cells,
 	// so levels beyond log2(max size) can never produce a result — clamp
 	// before sizing the result slices, so a caller-supplied (possibly
@@ -251,13 +296,20 @@ func (e *Engine) multiResolutionFromBase(base *grid.FlatGrid, ids []int32, cfg C
 		if tooSmall {
 			break
 		}
-		cur = grid.TransformFlat(cur, cfg.Basis, w)
+		next, err := grid.TransformFlatCtx(ctx, cur, cfg.Basis, w)
 		if level == 1 {
 			// The first transform permuted the base grid's cell order in
-			// place; restore the canonical order the memoized ids index
-			// into before any finisher reads it.
+			// place (cancelled or not); restore the canonical order the
+			// memoized ids index into before any finisher reads it.
 			base.SortCanonical()
 		}
+		if err != nil {
+			// In-flight finishers of earlier levels drain before the
+			// cancellation (or transform failure) is reported.
+			wg.Wait()
+			return nil, err
+		}
+		cur = next
 		t := e.getGrid(cur)
 		levels = level
 		wg.Add(1)
@@ -265,7 +317,7 @@ func (e *Engine) multiResolutionFromBase(base *grid.FlatGrid, ids []int32, cfg C
 			defer wg.Done()
 			defer e.putGrid(t)
 			dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
-			res, err := e.finishClusteringFlat(t, base, ids, level, cfg, w)
+			res, err := e.finishClusteringFlat(ctx, t, base, ids, level, cfg, w)
 			if err != nil {
 				errs[level-1] = err
 				return
@@ -304,7 +356,7 @@ func dropLowCoefficientsFlat(t *grid.FlatGrid, eps float64) {
 // order (quantization and the full transform guarantee it) and is owned by
 // the caller; base is the canonical-order quantization grid, read-only, and
 // ids holds each point's memoized index into it.
-func (e *Engine) finishClusteringFlat(t, base *grid.FlatGrid, ids []int32, levels int, cfg Config, workers int) (*Result, error) {
+func (e *Engine) finishClusteringFlat(ctx context.Context, t, base *grid.FlatGrid, ids []int32, levels int, cfg Config, workers int) (*Result, error) {
 	res := &Result{
 		CellsTransformed: t.Len(),
 		Levels:           levels,
@@ -316,6 +368,9 @@ func (e *Engine) finishClusteringFlat(t, base *grid.FlatGrid, ids []int32, level
 			res.Labels[i] = Noise
 		}
 		return res, nil
+	}
+	if err := stage(ctx, StageThreshold); err != nil {
+		return nil, err
 	}
 	// Sort the density curve in a pooled buffer; Result.Curve gets an
 	// exact-size copy because it outlives the call.
@@ -332,13 +387,19 @@ func (e *Engine) finishClusteringFlat(t, base *grid.FlatGrid, ids []int32, level
 		kept = t
 	}
 	res.CellsKept = kept.Len()
-	comp, ncomp, err := grid.ComponentsFlat(kept, cfg.Connectivity)
+	if err := stage(ctx, StageConnect); err != nil {
+		return nil, err
+	}
+	comp, ncomp, err := grid.ComponentsFlatCtx(ctx, kept, cfg.Connectivity)
 	if err != nil {
 		return nil, err
 	}
 	labels, numClusters := relabelBySizeFlat(kept, comp, ncomp, cfg.MinClusterCells, cfg.MinClusterMass)
 	res.NumClusters = numClusters
 
+	if err := stage(ctx, StageAssign); err != nil {
+		return nil, err
+	}
 	// Per-level ancestor table, built by one pass over the cells: shift
 	// each base cell's coordinates, look its ancestor up in the kept grid.
 	// Assignment is then a single array lookup per point (the table stores
@@ -347,13 +408,18 @@ func (e *Engine) finishClusteringFlat(t, base *grid.FlatGrid, ids []int32, level
 	if tbl == nil {
 		tbl = new([]int32)
 	}
-	cellLabels := grid.AncestorLabelsInto(*tbl, base, kept, levels, labels, workers)
+	cellLabels, err := grid.AncestorLabelsIntoCtx(ctx, *tbl, base, kept, levels, labels, workers)
+	*tbl = cellLabels
+	if err != nil {
+		// The pooled table goes back even on a cancelled pass.
+		e.tables.Put(tbl)
+		return nil, err
+	}
 	grid.ParallelRanges(len(ids), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			res.Labels[i] = int(cellLabels[ids[i]])
 		}
 	})
-	*tbl = cellLabels
 	e.tables.Put(tbl)
 	return res, nil
 }

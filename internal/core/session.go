@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -98,19 +99,29 @@ func (s *Session) Dim() int {
 // dirty; the clustering is not recomputed until the next read. The first
 // batch fixes the session's dimensionality.
 func (s *Session) Append(batch *pointset.Dataset) error {
+	return s.AppendContext(context.Background(), batch)
+}
+
+// AppendContext is Append with cancellation: a context already dead when the
+// mutation would apply returns its taxonomy error and leaves the session
+// untouched, so an aborted client request never half-commits.
+func (s *Session) AppendContext(ctx context.Context, batch *pointset.Dataset) error {
 	if batch == nil || batch.N == 0 {
 		return nil
 	}
 	if batch.D == 0 {
-		return fmt.Errorf("core: cannot append zero-dimensional points")
+		return grid.InvalidInput(fmt.Errorf("core: cannot append zero-dimensional points"))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := grid.CtxErr(ctx); err != nil {
+		return err
+	}
 	if s.ds.N == 0 && s.ds.D == 0 {
 		s.ds.D = batch.D
 	}
 	if batch.D != s.ds.D {
-		return fmt.Errorf("core: appending %d-dimensional points to a %d-dimensional session", batch.D, s.ds.D)
+		return grid.InvalidInput(fmt.Errorf("core: appending %d-dimensional points to a %d-dimensional session", batch.D, s.ds.D))
 	}
 	s.ds.Data = append(s.ds.Data, batch.Data[:batch.N*batch.D]...)
 	s.ds.N += batch.N
@@ -126,20 +137,31 @@ func (s *Session) Append(batch *pointset.Dataset) error {
 // a requantization; only letting go of a bounding-box-touching point forces
 // the full rebuild (the one-shot frame may shrink).
 func (s *Session) Remove(indices []int) error {
+	return s.RemoveContext(context.Background(), indices)
+}
+
+// RemoveContext is Remove with cancellation: a context already dead when the
+// mutation would apply returns its taxonomy error and leaves the session
+// untouched (the removal itself is O(n) row compaction and runs to
+// completion once started — it is never left half-applied).
+func (s *Session) RemoveContext(ctx context.Context, indices []int) error {
 	if len(indices) == 0 {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := grid.CtxErr(ctx); err != nil {
+		return err
+	}
 	n, d := s.ds.N, s.ds.D
 	idx := append([]int(nil), indices...)
 	sort.Ints(idx)
 	for k, i := range idx {
 		if i < 0 || i >= n {
-			return fmt.Errorf("core: remove index %d out of range [0,%d)", i, n)
+			return grid.InvalidInput(fmt.Errorf("core: remove index %d out of range [0,%d)", i, n))
 		}
 		if k > 0 && i == idx[k-1] {
-			return fmt.Errorf("core: duplicate remove index %d", i)
+			return grid.InvalidInput(fmt.Errorf("core: duplicate remove index %d", i))
 		}
 	}
 	for _, i := range idx {
@@ -215,28 +237,47 @@ func (s *Session) expandsBBox() bool {
 // scratch when the incremental path cannot reproduce the one-shot frame)
 // and sweeps tombstones. The caller holds the write lock. It returns the
 // resolved configuration for the current point count.
-func (s *Session) syncLocked() (Config, error) {
+//
+// Cancellation safety: every cancellable step (quantizing the delta, the
+// 2-way merge, the full requantization) computes into private buffers and
+// only commits to the session's fields after it succeeded, so a cancelled
+// fold leaves the session exactly as it was before the call — same grid,
+// same ids, same dirty/pending markers — and the next read retries it.
+func (s *Session) syncLocked(ctx context.Context) (Config, error) {
 	n, d := s.ds.N, s.ds.D
 	if n == 0 {
 		return Config{}, grid.ErrNoPoints
 	}
+	if err := stage(ctx, StageFold); err != nil {
+		return Config{}, err
+	}
 	cfg := resolveScaleND(s.eng.cfg, n, d)
 	w := s.eng.effectiveWorkers()
 	if s.q == nil || s.rebuild || cfg.Scale != s.scale || s.expandsBBox() {
-		q, err := grid.NewQuantizerDataset(s.ds, cfg.Scale, w)
+		q, err := grid.NewQuantizerDatasetCtx(ctx, s.ds, cfg.Scale, w)
 		if err != nil {
 			return Config{}, err
 		}
-		s.q = q
-		s.base, s.ids = q.QuantizeDataset(s.ds, w)
+		base, ids, err := q.QuantizeDatasetCtx(ctx, s.ds, w)
+		if err != nil {
+			return Config{}, err
+		}
+		s.q, s.base, s.ids = q, base, ids
 		s.scale = cfg.Scale
 		s.folded, s.tombstoned, s.rebuild = n, false, false
 		return cfg, nil
 	}
 	if s.folded < n {
 		delta := &pointset.Dataset{Data: s.ds.Data[s.folded*d:], N: n - s.folded, D: d}
-		dg, dids := s.q.QuantizeDataset(delta, w)
-		merged, liveRemap, deltaRemap := grid.MergeFlat(s.base, dg)
+		dg, dids, err := s.q.QuantizeDatasetCtx(ctx, delta, w)
+		if err != nil {
+			return Config{}, err
+		}
+		merged, liveRemap, deltaRemap, err := grid.MergeFlatCtx(ctx, s.base, dg)
+		if err != nil {
+			return Config{}, err
+		}
+		// Commit point: nothing below can fail or be cancelled.
 		for i, id := range s.ids {
 			s.ids[i] = liveRemap[id]
 		}
@@ -246,6 +287,11 @@ func (s *Session) syncLocked() (Config, error) {
 		s.base = merged
 		s.folded, s.tombstoned = n, false
 	} else if s.tombstoned {
+		// Compact sweeps in place; poll before starting (it is O(cells)
+		// and never left half-done).
+		if err := grid.CtxErr(ctx); err != nil {
+			return Config{}, err
+		}
 		if remap := s.base.Compact(); remap != nil {
 			for i, id := range s.ids {
 				s.ids[i] = remap[id]
@@ -262,6 +308,16 @@ func (s *Session) syncLocked() (Config, error) {
 // later recompute replaces rather than mutates it, so concurrent readers
 // holding an older Result stay safe.
 func (s *Session) Result() (*Result, error) {
+	return s.ResultContext(context.Background())
+}
+
+// ResultContext is Result with cooperative cancellation: the fold and every
+// recompute stage poll ctx at shard boundaries. A cancelled read reports an
+// ErrCanceled/ErrDeadlineExceeded-tagged error and leaves the session
+// exactly as before the call — the live grid back in canonical order, the
+// pending mutations still pending — so the next read recomputes the
+// identical result.
+func (s *Session) ResultContext(ctx context.Context) (*Result, error) {
 	s.mu.RLock()
 	if !s.dirty {
 		res := s.res
@@ -272,11 +328,11 @@ func (s *Session) Result() (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dirty {
-		cfg, err := s.syncLocked()
+		cfg, err := s.syncLocked(ctx)
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.eng.clusterFromBase(s.base, s.ids, cfg, s.eng.effectiveWorkers())
+		res, err := s.eng.clusterFromBase(ctx, s.base, s.ids, cfg, s.eng.effectiveWorkers())
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +346,12 @@ func (s *Session) Result() (*Result, error) {
 // session's point order (appends keep arrival order; removals close the
 // gaps). The slice is shared — treat it as read-only.
 func (s *Session) Labels() ([]int, error) {
-	res, err := s.Result()
+	return s.LabelsContext(context.Background())
+}
+
+// LabelsContext is Labels with cooperative cancellation (see ResultContext).
+func (s *Session) LabelsContext(ctx context.Context) ([]int, error) {
+	res, err := s.ResultContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -305,11 +366,18 @@ func (s *Session) Labels() ([]int, error) {
 // multi-level pass itself runs on a private clone, so concurrent Labels
 // readers (and other MultiResolution calls) proceed during the compute.
 func (s *Session) MultiResolution(maxLevels int) ([]*Result, error) {
+	return s.MultiResolutionContext(context.Background(), maxLevels)
+}
+
+// MultiResolutionContext is MultiResolution with cooperative cancellation.
+// The multi-level pass computes on a private clone of the live grid, so a
+// cancelled call cannot disturb the session state at all.
+func (s *Session) MultiResolutionContext(ctx context.Context, maxLevels int) ([]*Result, error) {
 	if maxLevels < 1 {
 		maxLevels = 1
 	}
 	s.mu.Lock()
-	cfg, err := s.syncLocked()
+	cfg, err := s.syncLocked(ctx)
 	if err != nil {
 		s.mu.Unlock()
 		return nil, err
@@ -319,7 +387,7 @@ func (s *Session) MultiResolution(maxLevels int) ([]*Result, error) {
 	base := s.base.Clone()
 	ids := append([]int32(nil), s.ids...)
 	s.mu.Unlock()
-	return s.eng.multiResolutionFromBase(base, ids, cfg, maxLevels, s.eng.effectiveWorkers())
+	return s.eng.multiResolutionFromBase(ctx, base, ids, cfg, maxLevels, s.eng.effectiveWorkers())
 }
 
 // ConfigFingerprint renders cfg as the persisted configuration fingerprint
@@ -357,11 +425,19 @@ func ConfigFingerprint(cfg Config) persist.ConfigMeta {
 // read round-trips like any other. RestoreSession rebuilds a session that
 // reproduces this one's labels bit for bit without requantizing a point.
 func (s *Session) Checkpoint(w io.Writer) error {
+	return s.CheckpointContext(context.Background(), w)
+}
+
+// CheckpointContext is Checkpoint with cooperative cancellation of the fold
+// that precedes serialization. A cancelled call writes nothing and leaves
+// the session untouched; the serialization itself, once started, runs to
+// completion (it is the caller's write path, not engine compute).
+func (s *Session) CheckpointContext(ctx context.Context, w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := persist.SessionState{Config: ConfigFingerprint(s.eng.cfg), DS: s.ds}
 	if s.ds.N > 0 {
-		if _, err := s.syncLocked(); err != nil {
+		if _, err := s.syncLocked(ctx); err != nil {
 			return err
 		}
 		st.IDs, st.Scale, st.Grid = s.ids, s.scale, s.base
@@ -404,9 +480,14 @@ func RestoreSession(r io.Reader, eng *Engine) (*Session, error) {
 // Cells returns the number of occupied cells in the live base grid
 // (tombstones excluded), folding pending mutations first.
 func (s *Session) Cells() (int, error) {
+	return s.CellsContext(context.Background())
+}
+
+// CellsContext is Cells with cooperative cancellation of the fold.
+func (s *Session) CellsContext(ctx context.Context) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.syncLocked(); err != nil {
+	if _, err := s.syncLocked(ctx); err != nil {
 		return 0, err
 	}
 	return s.base.Len(), nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -61,7 +62,7 @@ func assertSessionGrid(t *testing.T, s *Session) {
 	t.Helper()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cfg, err := s.syncLocked()
+	cfg, err := s.syncLocked(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

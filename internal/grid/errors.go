@@ -26,3 +26,9 @@ func invalidInput(err error) error {
 	}
 	return invalidInputError{err}
 }
+
+// InvalidInput is the exported form of the input-shaped tag, for higher
+// layers (e.g. core's session mutation validation) whose failures are the
+// caller's to fix and must classify as ErrInvalidInput, not as internal
+// faults.
+func InvalidInput(err error) error { return invalidInput(err) }

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -14,6 +15,14 @@ import (
 // exactly the order the map BFS assigns ids in, so the two labelings agree
 // cell for cell. f's cell order is left untouched.
 func ComponentsFlat(f *FlatGrid, conn Connectivity) ([]int32, int, error) {
+	return ComponentsFlatCtx(context.Background(), f, conn)
+}
+
+// ComponentsFlatCtx is ComponentsFlat with cooperative cancellation, polled
+// between the per-dimension union passes (Faces), every ctxCheckStride cells
+// of the neighbor enumeration (Full), and before the final numbering pass.
+// f is never modified, so a cancelled run has no side effects.
+func ComponentsFlatCtx(ctx context.Context, f *FlatGrid, conn Connectivity) ([]int32, int, error) {
 	d := f.Dim()
 	m := f.Len()
 	if conn == Full && d > maxFullDim {
@@ -48,6 +57,9 @@ func ComponentsFlat(f *FlatGrid, conn Connectivity) ([]int32, int, error) {
 		// j-minor) order that agree on every other coordinate and differ by
 		// one in j are face neighbors.
 		for j := 0; j < d; j++ {
+			if err := CtxErr(ctx); err != nil {
+				return nil, 0, err
+			}
 			for i := range perm {
 				perm[i] = int32(i)
 			}
@@ -95,6 +107,11 @@ func ComponentsFlat(f *FlatGrid, conn Connectivity) ([]int32, int, error) {
 		off := make([]int, d)
 		nb := make([]uint16, d)
 		for i := 0; i < m; i++ {
+			if i%ctxCheckStride == ctxCheckStride-1 {
+				if err := CtxErr(ctx); err != nil {
+					return nil, 0, err
+				}
+			}
 			cell := f.CellCoords(i)
 			for j := range off {
 				off[j] = -1
@@ -140,6 +157,9 @@ func ComponentsFlat(f *FlatGrid, conn Connectivity) ([]int32, int, error) {
 
 	// Number components by the Key byte order of their first cell, matching
 	// the map BFS visit order.
+	if err := CtxErr(ctx); err != nil {
+		return nil, 0, err
+	}
 	for i := range perm {
 		perm[i] = int32(i)
 	}

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 
 	"adawave/internal/pointset"
@@ -13,6 +14,14 @@ import (
 // lowest offending point index, so the result (and any error) is identical
 // to NewQuantizer on the same points for every worker count.
 func NewQuantizerDataset(ds *pointset.Dataset, scale, workers int) (*Quantizer, error) {
+	return NewQuantizerDatasetCtx(context.Background(), ds, scale, workers)
+}
+
+// NewQuantizerDatasetCtx is NewQuantizerDataset with cooperative
+// cancellation: every bounding-box shard polls ctx at its boundary (and
+// every ctxCheckStride points within), and a cancelled scan returns the
+// taxonomy error of CtxErr without building a quantizer.
+func NewQuantizerDatasetCtx(ctx context.Context, ds *pointset.Dataset, scale, workers int) (*Quantizer, error) {
 	if ds == nil || ds.N == 0 {
 		return nil, ErrNoPoints
 	}
@@ -29,14 +38,23 @@ func NewQuantizerDataset(ds *pointset.Dataset, scale, workers int) (*Quantizer, 
 	}
 	states := make([]bboxShard, workers)
 	ParallelRanges(n, workers, func(w, lo, hi int) {
+		if ctx.Err() != nil {
+			return
+		}
 		st := &states[w]
 		st.init(ds.Row(lo))
 		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxCheckStride == ctxCheckStride-1 && ctx.Err() != nil {
+				return
+			}
 			if !st.scan(i, ds.Data[i*d:(i+1)*d]) {
 				return
 			}
 		}
 	})
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	return finishQuantizer(states, scale, d)
 }
 
@@ -51,6 +69,15 @@ func NewQuantizerDataset(ds *pointset.Dataset, scale, workers int) (*Quantizer, 
 // point's cell coordinates are computed exactly once and never recomputed
 // by an assignment pass.
 func (q *Quantizer) QuantizeDataset(ds *pointset.Dataset, workers int) (*FlatGrid, []int32) {
+	f, ids, _ := q.QuantizeDatasetCtx(context.Background(), ds, workers)
+	return f, ids
+}
+
+// QuantizeDatasetCtx is QuantizeDataset with cooperative cancellation: each
+// quantization shard polls ctx at its boundary (and every ctxCheckStride
+// points within), and a cancelled run returns before the shard merge, with
+// no grid and no memo published.
+func (q *Quantizer) QuantizeDatasetCtx(ctx context.Context, ds *pointset.Dataset, workers int) (*FlatGrid, []int32, error) {
 	d := q.Dim()
 	size := make([]int, d)
 	for j := range size {
@@ -58,7 +85,7 @@ func (q *Quantizer) QuantizeDataset(ds *pointset.Dataset, workers int) (*FlatGri
 	}
 	n := ds.N
 	if n == 0 {
-		return &FlatGrid{Size: size}, nil
+		return &FlatGrid{Size: size}, nil, nil
 	}
 	if workers <= 1 || n < parallelCellCutoff {
 		workers = 1
@@ -70,12 +97,18 @@ func (q *Quantizer) QuantizeDataset(ds *pointset.Dataset, workers int) (*FlatGri
 	ids := make([]int32, n)
 	shards := make([]*FlatGrid, workers)
 	ParallelRanges(n, workers, func(w, lo, hi int) {
+		if ctx.Err() != nil {
+			return
+		}
 		s := getFlatScratch()
 		defer putFlatScratch(s)
 		nn := hi - lo
 		coords := make([]uint16, nn*d)
 		idx := make([]int32, nn)
 		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxCheckStride == ctxCheckStride-1 && ctx.Err() != nil {
+				return
+			}
 			q.CellCoordsU16(ds.Data[i*d:(i+1)*d], coords[(i-lo)*d:(i-lo+1)*d])
 			idx[i-lo] = int32(i - lo)
 		}
@@ -83,8 +116,11 @@ func (q *Quantizer) QuantizeDataset(ds *pointset.Dataset, workers int) (*FlatGri
 		cells, counts := dedupeRunsIdx(sorted, sortedIdx, d, ids[lo:hi])
 		shards[w] = &FlatGrid{Size: size, Coords: cells, Vals: counts}
 	})
+	if err := CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	if workers == 1 {
-		return shards[0], ids
+		return shards[0], ids, nil
 	}
 	f, remap := mergeSortedShardsInto(shards, size, d, true)
 	// Renumber the shard-local cell ids to canonical-grid indices.
@@ -96,7 +132,7 @@ func (q *Quantizer) QuantizeDataset(ds *pointset.Dataset, workers int) (*FlatGri
 			ids[i] = r[ids[i]]
 		}
 	})
-	return f, ids
+	return f, ids, nil
 }
 
 // dedupeRunsIdx collapses equal consecutive coordinate tuples of a sorted
@@ -195,6 +231,15 @@ func AncestorLabels(base, kept *FlatGrid, levels int, keptLabels []int32, worker
 // AncestorLabelsInto is AncestorLabels writing into dst (whose capacity is
 // reused) — the pooled form for per-level callers.
 func AncestorLabelsInto(dst []int32, base, kept *FlatGrid, levels int, keptLabels []int32, workers int) []int32 {
+	out, _ := AncestorLabelsIntoCtx(context.Background(), dst, base, kept, levels, keptLabels, workers)
+	return out
+}
+
+// AncestorLabelsIntoCtx is AncestorLabelsInto with cooperative cancellation:
+// each assignment shard polls ctx at its boundary (and every ctxCheckStride
+// cells within). The returned slice is always valid for pooling — on
+// cancellation its contents are unspecified and the error is non-nil.
+func AncestorLabelsIntoCtx(ctx context.Context, dst []int32, base, kept *FlatGrid, levels int, keptLabels []int32, workers int) ([]int32, error) {
 	d := base.Dim()
 	m := base.Len()
 	if cap(dst) < m {
@@ -203,8 +248,14 @@ func AncestorLabelsInto(dst []int32, base, kept *FlatGrid, levels int, keptLabel
 	out := dst[:m]
 	shift := uint(levels)
 	ParallelRanges(m, workers, func(_, lo, hi int) {
+		if ctx.Err() != nil {
+			return
+		}
 		coords := make([]uint16, d)
 		for c := lo; c < hi; c++ {
+			if (c-lo)%ctxCheckStride == ctxCheckStride-1 && ctx.Err() != nil {
+				return
+			}
 			bc := base.Coords[c*d : (c+1)*d]
 			for p := 0; p < d; p++ {
 				coords[p] = bc[p] >> shift
@@ -216,5 +267,5 @@ func AncestorLabelsInto(dst []int32, base, kept *FlatGrid, levels int, keptLabel
 			}
 		}
 	})
-	return out
+	return out, CtxErr(ctx)
 }

@@ -1,5 +1,7 @@
 package grid
 
+import "context"
+
 // Incremental grid maintenance: AdaWave's cell masses are additive point
 // counts, so a delta batch quantized into its own small canonical grid folds
 // into a live grid by one 2-way merge over cell ids — O(cells_live +
@@ -18,13 +20,28 @@ package grid
 // inputs must share Size and be in canonical order (see SortCanonical);
 // the inputs are not modified.
 func MergeFlat(live, delta *FlatGrid) (merged *FlatGrid, liveRemap, deltaRemap []int32) {
+	merged, liveRemap, deltaRemap, _ = MergeFlatCtx(context.Background(), live, delta)
+	return merged, liveRemap, deltaRemap
+}
+
+// MergeFlatCtx is MergeFlat with cooperative cancellation, polled every
+// ctxCheckStride merged cells. Neither input is modified, so a cancelled
+// merge leaves the live grid (and every memoized cell id into it) exactly as
+// it was — the streaming Session relies on this to keep a cancelled fold
+// invisible.
+func MergeFlatCtx(ctx context.Context, live, delta *FlatGrid) (merged *FlatGrid, liveRemap, deltaRemap []int32, err error) {
 	d := live.Dim()
 	nl, nd := live.Len(), delta.Len()
 	merged = NewFlat(live.Size, nl+nd)
 	liveRemap = make([]int32, nl)
 	deltaRemap = make([]int32, nd)
 	i, j := 0, 0
-	for i < nl || j < nd {
+	for iter := 0; i < nl || j < nd; iter++ {
+		if iter%ctxCheckStride == ctxCheckStride-1 {
+			if err := CtxErr(ctx); err != nil {
+				return nil, nil, nil, err
+			}
+		}
 		var c int
 		switch {
 		case i == nl:
@@ -66,7 +83,7 @@ func MergeFlat(live, delta *FlatGrid) (merged *FlatGrid, liveRemap, deltaRemap [
 		}
 		merged.Append(coords, mass)
 	}
-	return merged, liveRemap, deltaRemap
+	return merged, liveRemap, deltaRemap, nil
 }
 
 // Compact removes zero-or-negative-mass tombstone cells in place, preserving

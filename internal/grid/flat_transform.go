@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,16 @@ const parallelCellCutoff = 2048
 // is sorted with dimension j fastest, so a full dimension sweep ending at
 // j = Dim()−1 yields canonical order.
 func TransformDimFlat(f *FlatGrid, j int, b wavelet.Basis, workers int) *FlatGrid {
+	out, _ := transformDimFlatCtx(context.Background(), f, j, b, workers)
+	return out
+}
+
+// transformDimFlatCtx is TransformDimFlat with cooperative cancellation:
+// each line-sweep shard polls ctx at its boundary and a cancelled transform
+// returns no output grid. The input's cell order may already be permuted by
+// the radix sort when the cancel lands — exactly the non-error contract —
+// so callers restore canonical order on any error, as they do on success.
+func transformDimFlatCtx(ctx context.Context, f *FlatGrid, j int, b wavelet.Basis, workers int) (*FlatGrid, error) {
 	if j < 0 || j >= f.Dim() {
 		panic(fmt.Sprintf("grid: TransformDimFlat dimension %d out of range (grid is %d-D)", j, f.Dim()))
 	}
@@ -33,7 +44,11 @@ func TransformDimFlat(f *FlatGrid, j int, b wavelet.Basis, workers int) *FlatGri
 	newSize[j] = outLen
 	out := &FlatGrid{Size: newSize}
 	if m == 0 {
-		return out
+		return out, nil
+	}
+	// Poll before the radix permute: a request already dead skips the sort.
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
 	}
 
 	s := getFlatScratch()
@@ -55,9 +70,12 @@ func TransformDimFlat(f *FlatGrid, j int, b wavelet.Basis, workers int) *FlatGri
 		est := m + m*(len(b.Lo)/2)
 		out.Coords = make([]uint16, 0, est*d)
 		out.Vals = make([]float64, 0, est)
-		out.Coords, out.Vals = sweepLines(f, j, b, starts, 0, nLines, outLen, s, out.Coords, out.Vals)
+		out.Coords, out.Vals = sweepLines(ctx, f, j, b, starts, 0, nLines, outLen, s, out.Coords, out.Vals)
 		putFlatScratch(s)
-		return out
+		if err := CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 
 	// Partition lines into worker ranges of roughly equal cell counts; each
@@ -75,12 +93,25 @@ func TransformDimFlat(f *FlatGrid, j int, b wavelet.Basis, workers int) *FlatGri
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			ws := getFlatScratch()
-			c, v := sweepLines(f, j, b, starts, bounds[w], bounds[w+1], outLen, ws, ws.outCoords[:0], ws.outVals[:0])
+			c, v := sweepLines(ctx, f, j, b, starts, bounds[w], bounds[w+1], outLen, ws, ws.outCoords[:0], ws.outVals[:0])
 			chunks[w] = chunk{s: ws, coords: c, vals: v}
 		}(w)
 	}
 	wg.Wait()
+	if err := CtxErr(ctx); err != nil {
+		for _, c := range chunks {
+			if c.s != nil {
+				c.s.outCoords, c.s.outVals = c.coords, c.vals
+				putFlatScratch(c.s)
+			}
+		}
+		putFlatScratch(s)
+		return nil, err
+	}
 	total := 0
 	for _, c := range chunks {
 		total += len(c.vals)
@@ -94,7 +125,7 @@ func TransformDimFlat(f *FlatGrid, j int, b wavelet.Basis, workers int) *FlatGri
 		putFlatScratch(c.s)
 	}
 	putFlatScratch(s)
-	return out
+	return out, nil
 }
 
 // sortForDim reorders cells so dimension j varies fastest and the remaining
@@ -156,13 +187,18 @@ func balanceLines(starts []int32, workers int) []int {
 // independent of how lines are distributed across workers. Output cells
 // whose accumulated value is zero are kept, matching the map engine (which
 // stores them until coefficient denoising drops them).
-func sweepLines(f *FlatGrid, j int, b wavelet.Basis, starts []int32, lo, hi, outLen int, s *flatScratch, outCoords []uint16, outVals []float64) ([]uint16, []float64) {
+func sweepLines(ctx context.Context, f *FlatGrid, j int, b wavelet.Basis, starts []int32, lo, hi, outLen int, s *flatScratch, outCoords []uint16, outVals []float64) ([]uint16, []float64) {
 	d := f.Dim()
 	taps := b.Lo
 	center := b.Center
 	s.ensureAcc(outLen)
 	touched := s.touched
 	for li := lo; li < hi; li++ {
+		// Cancellation poll every 1024 lines: the partial output is
+		// discarded by the caller, which reports CtxErr.
+		if (li-lo)%1024 == 1023 && ctx.Err() != nil {
+			break
+		}
 		start, end := int(starts[li]), int(starts[li+1])
 		cur := s.nextEpoch()
 		touched = touched[:0]
@@ -210,16 +246,28 @@ func sweepLines(f *FlatGrid, j int, b wavelet.Basis, starts []int32, lo, hi, out
 // TransformFlat applies one full decomposition level (the low-pass filter
 // along every dimension in turn), leaving the result in canonical order.
 func TransformFlat(f *FlatGrid, b wavelet.Basis, workers int) *FlatGrid {
-	out, _ := transformCappedFlat(f, b, 0, workers)
+	out, _ := transformCappedFlat(context.Background(), f, b, 0, workers)
 	return out
+}
+
+// TransformFlatCtx is TransformFlat with cooperative cancellation between
+// (and within) the per-dimension sweeps. On cancellation the input grid's
+// cell order may be permuted, exactly like any other transform error;
+// callers restore canonical order before reusing it.
+func TransformFlatCtx(ctx context.Context, f *FlatGrid, b wavelet.Basis, workers int) (*FlatGrid, error) {
+	return transformCappedFlat(ctx, f, b, 0, workers)
 }
 
 // transformCappedFlat is TransformFlat with the same occupied-cell growth
 // cap (and error wording) as the map engine's transformCapped.
-func transformCappedFlat(f *FlatGrid, b wavelet.Basis, maxCells, workers int) (*FlatGrid, error) {
+func transformCappedFlat(ctx context.Context, f *FlatGrid, b wavelet.Basis, maxCells, workers int) (*FlatGrid, error) {
 	out := f
 	for j := 0; j < f.Dim(); j++ {
-		out = TransformDimFlat(out, j, b, workers)
+		next, err := transformDimFlatCtx(ctx, out, j, b, workers)
+		if err != nil {
+			return nil, err
+		}
+		out = next
 		if maxCells > 0 && out.Len() > maxCells {
 			return nil, invalidInput(fmt.Errorf(
 				"grid: wavelet transform densified the sparse grid to %d cells after dimension %d (cap %d); use the 2-tap haar basis for high-dimensional data",
@@ -236,6 +284,14 @@ func transformCappedFlat(f *FlatGrid, b wavelet.Basis, maxCells, workers int) (*
 // returned level is in canonical order — deeper levels transform a clone,
 // so earlier returned grids are never re-sorted out from under the caller.
 func TransformLevelsFlat(f *FlatGrid, b wavelet.Basis, levels, workers int) ([]*FlatGrid, error) {
+	return TransformLevelsFlatCtx(context.Background(), f, b, levels, workers)
+}
+
+// TransformLevelsFlatCtx is TransformLevelsFlat with cooperative
+// cancellation. A cancelled chain returns no levels; the input grid's cell
+// order may be permuted (like any transform error), so callers restore
+// canonical order before reusing it.
+func TransformLevelsFlatCtx(ctx context.Context, f *FlatGrid, b wavelet.Basis, levels, workers int) ([]*FlatGrid, error) {
 	if levels < 1 {
 		return nil, fmt.Errorf("grid: levels must be ≥ 1, got %d", levels)
 	}
@@ -250,7 +306,7 @@ func TransformLevelsFlat(f *FlatGrid, b wavelet.Basis, levels, workers int) ([]*
 		if l > 0 {
 			cur = cur.Clone()
 		}
-		next, err := transformCappedFlat(cur, b, growthCap(cur.Len()), workers)
+		next, err := transformCappedFlat(ctx, cur, b, growthCap(cur.Len()), workers)
 		if err != nil {
 			return nil, err
 		}

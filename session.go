@@ -1,6 +1,7 @@
 package adawave
 
 import (
+	"context"
 	"io"
 
 	"adawave/internal/core"
@@ -53,6 +54,13 @@ func (c *Clusterer) NewSession() *Session {
 // and marks the session dirty. The first batch fixes the dimensionality.
 func (s *Session) Append(ds *Dataset) error { return s.s.Append(ds) }
 
+// AppendContext is Append with cancellation: a context already dead when the
+// mutation would apply returns an ErrCanceled/ErrDeadlineExceeded-tagged
+// error and leaves the session untouched.
+func (s *Session) AppendContext(ctx context.Context, ds *Dataset) error {
+	return s.s.AppendContext(ctx, ds)
+}
+
 // AppendPoints is Append for [][]float64 callers (one copy).
 func (s *Session) AppendPoints(points [][]float64) error {
 	ds, err := pointset.FromSlices(points)
@@ -66,21 +74,48 @@ func (s *Session) AppendPoints(points [][]float64) error {
 // point order, preserving the order of the survivors.
 func (s *Session) Remove(indices []int) error { return s.s.Remove(indices) }
 
+// RemoveContext is Remove with cancellation (see AppendContext).
+func (s *Session) RemoveContext(ctx context.Context, indices []int) error {
+	return s.s.RemoveContext(ctx, indices)
+}
+
 // Labels returns the per-point labels of the current point set (appends
 // keep arrival order; removals close the gaps), recomputing only if the
 // session is dirty. The slice is shared — treat it as read-only.
 func (s *Session) Labels() ([]int, error) { return s.s.Labels() }
+
+// LabelsContext is Labels with cooperative cancellation (see ResultContext).
+func (s *Session) LabelsContext(ctx context.Context) ([]int, error) {
+	return s.s.LabelsContext(ctx)
+}
 
 // Result returns the full clustering result of the current point set,
 // recomputing only if the session is dirty. The Result is shared between
 // readers and must not be modified.
 func (s *Session) Result() (*Result, error) { return s.s.Result() }
 
+// ResultContext is Result with cooperative cancellation: the lazy fold and
+// every recompute stage poll ctx at shard boundaries, and a cancelled read
+// leaves the session exactly as before the call — pending mutations still
+// pending, the live grid intact — so the next read recomputes the identical
+// result. The error is matched by errors.Is against ErrCanceled or
+// ErrDeadlineExceeded.
+func (s *Session) ResultContext(ctx context.Context) (*Result, error) {
+	return s.s.ResultContext(ctx)
+}
+
 // MultiResolution clusters the current point set at every decomposition
 // level from 1 to maxLevels in one pass over the live grid, without
 // re-quantizing any point.
 func (s *Session) MultiResolution(maxLevels int) ([]*Result, error) {
 	return s.s.MultiResolution(maxLevels)
+}
+
+// MultiResolutionContext is MultiResolution with cooperative cancellation;
+// it computes on a private clone, so a cancelled call cannot disturb the
+// session state.
+func (s *Session) MultiResolutionContext(ctx context.Context, maxLevels int) ([]*Result, error) {
+	return s.s.MultiResolutionContext(ctx, maxLevels)
 }
 
 // Len returns the current number of points.
@@ -92,6 +127,11 @@ func (s *Session) Dim() int { return s.s.Dim() }
 // Cells returns the number of occupied cells in the live base grid after
 // folding any pending mutations.
 func (s *Session) Cells() (int, error) { return s.s.Cells() }
+
+// CellsContext is Cells with cooperative cancellation of the fold.
+func (s *Session) CellsContext(ctx context.Context) (int, error) {
+	return s.s.CellsContext(ctx)
+}
 
 // Config returns the session's (validated) configuration.
 func (s *Session) Config() Config { return s.s.Config() }
@@ -105,6 +145,12 @@ func (s *Session) Config() Config { return s.s.Config() }
 // configuration; the restored session reproduces this one's labels bit for
 // bit and stays warm for further mutations.
 func (s *Session) Checkpoint(w io.Writer) error { return s.s.Checkpoint(w) }
+
+// CheckpointContext is Checkpoint with cooperative cancellation of the fold
+// that precedes serialization; a cancelled call writes nothing.
+func (s *Session) CheckpointContext(ctx context.Context, w io.Writer) error {
+	return s.s.CheckpointContext(ctx, w)
+}
 
 // RestoreSession rebuilds a streaming session from a Checkpoint stream.
 // cfg and workers configure the session's engine; cfg must match the
