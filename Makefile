@@ -9,10 +9,12 @@ GO ?= go
 # vs. cold recluster, incremental merge throughput), the durability
 # workloads (per-mutation WAL-append overhead under both fsync policies,
 # cold crash recovery of a 50k-point session from checkpoint + WAL tail),
-# and the ctx-check overhead probe (Fig. 2 through the cancellable
-# ClusterDatasetContext; acceptance ≤2 % over the ctx-free path).
+# the ctx-check overhead probe (Fig. 2 through the cancellable
+# ClusterDatasetContext; acceptance ≤2 % over the ctx-free path), and the
+# governance workloads (DRR scheduler fairness solo vs contended, the
+# 50k-point session evict→rehydrate round trip).
 # BENCHTIME is overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2
+BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k
 BENCHTIME ?= 100x
 
 .PHONY: build test race bench bench-json fmt-check vet ci
@@ -24,24 +26,30 @@ test:
 	$(GO) test ./...
 
 # Race-exercise the parallel engine: grid substrate, core pipeline, the
-# persistence layer, facade, and the HTTP serving layer (whose httptest
-# smoke drives one writer and many concurrent readers through a shared
-# Session, and whose crash-recovery property test replays every WAL crash
-# point).
+# shared worker pool + quota governor, the persistence layer, facade, and
+# the HTTP serving layer (whose httptest smoke drives one writer and many
+# concurrent readers through a shared Session, whose crash-recovery
+# property test replays every WAL crash point, and whose evict→rehydrate
+# property test hammers two sessions ping-ponging through the residency
+# budget under concurrent readers).
 race:
-	$(GO) test -race ./internal/grid/... ./internal/core/... ./internal/persist/... ./cmd/adawave-serve/... .
+	$(GO) test -race ./internal/grid/... ./internal/core/... ./internal/sched/... ./internal/persist/... ./cmd/adawave-serve/... .
 
 # The CI benchmark smoke job: one iteration of the Fig. 2 benchmarks.
 bench:
 	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
 
 # The perf suite with allocation stats as test2json lines, committed as
-# BENCH_5.json so the repo records its own performance trajectory; CI also
+# BENCH_6.json so the repo records its own performance trajectory; CI also
 # uploads it as an artifact next to the Fig. 2 bench smoke. (BENCH_2.json
-# through BENCH_4.json are the committed PR-2…PR-4 snapshots, kept for the
-# trajectory.)
+# through BENCH_5.json are the committed PR-2…PR-5 snapshots, kept for the
+# trajectory.) After the run, benchcheck diffs the fresh numbers against
+# the previous committed snapshot and fails loudly when any benchmark
+# present in both regressed beyond 2× — a perf cliff is a red build, not a
+# silent drift.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_5.json
+	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_6.json
+	$(GO) run ./cmd/benchcheck -old BENCH_5.json -new BENCH_6.json -factor 2
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 
 	"adawave/internal/baselines/dbscan"
@@ -24,6 +25,7 @@ import (
 	"adawave/internal/metrics"
 	"adawave/internal/persist"
 	"adawave/internal/pointset"
+	"adawave/internal/sched"
 	"adawave/internal/stats"
 	"adawave/internal/synth"
 	"adawave/internal/wavelet"
@@ -861,6 +863,115 @@ func BenchmarkColdRecovery50k(b *testing.B) {
 		}
 		if len(labels) != wantN {
 			b.Fatalf("recovered labels: got %d, want %d", len(labels), wantN)
+		}
+	}
+}
+
+// BenchmarkSchedulerFairness measures the DRR pool's dispatch overhead and
+// fairness: the wall time of a small tenant's 64-shard fan-out on the shared
+// worker pool, first alone, then while a greedy tenant floods the pool with
+// 64-shard jobs of its own. The contended number is the latency bound the
+// deficit-round-robin scheduler guarantees a small tenant — it must stay
+// within a bounded factor of solo, not degrade with the greedy tenant's
+// queue depth.
+func BenchmarkSchedulerFairness(b *testing.B) {
+	const shards = 64
+	work := func(_, lo, hi int) {
+		var sink float64
+		for i := lo; i < hi; i++ {
+			for k := 0; k < 200; k++ {
+				sink += float64(i*k) * 1e-9
+			}
+		}
+		if sink < 0 {
+			b.Fatal("unreachable")
+		}
+	}
+	b.Run("solo", func(b *testing.B) {
+		pool := sched.NewPool(runtime.GOMAXPROCS(0))
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Shards("small", shards, shards, work)
+		}
+	})
+	b.Run("contended", func(b *testing.B) {
+		pool := sched.NewPool(runtime.GOMAXPROCS(0))
+		defer pool.Close()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						pool.Shards("greedy", shards, shards, work)
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Shards("small", shards, shards, work)
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+}
+
+// BenchmarkEvictRehydrate50k measures the session eviction round trip the
+// residency manager pays: serialize a warm 50k-point session to its
+// checkpoint (evict) and restore it (rehydrate), per iteration. This is the
+// cost of parking a cold tenant's session and the first-touch latency of
+// bringing it back; compare BenchmarkColdRecluster50k for what rehydration
+// saves over reclustering from raw points.
+func BenchmarkEvictRehydrate50k(b *testing.B) {
+	warm, _ := streamingFixture(b)
+	cfg := core.DefaultConfig()
+	sess, err := NewSession(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Append(warm); err != nil {
+		b.Fatal(err)
+	}
+	labels, err := sess.Labels()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probe bytes.Buffer
+	if err := sess.Checkpoint(&probe); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(probe.Len()))
+	b.ResetTimer()
+	var restored *Session
+	for i := 0; i < b.N; i++ {
+		var ckpt bytes.Buffer
+		ckpt.Grow(probe.Len())
+		if err := sess.Checkpoint(&ckpt); err != nil {
+			b.Fatal(err)
+		}
+		restored, err = RestoreSession(bytes.NewReader(ckpt.Bytes()), cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// The round trip is only a win if it is lossless: the rehydrated session
+	// must serve the bit-identical labels.
+	got, err := restored.Labels()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			b.Fatalf("label %d diverged after evict/rehydrate: got %d, want %d", i, got[i], labels[i])
 		}
 	}
 }

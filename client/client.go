@@ -19,10 +19,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"adawave"
 	"adawave/internal/api"
@@ -31,9 +35,15 @@ import (
 // Client talks to one adawave-serve base URL. The zero value is not usable;
 // construct with New. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	apiKey  string
+	retries int
 }
+
+// retryCap bounds a single backoff wait, however large the server's
+// Retry-After hint or the exponential schedule grows.
+const retryCap = 30 * time.Second
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -42,6 +52,27 @@ type ClientOption func(*Client)
 // transport, instrumentation). The default is http.DefaultClient.
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithAPIKey sends key as X-API-Key on every request, identifying the
+// tenant the server accounts the client's sessions and quotas under.
+func WithAPIKey(key string) ClientOption {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithRetry makes the client retry requests rejected with 429
+// resource_exhausted up to maxRetries times, honoring the server's
+// Retry-After hint with jittered exponential backoff capped at 30 s per
+// wait. Only replayable requests retry — a streamed CSV upload is consumed
+// by its first attempt and is returned to the caller to resend. The
+// request context bounds the whole retry loop; cancelling it aborts a
+// backoff sleep immediately.
+func WithRetry(maxRetries int) ClientOption {
+	return func(c *Client) {
+		if maxRetries > 0 {
+			c.retries = maxRetries
+		}
+	}
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -59,6 +90,11 @@ type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // stable machine code (api error vocabulary)
 	Message string
+	// Details is the envelope's structured context; for resource_exhausted
+	// it carries {quota, tenant, current, limit, retryAfterSeconds}.
+	Details map[string]any
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -80,41 +116,100 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == api.CodeCanceled
 	case adawave.ErrDeadlineExceeded:
 		return e.Code == api.CodeDeadlineExceeded
+	case adawave.ErrResourceExhausted:
+		return e.Code == api.CodeResourceExhausted
 	}
 	return false
 }
 
+// auth stamps the tenant key, when configured.
+func (c *Client) auth(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+}
+
 // do issues one JSON round trip: method + path, optional request body,
-// optional response decode. Non-2xx responses decode into *APIError.
+// optional response decode. Non-2xx responses decode into *APIError. The
+// body is marshaled once and replayed on every attempt, so WithRetry can
+// resend 429-rejected requests verbatim.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(raw)
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		c.auth(req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+			defer resp.Body.Close()
+			if out != nil {
+				return json.NewDecoder(resp.Body).Decode(out)
+			}
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		err = decodeAPIError(resp)
+		resp.Body.Close()
+		if !c.shouldRetry(err, attempt) {
+			return err
+		}
+		var ae *APIError
+		errors.As(err, &ae)
+		if err := sleepBackoff(ctx, ae.RetryAfter, attempt); err != nil {
+			return err
+		}
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
+}
+
+// shouldRetry: only 429 resource_exhausted responses, only under WithRetry's
+// budget. Every other status is either permanent (4xx) or the server's fault
+// (5xx) — blind replay would just add load.
+func (c *Client) shouldRetry(err error, attempt int) bool {
+	if c.retries <= 0 || attempt >= c.retries {
+		return false
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// sleepBackoff waits before attempt+1: the server's Retry-After hint when
+// given (else 1 s doubling per attempt), capped at retryCap, with ±25%
+// jitter so synchronized clients do not re-collide on the same second.
+func sleepBackoff(ctx context.Context, hint time.Duration, attempt int) error {
+	wait := hint
+	if wait <= 0 {
+		wait = time.Second << uint(attempt)
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
+	if wait > retryCap {
+		wait = retryCap
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeAPIError(resp)
+	wait += time.Duration((rand.Float64() - 0.5) * 0.5 * float64(wait))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
 }
 
 func decodeAPIError(resp *http.Response) error {
@@ -124,6 +219,12 @@ func decodeAPIError(resp *http.Response) error {
 	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
 		apiErr.Code = env.Error.Code
 		apiErr.Message = env.Error.Message
+		apiErr.Details = env.Error.Details
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
 	}
 	return apiErr
 }
@@ -195,6 +296,7 @@ func (c *Client) AppendCSV(ctx context.Context, id string, csv io.Reader) (*api.
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "text/csv")
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -241,6 +343,7 @@ func (c *Client) LabelsStream(ctx context.Context, id string, fn func(offset int
 		return nil, err
 	}
 	req.Header.Set("Accept", "application/x-ndjson")
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -307,4 +410,16 @@ func (c *Client) Checkpoint(ctx context.Context, id string) (*api.CheckpointResp
 // DeleteSession drops the session and its durable state.
 func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Usage fetches a tenant's standing against its quotas: points, cells,
+// resident sessions and bytes, in-flight folds, observed QPS, and the quota
+// limits in force. Pass the tenant id (the one CreateSession returned, or
+// "default" for keyless use).
+func (c *Client) Usage(ctx context.Context, tenant string) (*api.TenantUsage, error) {
+	var out api.TenantUsage
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants/"+tenant+"/usage", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

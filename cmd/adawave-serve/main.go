@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"adawave/internal/persist"
+	"adawave/internal/sched"
 )
 
 func main() {
@@ -29,10 +30,22 @@ func main() {
 		walSync         = flag.String("wal-sync", "always", "WAL fsync policy: always (durable before the response), interval (periodic), never (OS-scheduled)")
 		walSyncInterval = flag.Duration("wal-sync-interval", time.Second, "fsync period under -wal-sync=interval")
 		ckptInterval    = flag.Duration("checkpoint-interval", time.Minute, "how often the background checkpointer folds grown WALs into checkpoints (0 disables)")
+		tenants         = flag.String("tenants", "", "API-key → tenant map as comma-separated key=tenant pairs; empty serves every request under the default tenant")
+		quotaPoints     = flag.Int64("quota-points", 0, "per-tenant cap on total points across sessions (0 = unlimited)")
+		quotaCells      = flag.Int64("quota-cells", 0, "per-tenant cap on total occupied grid cells across sessions (0 = unlimited)")
+		quotaFolds      = flag.Int("quota-folds", 0, "per-tenant cap on concurrent compute passes (0 = unlimited)")
+		quotaQPS        = flag.Float64("quota-qps", 0, "per-tenant request-rate cap over a sliding 10s window (0 = unlimited)")
+		maxResident     = flag.Int("max-resident-sessions", 0, "most sessions resident in memory; colder ones evict to their checkpoints (0 = unbounded, requires -data-dir)")
+		maxResidentByte = flag.Int64("max-resident-bytes", 0, "resident-memory budget across sessions in bytes (0 = unbounded, requires -data-dir)")
 	)
 	flag.Parse()
 
 	policy, err := persist.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
+		os.Exit(2)
+	}
+	tenantMap, err := parseTenants(*tenants)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
 		os.Exit(2)
@@ -48,6 +61,15 @@ func main() {
 		walSync:         policy,
 		walSyncInterval: *walSyncInterval,
 		ckptInterval:    *ckptInterval,
+		tenants:         tenantMap,
+		quota: sched.Quota{
+			MaxPoints:          *quotaPoints,
+			MaxCells:           *quotaCells,
+			MaxConcurrentFolds: *quotaFolds,
+			MaxQPS:             *quotaQPS,
+		},
+		maxResident:      *maxResident,
+		maxResidentBytes: *maxResidentByte,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)

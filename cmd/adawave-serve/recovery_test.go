@@ -208,7 +208,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			files, err := pers.create("s1", core.ConfigFingerprint(mustConfig(t, fx.cfg)))
+			files, err := pers.create("s1", core.ConfigFingerprint(mustConfig(t, fx.cfg)), "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -216,7 +216,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ss := newServeSession(sess, files)
+			ss := newServeSession("s1", "default", sess, files, 1)
 			live := pers.sessionDir("s1")
 
 			// Build the random mutation sequence, journaling each step with

@@ -75,6 +75,7 @@ import (
 	"adawave/internal/grid"
 	"adawave/internal/persist"
 	"adawave/internal/pointset"
+	"adawave/internal/sched"
 )
 
 // serverOptions bundles the serving configuration; zero values select the
@@ -90,6 +91,15 @@ type serverOptions struct {
 	walSync         persist.SyncPolicy
 	walSyncInterval time.Duration
 	ckptInterval    time.Duration
+
+	// Multi-tenant governance (see tenant.go): the API-key → tenant map,
+	// the default per-tenant quota (zero fields = unlimited), and the
+	// residency budget the eviction manager enforces (0 = unbounded;
+	// requires dataDir, since eviction parks sessions on their checkpoints).
+	tenants          map[string]string
+	quota            sched.Quota
+	maxResident      int
+	maxResidentBytes int64
 }
 
 // server holds the session registry: one adawave.Session per id, each safe
@@ -112,6 +122,15 @@ type server struct {
 	closeOnce       sync.Once
 	metrics         *serverMetrics
 
+	// Resource governance: the process-wide worker pool every request's
+	// fan-out draws shards from (fair across tenants), the quota governor,
+	// the API-key → tenant map, and the residency budget (see tenant.go).
+	pool             *sched.Pool
+	gov              *sched.Governor
+	tenants          map[string]string
+	maxResident      int
+	maxResidentBytes int64
+
 	mu       sync.RWMutex
 	sessions map[string]*serveSession
 	nextID   atomic.Uint64
@@ -130,14 +149,40 @@ type server struct {
 // lock for its whole body) can give up when its request deadline expires or
 // its client disconnects: lockWrite answers 504/499 at the deadline instead
 // of blocking unresponsively until the writer finishes.
+// The Session pointer lives behind live (atomic): the eviction manager
+// parks an idle session on its checkpoint and clears the pointer, and the
+// next touch rehydrates it under hydrateMu (single-flight; see tenant.go).
+// Handlers obtain the session through acquire, never by loading live
+// directly. lastPoints/lastDim cache the shape so listing sessions never
+// rehydrates one; lastTouch orders the eviction LRU.
 type serveSession struct {
 	writeSem chan struct{}
-	sess     *adawave.Session
 	files    *sessionFiles
+	id       string
+	tenant   string
+	cfg      adawave.Config
+	workers  int
+
+	hydrateMu  sync.Mutex
+	live       atomic.Pointer[adawave.Session]
+	lastTouch  atomic.Int64 // unix nanos of the last request touching this session
+	lastPoints atomic.Int64
+	lastDim    atomic.Int64
 }
 
-func newServeSession(sess *adawave.Session, files *sessionFiles) *serveSession {
-	return &serveSession{writeSem: make(chan struct{}, 1), sess: sess, files: files}
+func newServeSession(id, tenant string, sess *adawave.Session, files *sessionFiles, workers int) *serveSession {
+	ss := &serveSession{
+		writeSem: make(chan struct{}, 1),
+		files:    files,
+		id:       id,
+		tenant:   tenant,
+		cfg:      sess.Config(),
+		workers:  workers,
+	}
+	ss.live.Store(sess)
+	ss.touch()
+	ss.cacheShape(sess)
+	return ss
 }
 
 // lockWrite acquires the session writer lock, giving up with the context's
@@ -168,29 +213,46 @@ func newServer(opts serverOptions) (*server, error) {
 	if opts.maxPoints <= 0 {
 		opts.maxPoints = 10_000_000
 	}
+	if (opts.maxResident > 0 || opts.maxResidentBytes > 0) && opts.dataDir == "" {
+		return nil, errors.New("-max-resident-sessions/-max-resident-bytes require -data-dir (eviction parks sessions on their checkpoints)")
+	}
 	s := &server{
-		workers:         opts.workers,
-		timeout:         opts.timeout,
-		csvBatch:        opts.csvBatch,
-		maxBody:         opts.maxBody,
-		maxSessions:     opts.maxSessions,
-		maxPoints:       opts.maxPoints,
-		walSyncInterval: opts.walSyncInterval,
-		ckptInterval:    opts.ckptInterval,
-		stop:            make(chan struct{}),
-		sessions:        make(map[string]*serveSession),
-		metrics:         newServerMetrics(),
+		workers:          opts.workers,
+		timeout:          opts.timeout,
+		csvBatch:         opts.csvBatch,
+		maxBody:          opts.maxBody,
+		maxSessions:      opts.maxSessions,
+		maxPoints:        opts.maxPoints,
+		walSyncInterval:  opts.walSyncInterval,
+		ckptInterval:     opts.ckptInterval,
+		pool:             sched.NewPool(opts.workers),
+		gov:              sched.NewGovernor(opts.quota),
+		tenants:          opts.tenants,
+		maxResident:      opts.maxResident,
+		maxResidentBytes: opts.maxResidentBytes,
+		stop:             make(chan struct{}),
+		sessions:         make(map[string]*serveSession),
+		metrics:          newServerMetrics(),
 	}
 	if opts.dataDir != "" {
 		pers, err := openPersistence(opts.dataDir, opts.walSync)
 		if err != nil {
+			s.pool.Close()
 			return nil, err
 		}
 		s.pers = pers
 		recovered, maxID := pers.recoverSessions(opts.workers)
 		s.sessions = recovered
 		s.nextID.Store(maxID)
+		// Seed the governor with the recovered footprints so quotas survive a
+		// restart (cells re-enter the accounting at each session's next fold).
+		for _, ss := range recovered {
+			if sess := ss.live.Load(); sess != nil {
+				s.gov.AddPoints(ss.tenant, int64(sess.Len()))
+			}
+		}
 		s.startBackground()
+		s.enforceResidency()
 	}
 	return s, nil
 }
@@ -210,6 +272,24 @@ func (s *server) startBackground() {
 					return
 				case <-t.C:
 					s.checkpointDirty()
+				}
+			}
+		}()
+	}
+	if s.maxResident > 0 || s.maxResidentBytes > 0 {
+		// Safety-net residency sweep: appends grow resident bytes without a
+		// rehydration to trigger enforcement, so re-check periodically.
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			t := time.NewTicker(5 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.enforceResidency()
 				}
 			}
 		}()
@@ -254,11 +334,13 @@ func (s *server) snapshotSessions() []*serveSession {
 }
 
 // checkpointDirty checkpoints every session whose WAL has grown since its
-// last checkpoint, truncating the log.
+// last checkpoint, truncating the log. Evicted sessions are skipped: their
+// WAL is empty by construction (eviction checkpoints first, and every
+// mutation rehydrates).
 func (s *server) checkpointDirty() {
 	for _, ss := range s.snapshotSessions() {
 		ss.lockWrite(context.Background())
-		if ss.files != nil && (ss.files.wal.Records() > 0 || ss.files.broken) {
+		if ss.resident() && ss.files != nil && (ss.files.wal.Records() > 0 || ss.files.broken) {
 			if _, err := ss.checkpointLocked(); err != nil {
 				log.Printf("adawave-serve: background checkpoint: %v", err)
 			}
@@ -283,12 +365,14 @@ func (s *server) Close() {
 			}
 			ss.unlockWrite()
 		}
+		s.pool.Close()
 	})
 }
 
 // handler wires the versioned routes (each instrumented with the per-route
 // metrics) and layers the middleware: body cap → request-id propagation →
-// legacy-route shim → request-scoped deadline → mux.
+// legacy-route shim → tenant resolution + quota admission → request-scoped
+// deadline → mux.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.healthz))
@@ -302,9 +386,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/multiresolution", s.instrument("multiresolution", s.multiResolution))
 	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.instrument("checkpoint", s.checkpointSession))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.deleteSession))
+	mux.HandleFunc("GET /v1/tenants/{id}/usage", s.instrument("tenant_usage", s.tenantUsage))
 
 	var h http.Handler = mux
 	h = s.withDeadline(h)
+	h = s.withTenant(h)
 	h = legacyShim(h)
 	h = requestIDMiddleware(h)
 	h = s.bodyCap(h)
@@ -365,10 +451,11 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
 		return
 	}
+	tenant := sched.TenantFrom(r.Context())
 	id := "s" + strconv.FormatUint(s.nextID.Add(1), 10)
-	ss := newServeSession(sess, nil)
+	ss := newServeSession(id, tenant, sess, nil, s.workers)
 	if s.pers != nil {
-		files, err := s.pers.create(id, core.ConfigFingerprint(sess.Config()))
+		files, err := s.pers.create(id, core.ConfigFingerprint(sess.Config()), tenant)
 		if err != nil {
 			writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("session storage: %v", err))
 			return
@@ -387,26 +474,22 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessions[id] = ss
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{ID: id})
+	s.enforceResidency()
+	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{ID: id, Tenant: tenant})
 }
 
 func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
-	// Snapshot the registry first: Len/Dim take each session's own lock,
-	// which a long recompute holds, and blocking on it while holding the
-	// registry lock would stall session creation server-wide.
-	s.mu.RLock()
-	type entry struct {
-		id   string
-		sess *serveSession
-	}
-	entries := make([]entry, 0, len(s.sessions))
-	for id, sess := range s.sessions {
-		entries = append(entries, entry{id, sess})
-	}
-	s.mu.RUnlock()
+	// Shapes come from the cached lastPoints/lastDim (refreshed whenever the
+	// session is live), so listing never rehydrates an evicted session and
+	// never queues behind a long recompute holding a session's own lock.
+	entries := s.snapshotSessions()
 	rows := make([]api.SessionInfo, 0, len(entries))
-	for _, e := range entries {
-		rows = append(rows, api.SessionInfo{ID: e.id, Points: e.sess.sess.Len(), Dim: e.sess.sess.Dim()})
+	for _, ss := range entries {
+		points, dim := ss.shape()
+		rows = append(rows, api.SessionInfo{
+			ID: ss.id, Points: points, Dim: dim,
+			Tenant: ss.tenant, Resident: ss.resident(),
+		})
 	}
 	writeJSON(w, http.StatusOK, api.ListSessionsResponse{Sessions: rows})
 }
@@ -427,14 +510,23 @@ func (s *server) sessionDetail(w http.ResponseWriter, r *http.Request) {
 	if ss == nil {
 		return
 	}
-	detail := api.SessionDetail{ID: r.PathValue("id"), Points: ss.sess.Len(), Dim: ss.sess.Dim()}
+	sess, err := ss.acquire(s)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("rehydrate: %v", err))
+		return
+	}
+	detail := api.SessionDetail{
+		ID: ss.id, Points: sess.Len(), Dim: sess.Dim(),
+		Tenant: ss.tenant, Resident: true, ResidentBytes: sess.ResidentBytes(),
+	}
 	if detail.Points > 0 {
-		cells, err := ss.sess.CellsContext(r.Context())
+		cells, err := sess.CellsContext(r.Context())
 		if err != nil {
 			s.writeReadErr(w, r, err)
 			return
 		}
 		detail.Cells = cells
+		s.gov.SetSessionCells(ss.tenant, ss.id, cells)
 	}
 	if ss.files != nil {
 		// ckptSeq is atomic, so this monitoring read never queues behind a
@@ -445,7 +537,8 @@ func (s *server) sessionDetail(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, detail)
 }
 
-// lookup resolves {id}; a miss writes the 404 and returns nil.
+// lookup resolves {id}; a miss writes the 404 and returns nil. A hit counts
+// as a touch for the eviction LRU.
 func (s *server) lookup(w http.ResponseWriter, r *http.Request) *serveSession {
 	id := r.PathValue("id")
 	s.mu.RLock()
@@ -453,7 +546,9 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *serveSession {
 	s.mu.RUnlock()
 	if sess == nil {
 		writeCode(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown session %q", id))
+		return nil
 	}
+	sess.touch()
 	return sess
 }
 
@@ -472,7 +567,11 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ss.unlockWrite()
-	sess := ss.sess
+	sess, err := ss.acquire(s)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("rehydrate: %v", err))
+		return
+	}
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var appended int
 	switch ct {
@@ -498,6 +597,12 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 		err := dataio.EachBatch(r.Body, s.csvBatch, func(ds *pointset.Dataset, labels []int) error {
 			if sess.Len()+ds.N > s.maxPoints {
 				return errPointLimit(s.maxPoints)
+			}
+			// Tenant points quota, admitted per chunk against the committed
+			// footprint plus this upload's own progress; a breach rolls the
+			// whole upload back below (429, nothing committed).
+			if qe := s.gov.AdmitPoints(ss.tenant, int64(appended+ds.N)); qe != nil {
+				return qe
 			}
 			// AppendContext refuses the chunk once the request deadline
 			// expired or the client went away, so an aborted upload stops
@@ -545,6 +650,10 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 			writeCode(w, http.StatusRequestEntityTooLarge, api.CodePointLimit, errPointLimit(s.maxPoints).Error())
 			return
 		}
+		if qe := s.gov.AdmitPoints(ss.tenant, int64(len(body.Points))); qe != nil {
+			s.writeQuotaErr(w, qe)
+			return
+		}
 		ds, err := pointset.FromSlices(body.Points)
 		if err != nil {
 			writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())
@@ -575,6 +684,8 @@ func (s *server) appendPoints(w http.ResponseWriter, r *http.Request) {
 		}
 		appended = ds.N
 	}
+	s.gov.AddPoints(ss.tenant, int64(appended))
+	ss.cacheShape(sess)
 	writeJSON(w, http.StatusOK, api.AppendResponse{Appended: appended, Points: sess.Len()})
 }
 
@@ -603,10 +714,15 @@ func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ss.unlockWrite()
+	sess, err := ss.acquire(s)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("rehydrate: %v", err))
+		return
+	}
 	// RemoveContext refuses the mutation once the deadline expired or the
 	// client went away: a client retry must never double-remove shifted
 	// indices.
-	if err := ss.sess.RemoveContext(r.Context(), body.Indices); err != nil {
+	if err := sess.RemoveContext(r.Context(), body.Indices); err != nil {
 		s.writeMutationErr(w, r, err)
 		return
 	}
@@ -618,7 +734,9 @@ func (s *server) removePoints(w http.ResponseWriter, r *http.Request) {
 		writeCode(w, http.StatusInternalServerError, api.CodeDurability, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, api.RemoveResponse{Removed: len(body.Indices), Points: ss.sess.Len()})
+	s.gov.AddPoints(ss.tenant, -int64(len(body.Indices)))
+	ss.cacheShape(sess)
+	writeJSON(w, http.StatusOK, api.RemoveResponse{Removed: len(body.Indices), Points: sess.Len()})
 }
 
 func toAPIResult(res *adawave.Result, withLabels bool) api.Result {
@@ -652,14 +770,29 @@ func (s *server) labels(w http.ResponseWriter, r *http.Request) {
 	if ss == nil {
 		return
 	}
+	sess, err := ss.acquire(s)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("rehydrate: %v", err))
+		return
+	}
+	// Concurrent-folds quota: the tenant's compute passes are bounded, so a
+	// tenant spamming label reads queues behind its own limit, not everyone
+	// else's latency.
+	release, qe := s.gov.AcquireFold(ss.tenant)
+	if qe != nil {
+		s.writeQuotaErr(w, qe)
+		return
+	}
+	defer release()
 	// The request context rides into the pipeline: a client disconnect or
 	// the request deadline aborts the compute at the next shard boundary
 	// and the session stays exactly as it was.
-	res, err := ss.sess.ResultContext(r.Context())
+	res, err := sess.ResultContext(r.Context())
 	if err != nil {
 		s.writeReadErr(w, r, err)
 		return
 	}
+	s.gov.SetSessionCells(ss.tenant, ss.id, res.CellsQuantized)
 	if wantsNDJSON(r) {
 		s.streamLabels(w, r, res)
 		return
@@ -728,7 +861,18 @@ func (s *server) multiResolution(w http.ResponseWriter, r *http.Request) {
 		maxLevels = n
 	}
 	withLabels := r.URL.Query().Get("labels") != "false"
-	results, err := ss.sess.MultiResolutionContext(r.Context(), maxLevels)
+	sess, err := ss.acquire(s)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("rehydrate: %v", err))
+		return
+	}
+	release, qe := s.gov.AcquireFold(ss.tenant)
+	if qe != nil {
+		s.writeQuotaErr(w, qe)
+		return
+	}
+	defer release()
+	results, err := sess.MultiResolutionContext(r.Context(), maxLevels)
 	if err != nil {
 		s.writeReadErr(w, r, err)
 		return
@@ -757,12 +901,17 @@ func (s *server) checkpointSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ss.unlockWrite()
+	sess, err := ss.acquire(s)
+	if err != nil {
+		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("rehydrate: %v", err))
+		return
+	}
 	seq, err := ss.checkpointLocked()
 	if err != nil {
 		writeCode(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("checkpoint: %v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, api.CheckpointResponse{Seq: seq, Points: ss.sess.Len()})
+	writeJSON(w, http.StatusOK, api.CheckpointResponse{Seq: seq, Points: sess.Len()})
 }
 
 func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
@@ -785,6 +934,8 @@ func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
 		}
 		ss.unlockWrite()
 	}
+	points, _ := ss.shape()
+	s.gov.DropSession(ss.tenant, ss.id, points)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -800,6 +951,12 @@ func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
 // blame the request.
 func (s *server) writeReadErr(w http.ResponseWriter, r *http.Request, err error) {
 	status, code := api.Classify(err)
+	if status == http.StatusTooManyRequests && code == api.CodeResourceExhausted {
+		// Quota rejections carry the Retry-After header and the structured
+		// details of the backpressure contract.
+		s.writeQuotaErr(w, err)
+		return
+	}
 	switch status {
 	case api.StatusClientClosedRequest:
 		// The response is written into a torn-down connection; the log line
@@ -840,7 +997,8 @@ func (s *server) writeBodyErr(w http.ResponseWriter, r *http.Request, err error)
 		writeCode(w, http.StatusInternalServerError, api.CodeDurability, err.Error())
 	case errors.As(err, &ple):
 		writeCode(w, http.StatusRequestEntityTooLarge, api.CodePointLimit, err.Error())
-	case code == api.CodeTooLarge || code == api.CodeCanceled || code == api.CodeDeadlineExceeded:
+	case code == api.CodeTooLarge || code == api.CodeCanceled ||
+		code == api.CodeDeadlineExceeded || code == api.CodeResourceExhausted:
 		s.writeReadErr(w, r, err)
 	default:
 		writeCode(w, http.StatusBadRequest, api.CodeInvalidInput, err.Error())

@@ -17,6 +17,7 @@ import (
 	"adawave/internal/grid"
 	"adawave/internal/persist"
 	"adawave/internal/pointset"
+	"adawave/internal/sched"
 )
 
 // Durable session storage. With -data-dir set, every session owns one
@@ -78,8 +79,11 @@ type sessionFiles struct {
 	broken  bool          // double durability failure: mutations refused
 }
 
-// create provisions the directory, fingerprint and WAL of a new session.
-func (p *persistence) create(id string, meta persist.ConfigMeta) (*sessionFiles, error) {
+// create provisions the directory, fingerprint, tenant marker and WAL of a
+// new session. The tenant lives in its own small file — not in config.json,
+// whose contents are the engine-config fingerprint and must round-trip
+// through core.ConfigFingerprint byte for byte.
+func (p *persistence) create(id string, meta persist.ConfigMeta, tenant string) (*sessionFiles, error) {
 	dir := p.sessionDir(id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -91,11 +95,30 @@ func (p *persistence) create(id string, meta persist.ConfigMeta) (*sessionFiles,
 	if err := os.WriteFile(filepath.Join(dir, "config.json"), cfg, 0o644); err != nil {
 		return nil, err
 	}
+	if tenant != "" && tenant != sched.DefaultTenant {
+		if err := os.WriteFile(filepath.Join(dir, "tenant"), []byte(tenant+"\n"), 0o644); err != nil {
+			return nil, err
+		}
+	}
 	wal, err := persist.OpenWAL(filepath.Join(dir, "wal.log"), p.policy)
 	if err != nil {
 		return nil, err
 	}
 	return &sessionFiles{dir: dir, wal: wal}, nil
+}
+
+// tenantOf reads a session directory's tenant marker; absence (all sessions
+// predating multi-tenancy, and default-tenant sessions, which write none)
+// means the default tenant.
+func tenantOf(dir string) string {
+	raw, err := os.ReadFile(filepath.Join(dir, "tenant"))
+	if err != nil {
+		return sched.DefaultTenant
+	}
+	if t := strings.TrimSpace(string(raw)); t != "" {
+		return t
+	}
+	return sched.DefaultTenant
 }
 
 // configFromMeta rebuilds the adawave.Config a recovered session runs
@@ -173,8 +196,13 @@ func (ss *serveSession) checkpointFallback(walErr error) error {
 }
 
 // checkpointLocked writes a full checkpoint and truncates the WAL. The
-// caller holds the writer lock. On success the session's storage is healthy again.
+// caller holds the writer lock and the session is resident. On success the
+// session's storage is healthy again.
 func (ss *serveSession) checkpointLocked() (seq uint64, err error) {
+	sess := ss.live.Load()
+	if sess == nil {
+		return 0, errors.New("checkpoint of an evicted session")
+	}
 	fl := ss.files
 	seq = fl.wal.Seq()
 	tmp := filepath.Join(fl.dir, "checkpoint.tmp")
@@ -182,7 +210,7 @@ func (ss *serveSession) checkpointLocked() (seq uint64, err error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := ss.sess.Checkpoint(f); err != nil {
+	if err := sess.Checkpoint(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, err
@@ -354,12 +382,13 @@ func (p *persistence) recoverSessions(workers int) (map[string]*serveSession, ui
 		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > maxID {
 			maxID = n
 		}
-		sess, files, err := loadSessionDir(filepath.Join(root, id), workers, p.policy)
+		dir := filepath.Join(root, id)
+		sess, files, err := loadSessionDir(dir, workers, p.policy)
 		if err != nil {
 			log.Printf("adawave-serve: session %s not recovered: %v", id, err)
 			continue
 		}
-		out[id] = newServeSession(sess, files)
+		out[id] = newServeSession(id, tenantOf(dir), sess, files, workers)
 		log.Printf("adawave-serve: recovered session %s (%d points, wal seq %d)", id, sess.Len(), files.wal.Seq())
 	}
 	return out, maxID

@@ -1,0 +1,112 @@
+// Command benchcheck compares two `go test -bench -json` snapshots and fails
+// loudly when a benchmark regressed beyond an acceptance factor — the
+// regression gate behind `make bench-json`, so a perf cliff lands as a red
+// build instead of a silent drift in the committed BENCH_*.json trajectory.
+//
+//	benchcheck -old BENCH_5.json -new BENCH_6.json -factor 2
+//
+// Only benchmarks present in both snapshots are compared (new benchmarks have
+// no baseline yet; retired ones have no current number). The inputs are
+// test2json streams: benchmark results ride on "output" actions as the
+// standard testing.B result lines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parse extracts name → ns/op from a test2json bench snapshot. test2json
+// attributes a benchmark's result line (iterations, then value/unit pairs) to
+// the bench via the Test field, so sub-benchmarks keep their full path and
+// like compares with like.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // interleaved non-JSON noise is not this tool's problem
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Test, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		// iterations  value unit  [value unit ...]
+		for i := 1; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err == nil {
+				out[ev.Test] = v
+			}
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench snapshot (test2json)")
+	newPath := flag.String("new", "", "current bench snapshot (test2json)")
+	factor := flag.Float64("factor", 2, "fail when current ns/op exceeds baseline by this factor")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRes, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if _, ok := oldRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no common benchmarks between snapshots")
+		os.Exit(2)
+	}
+	var failed int
+	for _, name := range names {
+		ratio := newRes[name] / oldRes[name]
+		if ratio > *factor {
+			failed++
+			fmt.Printf("REGRESSION %-60s %12.0f → %12.0f ns/op (%.2fx > %.2gx)\n",
+				name, oldRes[name], newRes[name], ratio, *factor)
+		}
+	}
+	fmt.Printf("benchcheck: %d benchmarks compared, %d regressed beyond %.2gx\n",
+		len(names), failed, *factor)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -101,6 +101,37 @@
 // in O(cells); recovery at any crash point is bit-identical to the
 // never-crashed session.
 //
+// # Scheduling and multi-tenant governance
+//
+// adawave-serve runs every session's fan-out stages on one process-wide
+// worker pool with a deficit-round-robin fair scheduler (internal/sched):
+// the serving layer attaches the pool and the request's tenant to the
+// request context, and every sharded stage of the engine draws its shards
+// from the tenant's queue instead of spawning goroutines per request. The
+// scheduler serves tenants round-robin with per-tenant deficit counters,
+// so a tenant flooding the server delays the others by at most a bounded
+// factor — never proportionally to the flood — and the submitting
+// goroutine assists in running its own shards, so a saturated (or closed)
+// pool can never deadlock a request. Shard boundaries are identical to the
+// pool-free path, so labels never depend on who else is running.
+//
+// Tenants are resolved from API keys (-tenants key=tenant,…; keyless
+// requests run under the "default" tenant) and governed by per-tenant
+// quotas enforced at admission: total points and occupied grid cells
+// across sessions, concurrent compute passes, and request rate over a
+// sliding window (-quota-points, -quota-cells, -quota-folds, -quota-qps).
+// An over-quota request executes nothing and answers 429 with a
+// Retry-After header and a machine-readable resource_exhausted envelope;
+// the taxonomy root ErrResourceExhausted matches it with errors.Is, and
+// the typed client configured with client.WithRetry transparently backs
+// off and resends. GET /v1/tenants/{id}/usage reports a tenant's standing.
+// With -max-resident-sessions / -max-resident-bytes the server also bounds
+// resident memory: least-recently-touched idle sessions are evicted to
+// their checkpoints (WAL folded and truncated first, so the checkpoint
+// alone is the complete state) and transparently rehydrated on the next
+// touch, bit-identically, while Session.ResidentBytes reports the live
+// footprint the budget is measured against.
+//
 // The package also exposes the substrate the paper builds on (wavelet
 // bases, threshold strategies, multi-resolution clustering), the
 // evaluation metric the paper uses (adjusted mutual information), and the

@@ -3,6 +3,7 @@ package adawave
 import (
 	"adawave/internal/grid"
 	"adawave/internal/persist"
+	"adawave/internal/sched"
 )
 
 // The exported error taxonomy. Every error returned by the package's
@@ -33,6 +34,12 @@ import (
 //	errors.Is(err, adawave.ErrDeadlineExceeded)  the caller's context deadline
 //	                                             expired mid-pipeline; same
 //	                                             clean-unwind guarantee
+//	errors.Is(err, adawave.ErrResourceExhausted) the request was refused at
+//	                                             admission by a tenant quota or
+//	                                             the server's residency budget;
+//	                                             nothing executed — resend the
+//	                                             identical request after the
+//	                                             retry-after hint
 //
 // ErrCanceled and ErrDeadlineExceeded wrap the originating context error, so
 // errors.Is(err, context.Canceled) / errors.Is(err, context.DeadlineExceeded)
@@ -52,4 +59,11 @@ var (
 	// ErrDeadlineExceeded tags computation abandoned because the context
 	// deadline expired.
 	ErrDeadlineExceeded = grid.ErrDeadlineExceeded
+	// ErrResourceExhausted tags a request refused at admission because a
+	// tenant quota (points, cells, concurrent folds, request rate) or the
+	// server's residency budget is exhausted. The request did not execute;
+	// it can be resent verbatim after the rejection's retry-after hint (on
+	// the wire: HTTP 429 with a Retry-After header and a resource_exhausted
+	// error envelope).
+	ErrResourceExhausted = sched.ErrResourceExhausted
 )

@@ -28,16 +28,23 @@ type SessionConfig struct {
 	MinClusterMass  *float64 `json:"minClusterMass,omitempty"`
 }
 
-// CreateSessionResponse answers POST /v1/sessions.
+// CreateSessionResponse answers POST /v1/sessions. Tenant is the tenant the
+// session is accounted under — the API key's tenant, or "default" for keyless
+// requests.
 type CreateSessionResponse struct {
-	ID string `json:"id"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
-// SessionInfo is one row of GET /v1/sessions.
+// SessionInfo is one row of GET /v1/sessions. Resident reports whether the
+// session is live in memory (false: evicted to its checkpoint, rehydrated
+// transparently on next touch).
 type SessionInfo struct {
-	ID     string `json:"id"`
-	Points int    `json:"points"`
-	Dim    int    `json:"dim"`
+	ID       string `json:"id"`
+	Points   int    `json:"points"`
+	Dim      int    `json:"dim"`
+	Tenant   string `json:"tenant,omitempty"`
+	Resident bool   `json:"resident"`
 }
 
 // ListSessionsResponse answers GET /v1/sessions.
@@ -58,6 +65,12 @@ type SessionDetail struct {
 	// checkpoint folds in (0 before the first checkpoint).
 	Durable           bool   `json:"durable"`
 	LastCheckpointSeq uint64 `json:"lastCheckpointSeq"`
+	// Tenant is the tenant the session is accounted under; Resident reports
+	// whether it is live in memory (a detail read rehydrates it, so Resident
+	// is true in the response); ResidentBytes estimates its heap footprint.
+	Tenant        string `json:"tenant,omitempty"`
+	Resident      bool   `json:"resident"`
+	ResidentBytes int64  `json:"residentBytes"`
 }
 
 // AppendRequest is the JSON body of POST /v1/sessions/{id}/points (the
@@ -106,6 +119,36 @@ type MultiResolutionResponse struct {
 type CheckpointResponse struct {
 	Seq    uint64 `json:"seq"`
 	Points int    `json:"points"`
+}
+
+// QuotaLimits mirrors a tenant's configured quota; a zero field means
+// unlimited.
+type QuotaLimits struct {
+	MaxPoints          int64   `json:"maxPoints"`
+	MaxCells           int64   `json:"maxCells"`
+	MaxConcurrentFolds int     `json:"maxConcurrentFolds"`
+	MaxQPS             float64 `json:"maxQps"`
+}
+
+// TenantUsage answers GET /v1/tenants/{id}/usage: the tenant's standing
+// against its quotas plus its session residency.
+type TenantUsage struct {
+	Tenant string `json:"tenant"`
+	// Points and Cells are the tenant's totals across all its sessions
+	// (cells as of each session's last fold).
+	Points int64 `json:"points"`
+	Cells  int64 `json:"cells"`
+	// Sessions counts the tenant's sessions; ResidentSessions those live in
+	// memory; ResidentBytes their estimated heap footprint.
+	Sessions         int   `json:"sessions"`
+	ResidentSessions int   `json:"residentSessions"`
+	ResidentBytes    int64 `json:"residentBytes"`
+	// Folds is the tenant's in-flight compute passes; QPS its observed
+	// request rate over the sliding 10 s admission window.
+	Folds int     `json:"folds"`
+	QPS   float64 `json:"qps"`
+	// Quota is the limits in force (zero = unlimited).
+	Quota QuotaLimits `json:"quota"`
 }
 
 // HealthzResponse answers GET /healthz.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"time"
 
 	"adawave"
+	"adawave/internal/sched"
 )
 
 // The v1 error envelope: every non-2xx response is
@@ -45,6 +47,12 @@ const (
 	// CodeDurability: the mutation applied but could not be journaled; the
 	// session refuses further mutations until a checkpoint succeeds.
 	CodeDurability = "durability"
+	// CodeResourceExhausted: the request was refused at admission because a
+	// tenant quota (points, cells, concurrent folds, request rate) is
+	// exhausted. Rendered as 429 with a Retry-After header; Details carries
+	// the machine-readable standing (see QuotaDetails). Nothing executed —
+	// resend the identical request after the hint.
+	CodeResourceExhausted = "resource_exhausted"
 	// CodeInternal: an engine invariant or IO failure — the server's fault.
 	CodeInternal = "internal"
 )
@@ -76,6 +84,7 @@ type ErrorResponse struct {
 //	ErrInvalidInput             → 422 invalid_input
 //	ErrCanceled                 → 499 canceled      (client abort, not a 5xx)
 //	ErrDeadlineExceeded         → 504 deadline_exceeded
+//	ErrResourceExhausted        → 429 resource_exhausted
 //	http.MaxBytesError          → 413 too_large
 //	anything else               → 500 internal
 //
@@ -94,9 +103,35 @@ func Classify(err error) (status int, code string) {
 		return http.StatusGatewayTimeout, CodeDeadlineExceeded
 	case errors.Is(err, adawave.ErrCanceled), errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest, CodeCanceled
+	case errors.Is(err, adawave.ErrResourceExhausted):
+		return http.StatusTooManyRequests, CodeResourceExhausted
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge, CodeTooLarge
 	default:
 		return http.StatusInternalServerError, CodeInternal
 	}
+}
+
+// QuotaDetails extracts the machine-readable standing of a quota rejection:
+// the details map of the resource_exhausted envelope ({quota, current, limit,
+// retryAfterSeconds, tenant}) and the Retry-After duration for the header.
+// ok is false when err carries no *sched.QuotaError (e.g. a bare
+// ErrResourceExhausted) — the caller then omits details and uses a default
+// retry hint.
+func QuotaDetails(err error) (details map[string]any, retryAfter time.Duration, ok bool) {
+	var qe *sched.QuotaError
+	if !errors.As(err, &qe) {
+		return nil, 0, false
+	}
+	retryAfter = qe.RetryAfter
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return map[string]any{
+		"quota":             qe.Resource,
+		"tenant":            qe.Tenant,
+		"current":           qe.Current,
+		"limit":             qe.Limit,
+		"retryAfterSeconds": int64(retryAfter / time.Second),
+	}, retryAfter, true
 }

@@ -1,0 +1,81 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"adawave"
+	"adawave/internal/sched"
+)
+
+// TestClassifyTaxonomy pins the error-taxonomy → wire-contract table: every
+// sentinel of the adawave taxonomy (wrapped or bare) must map to its stable
+// status/code pair, including the scheduler's quota rejections → 429.
+func TestClassifyTaxonomy(t *testing.T) {
+	quotaErr := &sched.QuotaError{
+		Tenant: "acme", Resource: "qps", Current: 12, Limit: 10, RetryAfter: 3 * time.Second,
+	}
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"no-points", adawave.ErrNoPoints, http.StatusConflict, CodeNoPoints},
+		{"config-mismatch", adawave.ErrConfigMismatch, http.StatusConflict, CodeConfigMismatch},
+		{"invalid-input", fmt.Errorf("row 7: %w", adawave.ErrInvalidInput), http.StatusUnprocessableEntity, CodeInvalidInput},
+		{"deadline", adawave.ErrDeadlineExceeded, http.StatusGatewayTimeout, CodeDeadlineExceeded},
+		{"ctx-deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, CodeDeadlineExceeded},
+		{"canceled", adawave.ErrCanceled, StatusClientClosedRequest, CodeCanceled},
+		{"ctx-canceled", context.Canceled, StatusClientClosedRequest, CodeCanceled},
+		{"quota-bare", adawave.ErrResourceExhausted, http.StatusTooManyRequests, CodeResourceExhausted},
+		{"quota-scheduler", quotaErr, http.StatusTooManyRequests, CodeResourceExhausted},
+		{"quota-wrapped", fmt.Errorf("admission: %w", quotaErr), http.StatusTooManyRequests, CodeResourceExhausted},
+		{"too-large", &http.MaxBytesError{Limit: 64}, http.StatusRequestEntityTooLarge, CodeTooLarge},
+		{"unknown", errors.New("disk on fire"), http.StatusInternalServerError, CodeInternal},
+	}
+	for _, c := range cases {
+		status, code := Classify(c.err)
+		if status != c.status || code != c.code {
+			t.Errorf("%s: Classify(%v) = %d %s, want %d %s", c.name, c.err, status, code, c.status, c.code)
+		}
+	}
+}
+
+// TestQuotaDetails pins the machine-readable shape of the resource_exhausted
+// details: which quota tripped, the tenant's standing, and the retry hint —
+// the contract a client backoff loop keys on.
+func TestQuotaDetails(t *testing.T) {
+	qe := &sched.QuotaError{
+		Tenant: "acme", Resource: "points", Current: 900, Limit: 1000, RetryAfter: 5 * time.Second,
+	}
+	details, retry, ok := QuotaDetails(fmt.Errorf("append: %w", qe))
+	if !ok || retry != 5*time.Second {
+		t.Fatalf("QuotaDetails: ok=%v retry=%v", ok, retry)
+	}
+	for k, want := range map[string]any{
+		"quota":             "points",
+		"tenant":            "acme",
+		"current":           float64(900),
+		"limit":             float64(1000),
+		"retryAfterSeconds": int64(5),
+	} {
+		if details[k] != want {
+			t.Errorf("details[%q] = %v (%T), want %v", k, details[k], details[k], want)
+		}
+	}
+
+	// Sub-second hints round up to one second so Retry-After is never 0.
+	if _, retry, ok := QuotaDetails(&sched.QuotaError{Resource: "qps", RetryAfter: 10 * time.Millisecond}); !ok || retry != time.Second {
+		t.Fatalf("sub-second hint: ok=%v retry=%v, want 1s", ok, retry)
+	}
+
+	// A bare sentinel carries no standing: callers fall back to defaults.
+	if _, _, ok := QuotaDetails(adawave.ErrResourceExhausted); ok {
+		t.Fatal("bare ErrResourceExhausted must not yield details")
+	}
+}

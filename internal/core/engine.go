@@ -415,7 +415,7 @@ func (e *Engine) finishClusteringFlat(ctx context.Context, t, base *grid.FlatGri
 		e.tables.Put(tbl)
 		return nil, err
 	}
-	grid.ParallelRanges(len(ids), workers, func(_, lo, hi int) {
+	grid.ParallelRangesCtx(ctx, len(ids), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			res.Labels[i] = int(cellLabels[ids[i]])
 		}

@@ -477,6 +477,26 @@ func RestoreSession(r io.Reader, eng *Engine) (*Session, error) {
 	return s, nil
 }
 
+// ResidentBytes estimates the session's resident heap footprint: the raw
+// points, the live base grid, the per-point cell memo, and the cached result.
+// It never folds pending mutations — the eviction manager calls it on idle
+// sessions and must not trigger compute. The estimate covers the dominant
+// slices, not Go allocator overhead, so treat it as a budget input rather
+// than an exact RSS.
+func (s *Session) ResidentBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b := int64(cap(s.ds.Data)) * 8
+	if s.base != nil {
+		b += int64(cap(s.base.Coords))*2 + int64(cap(s.base.Vals))*8
+	}
+	b += int64(cap(s.ids)) * 4
+	if s.res != nil {
+		b += int64(cap(s.res.Labels))*8 + int64(cap(s.res.Curve))*8
+	}
+	return b
+}
+
 // Cells returns the number of occupied cells in the live base grid
 // (tombstones excluded), folding pending mutations first.
 func (s *Session) Cells() (int, error) {

@@ -37,7 +37,7 @@ func NewQuantizerDatasetCtx(ctx context.Context, ds *pointset.Dataset, scale, wo
 		workers = 1
 	}
 	states := make([]bboxShard, workers)
-	ParallelRanges(n, workers, func(w, lo, hi int) {
+	ParallelRangesCtx(ctx, n, workers, func(w, lo, hi int) {
 		if ctx.Err() != nil {
 			return
 		}
@@ -96,7 +96,7 @@ func (q *Quantizer) QuantizeDatasetCtx(ctx context.Context, ds *pointset.Dataset
 	}
 	ids := make([]int32, n)
 	shards := make([]*FlatGrid, workers)
-	ParallelRanges(n, workers, func(w, lo, hi int) {
+	ParallelRangesCtx(ctx, n, workers, func(w, lo, hi int) {
 		if ctx.Err() != nil {
 			return
 		}
@@ -126,7 +126,7 @@ func (q *Quantizer) QuantizeDatasetCtx(ctx context.Context, ds *pointset.Dataset
 	// Renumber the shard-local cell ids to canonical-grid indices.
 	// ParallelRanges carves the same deterministic shard boundaries as the
 	// quantization pass above, so worker w sees exactly its own ids.
-	ParallelRanges(n, workers, func(w, lo, hi int) {
+	ParallelRangesCtx(ctx, n, workers, func(w, lo, hi int) {
 		r := remap[w]
 		for i := lo; i < hi; i++ {
 			ids[i] = r[ids[i]]
@@ -247,7 +247,7 @@ func AncestorLabelsIntoCtx(ctx context.Context, dst []int32, base, kept *FlatGri
 	}
 	out := dst[:m]
 	shift := uint(levels)
-	ParallelRanges(m, workers, func(_, lo, hi int) {
+	ParallelRangesCtx(ctx, m, workers, func(_, lo, hi int) {
 		if ctx.Err() != nil {
 			return
 		}

@@ -3,7 +3,6 @@ package grid
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"adawave/internal/wavelet"
 )
@@ -88,20 +87,18 @@ func transformDimFlatCtx(ctx context.Context, f *FlatGrid, j int, b wavelet.Basi
 		vals   []float64
 	}
 	chunks := make([]chunk, len(bounds)-1)
-	var wg sync.WaitGroup
-	for w := 0; w < len(bounds)-1; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+	// One shard per balanced line range (maxShards == n forces chunk 1), so
+	// the sweep draws from the shared pool when the request carries one.
+	ParallelRangesCtx(ctx, len(chunks), len(chunks), func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
 			if ctx.Err() != nil {
 				return
 			}
 			ws := getFlatScratch()
 			c, v := sweepLines(ctx, f, j, b, starts, bounds[w], bounds[w+1], outLen, ws, ws.outCoords[:0], ws.outVals[:0])
 			chunks[w] = chunk{s: ws, coords: c, vals: v}
-		}(w)
-	}
-	wg.Wait()
+		}
+	})
 	if err := CtxErr(ctx); err != nil {
 		for _, c := range chunks {
 			if c.s != nil {

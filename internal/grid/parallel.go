@@ -1,6 +1,11 @@
 package grid
 
-import "sync"
+import (
+	"context"
+	"sync"
+
+	"adawave/internal/sched"
+)
 
 // ParallelRanges splits [0, n) into at most workers contiguous ranges and
 // runs fn on each concurrently, passing a distinct worker index per range.
@@ -33,4 +38,17 @@ func ParallelRanges(n, workers int, fn func(worker, lo, hi int)) {
 		w++
 	}
 	wg.Wait()
+}
+
+// ParallelRangesCtx is ParallelRanges sourcing its shard execution from the
+// worker pool carried by ctx (see internal/sched), charged to the context's
+// tenant. The pool replicates ParallelRanges' range carving exactly, so the
+// computed results are bit-identical either way — only the scheduling of the
+// ranges changes. Without a pool in ctx it falls back to spawning goroutines.
+func ParallelRangesCtx(ctx context.Context, n, workers int, fn func(worker, lo, hi int)) {
+	if p, ok := sched.PoolFrom(ctx); ok {
+		p.Shards(sched.TenantFrom(ctx), n, workers, fn)
+		return
+	}
+	ParallelRanges(n, workers, fn)
 }

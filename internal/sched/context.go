@@ -1,0 +1,37 @@
+package sched
+
+import "context"
+
+// The pool and the tenant ride the request context into the engine: the
+// serving layer tags each request with WithPool + WithTenant, every
+// ctx-taking pipeline stage hands its fan-out to grid.ParallelRangesCtx, and
+// that helper draws shard execution from the context's pool under the
+// context's tenant queue. Code without a pool in its context (the library
+// facade, tests, the CLI) keeps the spawn-per-call behavior unchanged.
+
+type poolKey struct{}
+type tenantKey struct{}
+
+// WithPool attaches the shared worker pool to ctx.
+func WithPool(ctx context.Context, p *Pool) context.Context {
+	return context.WithValue(ctx, poolKey{}, p)
+}
+
+// PoolFrom returns the pool attached to ctx, if any.
+func PoolFrom(ctx context.Context) (*Pool, bool) {
+	p, ok := ctx.Value(poolKey{}).(*Pool)
+	return p, ok && p != nil
+}
+
+// WithTenant attaches the tenant id to ctx.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant attached to ctx, or DefaultTenant.
+func TenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey{}).(string); ok && t != "" {
+		return t
+	}
+	return DefaultTenant
+}

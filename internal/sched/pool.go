@@ -1,0 +1,264 @@
+// Package sched is the process-wide resource governor of the serving layer:
+// one shared worker pool that every session's fan-out stages draw shard
+// execution from (instead of spawning per-request goroutines), scheduled
+// fairly across tenants by deficit round-robin; and per-tenant quotas —
+// points, cells, concurrent folds, request rate — enforced at admission so
+// an oversized tenant is answered with backpressure (a QuotaError carrying a
+// retry-after hint, rendered as 429 + Retry-After on the wire) instead of
+// queueing unboundedly behind everyone else's work.
+//
+// The pool is deliberately oblivious to what a shard computes: grid and core
+// hand it the same (worker, lo, hi) closures they would have spawned
+// goroutines for, tagged with the tenant carried by the request context (see
+// context.go), so the engine's bit-identical-for-every-worker-count
+// guarantee is untouched — the pool only changes *when* a shard runs, never
+// what it computes or how the ranges are carved.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultQuantum is the deficit replenished per scheduler visit, in range
+// elements (points or cells): one "turn" lets a tenant run about this much
+// shard work before the scheduler moves on. Shards smaller than the quantum
+// cost their true size; larger shards cost one full quantum.
+const DefaultQuantum = 4096
+
+// shard is one claimed range of a job's fan-out.
+type shard struct{ w, lo, hi int }
+
+// job is one Shards call: the closure, its pre-carved ranges, and the claim
+// cursor. next is guarded by the pool mutex; every shard is claimed exactly
+// once — by a pool worker through the DRR scheduler, or by the submitting
+// goroutine's assist loop — and wg releases the submitter when the last
+// claimed shard finishes.
+type job struct {
+	fn     func(worker, lo, hi int)
+	shards []shard
+	next   int
+	wg     sync.WaitGroup
+}
+
+// tenantQueue is one tenant's FIFO of jobs plus its DRR deficit counter.
+type tenantQueue struct {
+	tenant  string
+	deficit int
+	jobs    []*job
+	active  bool // currently in the scheduler ring
+
+	// Cumulative scheduling stats, guarded by the pool mutex.
+	shards int64
+	elems  int64
+}
+
+// trim pops exhausted head jobs (their remaining shards were claimed by the
+// submitter's assist loop).
+func (q *tenantQueue) trim() {
+	for len(q.jobs) > 0 && q.jobs[0].next >= len(q.jobs[0].shards) {
+		q.jobs = q.jobs[1:]
+	}
+}
+
+// Pool is the process-wide worker pool. Workers goroutines pull shards from
+// the per-tenant queues under deficit round-robin: the scheduler visits
+// tenants in ring order, each visit replenishes the tenant's deficit by one
+// quantum when it cannot afford its next shard, and a tenant keeps serving
+// shards while its deficit lasts — so a tenant with one queued job gets its
+// turn within one ring pass no matter how many thousand shards a greedy
+// tenant has queued ahead of it.
+//
+// Deadlock-freedom by construction: the goroutine that submits a fan-out
+// also works on it. Shards handed to the pool can be claimed by the
+// submitter's own assist loop while it waits, so a fan-out completes even
+// when every pool worker is busy with other tenants (or the pool has zero
+// workers); the pool bounds parallelism, it never gates progress.
+type Pool struct {
+	workers int
+	quantum int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string]*tenantQueue
+	ring   []*tenantQueue
+	cur    int
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count (≤ 0 selects
+// runtime.GOMAXPROCS(0)) and the default quantum.
+func NewPool(workers int) *Pool {
+	return NewPoolQuantum(workers, DefaultQuantum)
+}
+
+// NewPoolQuantum is NewPool with an explicit DRR quantum (≤ 0 selects
+// DefaultQuantum), exposed for fairness tests and tuning.
+func NewPoolQuantum(workers, quantum int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	p := &Pool{workers: workers, quantum: quantum, queues: make(map[string]*tenantQueue)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's worker goroutine count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines. Jobs still queued are finished by their
+// submitters' assist loops; Shards called after Close runs inline.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// TenantStats reports the cumulative shards and range elements the scheduler
+// has run for a tenant (work claimed by the tenant's own assist loops is not
+// counted — it consumed the tenant's goroutine, not the shared pool).
+func (p *Pool) TenantStats(tenant string) (shards, elems int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if q := p.queues[tenant]; q != nil {
+		return q.shards, q.elems
+	}
+	return 0, 0
+}
+
+// queueLocked returns (creating if needed) the tenant's queue.
+func (p *Pool) queueLocked(tenant string) *tenantQueue {
+	q := p.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{tenant: tenant}
+		p.queues[tenant] = q
+	}
+	return q
+}
+
+// nextLocked claims the next shard under deficit round-robin, or reports
+// none runnable. Every visit either serves the tenant at the cursor (cost
+// charged to its deficit, cursor unmoved so its turn continues) or ends the
+// tenant's turn (deficit replenished for its next turn, cursor advanced) —
+// so after at most one full ring pass of replenishes some tenant serves, and
+// an empty ring is the only way out without a claim.
+func (p *Pool) nextLocked() (*job, shard, bool) {
+	for len(p.ring) > 0 {
+		if p.cur >= len(p.ring) {
+			p.cur = 0
+		}
+		q := p.ring[p.cur]
+		q.trim()
+		if len(q.jobs) == 0 {
+			q.active = false
+			q.deficit = 0
+			p.ring = append(p.ring[:p.cur], p.ring[p.cur+1:]...)
+			continue
+		}
+		j := q.jobs[0]
+		sh := j.shards[j.next]
+		cost := sh.hi - sh.lo
+		if cost > p.quantum {
+			cost = p.quantum
+		}
+		if q.deficit < cost {
+			q.deficit += p.quantum
+			p.cur++
+			continue
+		}
+		q.deficit -= cost
+		j.next++
+		q.shards++
+		q.elems += int64(sh.hi - sh.lo)
+		return j, sh, true
+	}
+	return nil, shard{}, false
+}
+
+func (p *Pool) worker() {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if j, sh, ok := p.nextLocked(); ok {
+			p.mu.Unlock()
+			j.fn(sh.w, sh.lo, sh.hi)
+			j.wg.Done()
+			p.mu.Lock()
+			continue
+		}
+		p.cond.Wait()
+	}
+}
+
+// Shards runs fn over [0, n) split into at most maxShards contiguous ranges
+// — the exact range carving of grid.ParallelRanges, so a pipeline stage
+// computes identical results whether its shards ran on spawned goroutines or
+// on the pool — under the given tenant's DRR queue. It returns after every
+// range has been processed. With maxShards ≤ 1 (or n ≤ 1) fn runs inline.
+func (p *Pool) Shards(tenant string, n, maxShards int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if maxShards > n {
+		maxShards = n
+	}
+	if maxShards <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + maxShards - 1) / maxShards
+	shards := make([]shard, 0, maxShards)
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		shards = append(shards, shard{w, lo, hi})
+		w++
+	}
+	j := &job{fn: fn, shards: shards}
+	j.wg.Add(len(shards))
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		for _, sh := range shards {
+			fn(sh.w, sh.lo, sh.hi)
+			j.wg.Done()
+		}
+		return
+	}
+	q := p.queueLocked(tenant)
+	q.jobs = append(q.jobs, j)
+	if !q.active {
+		q.active = true
+		p.ring = append(p.ring, q)
+	}
+	p.cond.Broadcast()
+	// Assist loop: claim this job's unclaimed shards and run them on the
+	// submitting goroutine, so the fan-out makes progress even when every
+	// pool worker is serving other tenants. Assisted work is not charged to
+	// the tenant's deficit — it spends the request's own goroutine, not the
+	// shared pool.
+	for j.next < len(j.shards) {
+		sh := j.shards[j.next]
+		j.next++
+		p.mu.Unlock()
+		fn(sh.w, sh.lo, sh.hi)
+		j.wg.Done()
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+	j.wg.Wait()
+}

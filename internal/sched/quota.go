@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant a request without an API key (and every
+// session created by one) is accounted under, so the single-user surface
+// keeps working unchanged while still being governed.
+const DefaultTenant = "default"
+
+// qpsWindow is the sliding-window width of the request-rate quota, in
+// one-second buckets.
+const qpsWindow = 10
+
+// ErrResourceExhausted is the taxonomy root of every quota rejection: a
+// request refused at admission because the tenant is over one of its limits
+// or the shared capacity is saturated. The request was NOT executed — after
+// the QuotaError's RetryAfter it can be resent verbatim.
+var ErrResourceExhausted = errors.New("adawave: resource exhausted")
+
+// QuotaError reports which quota rejected the request, the tenant's current
+// standing against the limit, and how long to wait before retrying. It
+// matches errors.Is(err, ErrResourceExhausted).
+type QuotaError struct {
+	Tenant     string
+	Resource   string // "points", "cells", "concurrent_folds", "qps", "resident_sessions"
+	Current    float64
+	Limit      float64
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("%v: tenant %q over %s quota (%.6g of limit %.6g), retry after %s",
+		ErrResourceExhausted, e.Tenant, e.Resource, e.Current, e.Limit, e.RetryAfter)
+}
+
+func (e *QuotaError) Unwrap() error { return ErrResourceExhausted }
+
+// Quota is one tenant's admission limits; a zero field means unlimited.
+type Quota struct {
+	// MaxPoints caps the tenant's total points across all its sessions.
+	MaxPoints int64
+	// MaxCells caps the tenant's total occupied grid cells across sessions,
+	// as of each session's last fold (cells are a product of the data's
+	// spread, so the ceiling is checked at the next mutation's admission,
+	// not mid-pipeline).
+	MaxCells int64
+	// MaxConcurrentFolds caps how many of the tenant's requests may hold
+	// engine compute (a fold/recluster/multiresolution pass) at once.
+	MaxConcurrentFolds int
+	// MaxQPS caps the tenant's request rate over a sliding 10 s window.
+	MaxQPS float64
+}
+
+// usage is one tenant's live accounting.
+type usage struct {
+	points int64
+	cells  map[string]int64 // session id → cells as of its last fold
+	folds  int
+
+	buckets [qpsWindow]int64 // per-second request counts, ring by unix second
+	lastSec int64
+}
+
+// Governor enforces per-tenant quotas. It is safe for concurrent use. The
+// serving layer calls Admit* at admission (cheap, O(1)) and the Add/Set/Drop
+// bookkeeping methods as sessions mutate, so admission never has to walk the
+// session registry.
+type Governor struct {
+	mu        sync.Mutex
+	def       Quota
+	overrides map[string]Quota
+	tenants   map[string]*usage
+	now       func() time.Time // injectable for tests
+}
+
+// NewGovernor returns a governor applying def to every tenant (override
+// individual tenants with SetQuota).
+func NewGovernor(def Quota) *Governor {
+	return &Governor{
+		def:       def,
+		overrides: make(map[string]Quota),
+		tenants:   make(map[string]*usage),
+		now:       time.Now,
+	}
+}
+
+// SetQuota overrides the default quota for one tenant.
+func (g *Governor) SetQuota(tenant string, q Quota) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.overrides[tenant] = q
+}
+
+// QuotaFor returns the quota in force for a tenant.
+func (g *Governor) QuotaFor(tenant string) Quota {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.quotaLocked(tenant)
+}
+
+func (g *Governor) quotaLocked(tenant string) Quota {
+	if q, ok := g.overrides[tenant]; ok {
+		return q
+	}
+	return g.def
+}
+
+func (g *Governor) usageLocked(tenant string) *usage {
+	u := g.tenants[tenant]
+	if u == nil {
+		u = &usage{cells: make(map[string]int64)}
+		g.tenants[tenant] = u
+	}
+	return u
+}
+
+// rollLocked advances the tenant's QPS ring to now, zeroing buckets that
+// fell out of the window.
+func (u *usage) rollLocked(nowSec int64) {
+	if u.lastSec == 0 {
+		u.lastSec = nowSec
+		return
+	}
+	for s := u.lastSec + 1; s <= nowSec; s++ {
+		u.buckets[s%qpsWindow] = 0
+		if s-u.lastSec >= qpsWindow {
+			for i := range u.buckets {
+				u.buckets[i] = 0
+			}
+			break
+		}
+	}
+	if nowSec > u.lastSec {
+		u.lastSec = nowSec
+	}
+}
+
+// AdmitRequest applies the QPS quota: within the rate the request is counted
+// and admitted (nil); over it a QuotaError says how long until the window
+// has room again. Unlimited (MaxQPS 0) still counts, so Usage can report the
+// tenant's observed rate.
+func (g *Governor) AdmitRequest(tenant string) *QuotaError {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q := g.quotaLocked(tenant)
+	u := g.usageLocked(tenant)
+	nowSec := g.now().Unix()
+	u.rollLocked(nowSec)
+	if q.MaxQPS > 0 {
+		var sum int64
+		for _, b := range u.buckets {
+			sum += b
+		}
+		if rate := float64(sum) / qpsWindow; rate >= q.MaxQPS {
+			// The oldest occupied bucket leaves the window after this many
+			// seconds; that is the earliest the rate can have dropped.
+			retry := time.Second
+			for age := qpsWindow - 1; age >= 1; age-- {
+				idx := ((nowSec-int64(age))%qpsWindow + qpsWindow) % qpsWindow
+				if u.buckets[idx] > 0 {
+					retry = time.Duration(qpsWindow-age) * time.Second
+					break
+				}
+			}
+			return &QuotaError{Tenant: tenant, Resource: "qps", Current: rate, Limit: q.MaxQPS, RetryAfter: retry}
+		}
+	}
+	u.buckets[nowSec%qpsWindow]++
+	return nil
+}
+
+// AcquireFold takes one of the tenant's concurrent-fold slots, returning the
+// release function; over the cap it returns a QuotaError instead (retry once
+// an in-flight fold finishes — the hint is one second).
+func (g *Governor) AcquireFold(tenant string) (release func(), qe *QuotaError) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q := g.quotaLocked(tenant)
+	u := g.usageLocked(tenant)
+	if q.MaxConcurrentFolds > 0 && u.folds >= q.MaxConcurrentFolds {
+		return nil, &QuotaError{Tenant: tenant, Resource: "concurrent_folds",
+			Current: float64(u.folds), Limit: float64(q.MaxConcurrentFolds), RetryAfter: time.Second}
+	}
+	u.folds++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			u.folds--
+			g.mu.Unlock()
+		})
+	}, nil
+}
+
+// AdmitPoints checks whether appending addPoints keeps the tenant within its
+// points quota AND its current cell footprint within the cells quota; the
+// caller commits with AddPoints only after the append succeeded.
+func (g *Governor) AdmitPoints(tenant string, addPoints int64) *QuotaError {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q := g.quotaLocked(tenant)
+	u := g.usageLocked(tenant)
+	if q.MaxPoints > 0 && u.points+addPoints > q.MaxPoints {
+		return &QuotaError{Tenant: tenant, Resource: "points",
+			Current: float64(u.points), Limit: float64(q.MaxPoints), RetryAfter: time.Second}
+	}
+	if q.MaxCells > 0 {
+		var cells int64
+		for _, c := range u.cells {
+			cells += c
+		}
+		if cells > q.MaxCells {
+			return &QuotaError{Tenant: tenant, Resource: "cells",
+				Current: float64(cells), Limit: float64(q.MaxCells), RetryAfter: time.Second}
+		}
+	}
+	return nil
+}
+
+// AddPoints commits a point-count delta (appends positive, removals
+// negative).
+func (g *Governor) AddPoints(tenant string, delta int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.usageLocked(tenant)
+	u.points += delta
+	if u.points < 0 {
+		u.points = 0
+	}
+}
+
+// SetSessionCells records a session's occupied-cell count as of its last
+// fold; the per-tenant sum is the cells quota's basis.
+func (g *Governor) SetSessionCells(tenant, session string, cells int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.usageLocked(tenant).cells[session] = int64(cells)
+}
+
+// DropSession removes a deleted session's footprint from the tenant's
+// accounting.
+func (g *Governor) DropSession(tenant, session string, points int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.usageLocked(tenant)
+	delete(u.cells, session)
+	u.points -= int64(points)
+	if u.points < 0 {
+		u.points = 0
+	}
+}
+
+// Usage is a tenant's standing, as reported by the usage endpoint.
+type Usage struct {
+	Points int64
+	Cells  int64
+	Folds  int
+	QPS    float64 // observed request rate over the sliding window
+	Quota  Quota
+}
+
+// Usage snapshots a tenant's accounting.
+func (g *Governor) Usage(tenant string) Usage {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.usageLocked(tenant)
+	u.rollLocked(g.now().Unix())
+	var sum, cells int64
+	for _, b := range u.buckets {
+		sum += b
+	}
+	for _, c := range u.cells {
+		cells += c
+	}
+	return Usage{
+		Points: u.points,
+		Cells:  cells,
+		Folds:  u.folds,
+		QPS:    float64(sum) / qpsWindow,
+		Quota:  g.quotaLocked(tenant),
+	}
+}

@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardsCoversRange: every element of [0, n) is processed exactly once,
+// with the same range carving as grid.ParallelRanges (ceil-chunked,
+// contiguous, distinct worker index per range).
+func TestShardsCoversRange(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {5, 2}, {100, 7}, {4096, 4}, {10000, 16},
+	} {
+		seen := make([]int32, tc.n)
+		var workersSeen sync.Map
+		p.Shards("t", tc.n, tc.workers, func(w, lo, hi int) {
+			if _, dup := workersSeen.LoadOrStore(w, true); dup {
+				t.Errorf("n=%d workers=%d: worker index %d reused", tc.n, tc.workers, w)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: element %d processed %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
+// TestShardsZeroWorkersProgress: the assist loop completes a fan-out even
+// when the pool has no capacity of its own (one worker hogged by another
+// tenant's long task).
+func TestShardsZeroWorkersProgress(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Shards("hog", 1, 1, func(_, _, _ int) {
+		close(started)
+		<-block
+	})
+	<-started
+	done := make(chan struct{})
+	go func() {
+		var n int64
+		p.Shards("small", 1000, 8, func(_, lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+		if n != 1000 {
+			t.Errorf("processed %d of 1000", n)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fan-out did not complete while the only pool worker was blocked")
+	}
+	close(block)
+}
+
+// TestShardsAfterClose: a closed pool degrades to inline execution.
+func TestShardsAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	var n int64
+	p.Shards("t", 100, 4, func(_, lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+	if n != 100 {
+		t.Fatalf("processed %d of 100 after Close", n)
+	}
+}
+
+// TestDRRFairness: with a greedy tenant keeping the pool saturated, a small
+// tenant's work still completes within a bounded factor of its uncontended
+// latency — the deficit round-robin gives it a share of every scheduler
+// round instead of queueing it behind the greedy tenant's backlog.
+func TestDRRFairness(t *testing.T) {
+	const (
+		workers   = 4
+		smallN    = 64
+		greedyN   = 64 * 64
+		taskSpin  = 20 * time.Microsecond
+		smallRuns = 5
+	)
+	spin := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			deadline := time.Now().Add(taskSpin)
+			for time.Now().Before(deadline) {
+			}
+		}
+	}
+
+	// Uncontended baseline: the small tenant alone on the pool.
+	base := NewPoolQuantum(workers, 64)
+	t0 := time.Now()
+	for r := 0; r < smallRuns; r++ {
+		base.Shards("small", smallN, smallN, spin)
+	}
+	uncontended := time.Since(t0) / smallRuns
+	base.Close()
+
+	// Contended: a greedy tenant floods the pool from goroutines of its own
+	// while the small tenant runs the same workload.
+	p := NewPoolQuantum(workers, 64)
+	defer p.Close()
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					p.Shards("greedy", greedyN, greedyN, spin)
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the backlog build
+	var contended time.Duration
+	for r := 0; r < smallRuns; r++ {
+		t1 := time.Now()
+		p.Shards("small", smallN, smallN, spin)
+		contended += time.Since(t1)
+	}
+	contended /= smallRuns
+	close(stop)
+	flood.Wait()
+
+	// The small tenant has its own goroutine (assist) plus a fair share of
+	// the pool; a generous 10× bound catches starvation (an unfair FIFO
+	// queue behind greedyN shards would be ~64× slower) without making the
+	// test racy on loaded CI machines.
+	if contended > 10*uncontended && contended > 100*time.Millisecond {
+		t.Fatalf("small tenant starved: contended %v vs uncontended %v (>10×)", contended, uncontended)
+	}
+	if shards, _ := p.TenantStats("greedy"); shards == 0 {
+		t.Fatal("greedy tenant ran no pooled shards — flood did not reach the pool")
+	}
+}
+
+func TestQuotaQPS(t *testing.T) {
+	g := NewGovernor(Quota{MaxQPS: 1}) // 1 QPS over a 10 s window = 10 requests
+	now := time.Unix(1000, 0)
+	g.now = func() time.Time { return now }
+	for i := 0; i < qpsWindow; i++ {
+		if qe := g.AdmitRequest("t"); qe != nil {
+			t.Fatalf("request %d refused below the limit: %v", i, qe)
+		}
+	}
+	qe := g.AdmitRequest("t")
+	if qe == nil {
+		t.Fatal("request over the QPS limit admitted")
+	}
+	if qe.Resource != "qps" || qe.RetryAfter <= 0 {
+		t.Fatalf("bad quota error: %+v", qe)
+	}
+	if !errors.Is(qe, ErrResourceExhausted) {
+		t.Fatal("QuotaError does not match ErrResourceExhausted")
+	}
+	// After the window slides past the burst the tenant is admitted again.
+	now = now.Add(qpsWindow * time.Second)
+	if qe := g.AdmitRequest("t"); qe != nil {
+		t.Fatalf("request refused after the window slid: %v", qe)
+	}
+	// Other tenants are unaffected throughout.
+	if qe := g.AdmitRequest("other"); qe != nil {
+		t.Fatalf("unrelated tenant refused: %v", qe)
+	}
+}
+
+func TestQuotaFolds(t *testing.T) {
+	g := NewGovernor(Quota{MaxConcurrentFolds: 2})
+	r1, qe := g.AcquireFold("t")
+	if qe != nil {
+		t.Fatal(qe)
+	}
+	r2, qe := g.AcquireFold("t")
+	if qe != nil {
+		t.Fatal(qe)
+	}
+	if _, qe = g.AcquireFold("t"); qe == nil || qe.Resource != "concurrent_folds" {
+		t.Fatalf("third concurrent fold admitted: %v", qe)
+	}
+	if _, qe := g.AcquireFold("other"); qe != nil {
+		t.Fatalf("unrelated tenant refused: %v", qe)
+	}
+	r1()
+	r1() // release is idempotent
+	if r3, qe := g.AcquireFold("t"); qe != nil {
+		t.Fatalf("fold refused after release: %v", qe)
+	} else {
+		r3()
+	}
+	r2()
+}
+
+func TestQuotaPointsAndCells(t *testing.T) {
+	g := NewGovernor(Quota{MaxPoints: 100, MaxCells: 50})
+	if qe := g.AdmitPoints("t", 100); qe != nil {
+		t.Fatal(qe)
+	}
+	g.AddPoints("t", 100)
+	if qe := g.AdmitPoints("t", 1); qe == nil || qe.Resource != "points" {
+		t.Fatalf("over-points append admitted: %v", qe)
+	}
+	g.AddPoints("t", -60)
+	if qe := g.AdmitPoints("t", 10); qe != nil {
+		t.Fatalf("append refused after removals freed quota: %v", qe)
+	}
+	g.SetSessionCells("t", "s1", 30)
+	g.SetSessionCells("t", "s2", 40)
+	if qe := g.AdmitPoints("t", 1); qe == nil || qe.Resource != "cells" {
+		t.Fatalf("append admitted over the cells ceiling: %v", qe)
+	}
+	g.DropSession("t", "s2", 0)
+	if qe := g.AdmitPoints("t", 1); qe != nil {
+		t.Fatalf("append refused after a session dropped: %v", qe)
+	}
+	u := g.Usage("t")
+	if u.Points != 40 || u.Cells != 30 || u.Quota.MaxPoints != 100 {
+		t.Fatalf("bad usage snapshot: %+v", u)
+	}
+}
+
+func TestQuotaOverride(t *testing.T) {
+	g := NewGovernor(Quota{MaxPoints: 10})
+	g.SetQuota("big", Quota{MaxPoints: 1000})
+	if qe := g.AdmitPoints("big", 500); qe != nil {
+		t.Fatalf("override not applied: %v", qe)
+	}
+	if qe := g.AdmitPoints("small", 500); qe == nil {
+		t.Fatal("default quota not applied")
+	}
+}
+
+func TestTenantContext(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx := WithTenant(WithPool(t.Context(), p), "alice")
+	if got, ok := PoolFrom(ctx); !ok || got != p {
+		t.Fatal("pool not recovered from context")
+	}
+	if got := TenantFrom(ctx); got != "alice" {
+		t.Fatalf("tenant %q", got)
+	}
+	if got := TenantFrom(t.Context()); got != DefaultTenant {
+		t.Fatalf("default tenant %q", got)
+	}
+}

@@ -136,6 +136,11 @@ func (s *Session) CellsContext(ctx context.Context) (int, error) {
 // Config returns the session's (validated) configuration.
 func (s *Session) Config() Config { return s.s.Config() }
 
+// ResidentBytes estimates the session's resident heap footprint (points,
+// live grid, cell memo, cached result) without folding pending mutations —
+// the input to a serving layer's memory-budgeted eviction policy.
+func (s *Session) ResidentBytes() int64 { return s.s.ResidentBytes() }
+
 // Checkpoint serializes the session's full state — configuration
 // fingerprint, point rows, memoized cell ids, quantizer frame and live
 // grid — to w in a versioned, CRC-framed binary format. The write runs
