@@ -70,7 +70,8 @@ func ClusterMultiResolution(points [][]float64, cfg Config, maxLevels int) ([]*R
 // irrational taps make float accumulation order-sensitive) results can
 // differ from the sequential path within floating-point rounding.
 type Clusterer struct {
-	eng *core.Engine
+	eng              *core.Engine
+	maxResidentBytes int64
 }
 
 // NewClusterer validates cfg and returns a clusterer using the given number

@@ -5,10 +5,12 @@
 //
 //	benchcheck -old BENCH_5.json -new BENCH_6.json -factor 2
 //
-// Only benchmarks present in both snapshots are compared (new benchmarks have
-// no baseline yet; retired ones have no current number). The inputs are
-// test2json streams: benchmark results ride on "output" actions as the
-// standard testing.B result lines.
+// Only benchmarks present in both snapshots are gated; benchmarks new in the
+// current snapshot (no baseline yet) and ones retired from it are listed
+// informationally. A snapshot of entirely new benchmarks passes with a
+// warning — opening a new measurement axis must not fail the gate. The
+// inputs are test2json streams: benchmark results ride on "output" actions
+// as the standard testing.B result lines.
 package main
 
 import (
@@ -50,6 +52,15 @@ func parse(path string) (map[string]float64, error) {
 			continue
 		}
 		fields := strings.Fields(ev.Output)
+		// test2json sometimes delivers the name and the result as one
+		// output event ("BenchmarkFoo \t 100\t 123 ns/op ...") and
+		// sometimes as two (the name announcement, then the bare result
+		// line) — a buffering accident, not a format guarantee. Strip the
+		// name so both shapes parse; otherwise live benchmarks flicker in
+		// and out of the gate between runs.
+		if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+			fields = fields[1:]
+		}
 		// iterations  value unit  [value unit ...]
 		for i := 1; i+1 < len(fields); i += 2 {
 			if fields[i+1] != "ns/op" {
@@ -85,14 +96,41 @@ func main() {
 		os.Exit(2)
 	}
 	names := make([]string, 0, len(newRes))
+	added := make([]string, 0)
 	for name := range newRes {
 		if _, ok := oldRes[name]; ok {
 			names = append(names, name)
+		} else {
+			added = append(added, name)
+		}
+	}
+	retired := make([]string, 0)
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			retired = append(retired, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(added)
+	sort.Strings(retired)
+	for _, name := range added {
+		fmt.Printf("NEW        %-60s %12.0f ns/op (no baseline, not gated)\n", name, newRes[name])
+	}
+	for _, name := range retired {
+		fmt.Printf("RETIRED    %-60s %12.0f ns/op (absent from current snapshot)\n", name, oldRes[name])
+	}
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: no common benchmarks between snapshots")
+		if len(added) > 0 {
+			// A snapshot of entirely new benchmarks (a fresh axis, like the
+			// scale benches) has nothing to gate yet — warn, don't fail.
+			fmt.Printf("benchcheck: no common benchmarks; %d new, nothing to gate\n", len(added))
+			return
+		}
+		if len(retired) > 0 {
+			fmt.Fprintln(os.Stderr, "benchcheck: current snapshot has no benchmarks")
+		} else {
+			fmt.Fprintln(os.Stderr, "benchcheck: no benchmarks in either snapshot")
+		}
 		os.Exit(2)
 	}
 	var failed int

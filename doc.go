@@ -132,6 +132,23 @@
 // touch, bit-identically, while Session.ResidentBytes reports the live
 // footprint the budget is measured against.
 //
+// # Out-of-core clustering
+//
+// For datasets larger than memory, WithMaxResidentBytes gives a Clusterer
+// a resident-memory budget (default 512 MiB) and the external entry
+// points honor it: OpenMappedDataset mmaps a header-plus-row-major
+// dataset file into a zero-copy read-only Dataset whose coordinates never
+// enter the Go heap (CreateMappedDataset streams one in with O(1)
+// memory; a torn file fails validation with ErrCorruptDataset), and
+// ClusterDatasetExternal / ClusterMappedFile stream quantization through
+// a spill-to-disk external sort — chunked in-memory radix sort, sorted
+// runs on temp files, loser-tree merge — then re-enter the shared
+// pipeline over cell-id-sharded connected components. The budget derives
+// chunk size, spill threshold and merge fan-in (ExternalOptions overrides
+// any of them per call); temp files are removed on every exit path,
+// including cancellation. The Result is bit-identical to ClusterDataset
+// on the same rows, a property tested across random chunk/spill budgets.
+//
 // The package also exposes the substrate the paper builds on (wavelet
 // bases, threshold strategies, multi-resolution clustering), the
 // evaluation metric the paper uses (adjusted mutual information), and the

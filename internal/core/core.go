@@ -194,7 +194,7 @@ func Cluster(points [][]float64, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := q.Quantize(points)
+	g, baseCells := q.QuantizeWithCells(points)
 	cellsQuantized := g.Len()
 
 	// Step 2 — wavelet decomposition (Alg. 3): keep the scale-space
@@ -215,7 +215,7 @@ func Cluster(points [][]float64, cfg Config) (*Result, error) {
 	// their base cell to its transformed-space ancestor (coordinates
 	// right-shifted once per level — the dyadic downsampling
 	// correspondence).
-	out, err := finishClustering(t, q.CellOfPoint(points), cfg.Levels, cfg)
+	out, err := finishClustering(t, baseCells, cfg.Levels, cfg)
 	if err != nil {
 		return nil, err
 	}

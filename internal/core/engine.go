@@ -390,7 +390,7 @@ func (e *Engine) finishClusteringFlat(ctx context.Context, t, base *grid.FlatGri
 	if err := stage(ctx, StageConnect); err != nil {
 		return nil, err
 	}
-	comp, ncomp, err := grid.ComponentsFlatCtx(ctx, kept, cfg.Connectivity)
+	comp, ncomp, err := grid.ComponentsFlatAutoCtx(ctx, kept, cfg.Connectivity, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -25,8 +25,7 @@ func ClusterMultiResolution(points [][]float64, cfg Config, maxLevels int) ([]*R
 	if err != nil {
 		return nil, err
 	}
-	g := q.Quantize(points)
-	baseCells := q.CellOfPoint(points)
+	g, baseCells := q.QuantizeWithCells(points)
 
 	out := make([]*Result, 0, maxLevels)
 	cur := g
@@ -88,9 +87,16 @@ func finishClustering(t *grid.Grid, baseCells []grid.Key, levels int, cfg Config
 		}
 	}
 	res.NumClusters = numClusters
+	// Per-point assignment probes the label map through a reused key
+	// buffer — an allocation-free lookup instead of one ShiftKey
+	// allocation per point.
+	var buf []byte
+	if len(baseCells) > 0 {
+		buf = make([]byte, 0, 2*baseCells[0].Dim())
+	}
 	for i, bk := range baseCells {
-		tk := grid.ShiftKey(bk, levels)
-		if l, ok := labels[tk]; ok {
+		buf = grid.AppendShiftedKey(buf[:0], bk, levels)
+		if l, ok := labels[grid.Key(buf)]; ok {
 			res.Labels[i] = l
 		} else {
 			res.Labels[i] = Noise

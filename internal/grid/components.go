@@ -30,9 +30,34 @@ func Components(g *Grid, conn Connectivity) (map[Key]int, error) {
 		return nil, fmt.Errorf("grid: Full connectivity limited to %d dimensions, grid has %d", maxFullDim, g.Dim())
 	}
 	labels := make(map[Key]int, g.Len())
+	// Neighbor candidates are packed into a reused buffer; interning over
+	// the grid's own keys turns each probe into an allocation-free map
+	// lookup that yields the retained Key — a candidate missing from the
+	// intern map is simply unoccupied. Visit order matches the previous
+	// allocating implementation exactly, so labels are unchanged.
+	intern := make(map[Key]Key, g.Len())
+	for k := range g.Cells {
+		intern[k] = k
+	}
 	next := 0
 	var queue []Key
-	coords := make([]int, g.Dim())
+	d := g.Dim()
+	off := make([]int, d)
+	curCoords := make([]int, d)
+	buf := make([]byte, 2*d)
+	// probe checks the candidate currently packed in buf; hoisted out of
+	// the BFS loops so the closure is allocated once per call.
+	probe := func() {
+		nb, ok := intern[Key(buf)]
+		if !ok {
+			return
+		}
+		if _, seen := labels[nb]; seen {
+			return
+		}
+		labels[nb] = next
+		queue = append(queue, nb)
+	}
 	for _, start := range g.SortedKeys() {
 		if _, seen := labels[start]; seen {
 			continue
@@ -42,56 +67,48 @@ func Components(g *Grid, conn Connectivity) (map[Key]int, error) {
 		for len(queue) > 0 {
 			cur := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			visit := func(nb Key) {
-				if _, ok := g.Cells[nb]; !ok {
-					return
-				}
-				if _, seen := labels[nb]; seen {
-					return
-				}
-				labels[nb] = next
-				queue = append(queue, nb)
-			}
 			switch conn {
 			case Faces:
-				for j := 0; j < g.Dim(); j++ {
+				copy(buf, cur)
+				for j := 0; j < d; j++ {
 					c := cur.Coord(j)
 					if c > 0 {
-						visit(cur.With(j, c-1))
+						putCoord(buf, j, c-1)
+						probe()
 					}
 					if c+1 < g.Size[j] {
-						visit(cur.With(j, c+1))
+						putCoord(buf, j, c+1)
+						probe()
 					}
+					putCoord(buf, j, c)
 				}
 			case Full:
-				for j := range coords {
-					coords[j] = -1
+				for j := 0; j < d; j++ {
+					curCoords[j] = cur.Coord(j)
+					off[j] = -1
 				}
 				for {
 					// Skip the all-zero offset.
 					allZero := true
-					for _, o := range coords {
+					for _, o := range off {
 						if o != 0 {
 							allZero = false
 							break
 						}
 					}
-					if !allZero {
-						nb, ok := offsetKey(cur, coords, g.Size)
-						if ok {
-							visit(nb)
-						}
+					if !allZero && packOffset(buf, curCoords, off, g.Size) {
+						probe()
 					}
 					// Advance mixed-radix counter over {-1,0,1}ᵈ.
 					j := 0
-					for ; j < len(coords); j++ {
-						coords[j]++
-						if coords[j] <= 1 {
+					for ; j < len(off); j++ {
+						off[j]++
+						if off[j] <= 1 {
 							break
 						}
-						coords[j] = -1
+						off[j] = -1
 					}
-					if j == len(coords) {
+					if j == len(off) {
 						break
 					}
 				}
@@ -102,16 +119,17 @@ func Components(g *Grid, conn Connectivity) (map[Key]int, error) {
 	return labels, nil
 }
 
-// offsetKey returns cur shifted by off, reporting false if out of bounds.
-func offsetKey(cur Key, off []int, size []int) (Key, bool) {
-	coords := cur.Coords()
+// packOffset packs coords+off into the key buffer buf, reporting false if
+// the shifted cell falls outside the grid.
+func packOffset(buf []byte, coords, off, size []int) bool {
 	for j, o := range off {
-		coords[j] += o
-		if coords[j] < 0 || coords[j] >= size[j] {
-			return "", false
+		c := coords[j] + o
+		if c < 0 || c >= size[j] {
+			return false
 		}
+		putCoord(buf, j, c)
 	}
-	return MakeKey(coords), true
+	return true
 }
 
 // ComponentSizes returns the total density mass of each component label.

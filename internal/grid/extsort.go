@@ -1,0 +1,549 @@
+package grid
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"adawave/internal/pointset"
+)
+
+// External radix sort: the out-of-core rendering of QuantizeDatasetCtx.
+// The in-RAM path shards the points, radix-sorts each shard's cell
+// coordinates with the point index as payload, run-length-dedupes into a
+// sorted per-shard accumulator, and k-way merges — every intermediate lives
+// in memory at once. Out of core, the same plan is cut into fixed-size
+// point chunks: each chunk is quantized and sorted exactly like an in-RAM
+// shard, but the resulting sorted run is either retained in memory (small)
+// or spilled to a temp file in a delta-coded packed encoding (large), and a
+// loser-tree k-way merge over all runs emits cells in canonical order while
+// renumbering every point's memoized chunk-local cell id to its
+// canonical-grid index. Cell masses are integer point counts, so the merge
+// sums are exact in any order and the resulting grid, ids, and every label
+// derived from them are bit-identical to QuantizeDatasetCtx — only the
+// peak resident memory changes: O(chunk + retained runs + cells) instead
+// of O(points).
+
+// ExtSortOptions tunes the external sort. The zero value selects defaults
+// suitable for a machine with a few GB to spare; core.ExternalOptions
+// derives these knobs from a single resident-memory budget.
+type ExtSortOptions struct {
+	// ChunkPoints is the number of points quantized and sorted per chunk
+	// (the unit of in-memory work). ≤ 0 selects 1<<20.
+	ChunkPoints int
+	// SpillBytes bounds the total bytes of sorted runs retained in memory:
+	// once retained runs exceed it, further runs spill to disk. ≤ 0
+	// selects 256 MiB; 1 forces every run to spill (useful in tests).
+	SpillBytes int64
+	// TempDir is the base directory for the spill directory ("" uses the
+	// system default). Spill files live in a fresh os.MkdirTemp directory
+	// that is removed — error and cancellation paths included — before
+	// QuantizeDatasetExternalCtx returns.
+	TempDir string
+}
+
+// defaults for ExtSortOptions zero fields.
+const (
+	defaultChunkPoints = 1 << 20
+	defaultSpillBytes  = 256 << 20
+)
+
+// extRun is one sorted, deduped cell run: the quantization of a contiguous
+// point range, in canonical cell order. It is either retained in memory
+// (g != nil) or spilled to a packed temp file (path != "").
+type extRun struct {
+	lo, hi int // the point range whose memoized ids are local to this run
+	cells  int
+	g      *FlatGrid
+	path   string
+}
+
+// runBytes estimates the in-memory footprint of a retained run.
+func runBytes(cells, d int) int64 {
+	return int64(cells) * int64(2*d+8)
+}
+
+// QuantizeDatasetExternal is QuantizeDatasetExternalCtx without
+// cancellation.
+func (q *Quantizer) QuantizeDatasetExternal(ds *pointset.Dataset, workers int, opts ExtSortOptions) (*FlatGrid, []int32, error) {
+	return q.QuantizeDatasetExternalCtx(context.Background(), ds, workers, opts)
+}
+
+// QuantizeDatasetExternalCtx builds the same canonical density grid and
+// point→cell memo as QuantizeDatasetCtx — bit-identical cells, masses and
+// ids for every chunk size, spill threshold and worker count — while
+// keeping resident memory bounded by the chunk size plus the spill budget
+// plus the final grid, independent of the dataset size. Points stream
+// through in chunks (an mmap-backed Dataset is paged in and dropped by the
+// OS), each chunk's sorted run spills to disk once the in-memory run budget
+// is exhausted, and a loser-tree merge re-reads the runs sequentially.
+// Cancellation is polled at chunk and merge boundaries and every
+// ctxCheckStride points within; a cancelled call removes its spill
+// directory before returning.
+func (q *Quantizer) QuantizeDatasetExternalCtx(ctx context.Context, ds *pointset.Dataset, workers int, opts ExtSortOptions) (*FlatGrid, []int32, error) {
+	d := q.Dim()
+	size := make([]int, d)
+	for j := range size {
+		size[j] = q.Scale
+	}
+	n := ds.N
+	if n == 0 {
+		return &FlatGrid{Size: size}, nil, nil
+	}
+	chunkPts := opts.ChunkPoints
+	if chunkPts <= 0 {
+		chunkPts = defaultChunkPoints
+	}
+	spillBytes := opts.SpillBytes
+	if spillBytes <= 0 {
+		spillBytes = defaultSpillBytes
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ids := make([]int32, n)
+	var (
+		runs    []extRun
+		memUsed int64
+		tmpDir  string
+	)
+	defer func() {
+		if tmpDir != "" {
+			os.RemoveAll(tmpDir)
+		}
+	}()
+
+	passes := make([]int, 0, d)
+	for p := d - 1; p >= 0; p-- {
+		passes = append(passes, p)
+	}
+
+	// Phase 1: chunked quantize + in-memory radix sort. Each chunk is
+	// sharded across the workers exactly like QuantizeDatasetCtx shards the
+	// whole dataset, so every shard yields one sorted run with
+	// shard-local point ids stamped by the dedupe pass.
+	shardGrids := make([]*FlatGrid, workers)
+	shardLo := make([]int, workers)
+	shardHi := make([]int, workers)
+	for lo := 0; lo < n; lo += chunkPts {
+		hi := lo + chunkPts
+		if hi > n {
+			hi = n
+		}
+		if err := CtxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		nn := hi - lo
+		w := workers
+		if nn < parallelCellCutoff {
+			w = 1
+		}
+		for i := range shardGrids {
+			shardGrids[i] = nil
+		}
+		ParallelRangesCtx(ctx, nn, w, func(sw, slo, shi int) {
+			if ctx.Err() != nil {
+				return
+			}
+			s := getFlatScratch()
+			defer putFlatScratch(s)
+			sn := shi - slo
+			coords := make([]uint16, sn*d)
+			idx := make([]int32, sn)
+			for i := slo; i < shi; i++ {
+				if (i-slo)%ctxCheckStride == ctxCheckStride-1 && ctx.Err() != nil {
+					return
+				}
+				p := lo + i
+				q.CellCoordsU16(ds.Data[p*d:(p+1)*d], coords[(i-slo)*d:(i-slo+1)*d])
+				idx[i-slo] = int32(i - slo)
+			}
+			sorted, _, sortedIdx := radixSortCells(coords, nil, idx, d, size, passes, s)
+			cells, counts := dedupeRunsIdx(sorted, sortedIdx, d, ids[lo+slo:lo+shi])
+			shardGrids[sw] = &FlatGrid{Size: size, Coords: cells, Vals: counts}
+			shardLo[sw], shardHi[sw] = lo+slo, lo+shi
+		})
+		if err := CtxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		// Retain or spill each shard's run, in shard order so the decision
+		// (and the run sequence the merge sees) is deterministic.
+		for sw, g := range shardGrids {
+			if g == nil {
+				continue
+			}
+			run := extRun{lo: shardLo[sw], hi: shardHi[sw], cells: g.Len()}
+			if b := runBytes(g.Len(), d); memUsed+b <= spillBytes {
+				// Copy out of the chunk-sized shard buffers so the retained
+				// run pins only its own cells.
+				run.g = &FlatGrid{
+					Size:   size,
+					Coords: append(make([]uint16, 0, g.Len()*d), g.Coords...),
+					Vals:   append(make([]float64, 0, g.Len()), g.Vals...),
+				}
+				memUsed += b
+			} else {
+				if tmpDir == "" {
+					var err error
+					tmpDir, err = os.MkdirTemp(opts.TempDir, "adawave-extsort-")
+					if err != nil {
+						return nil, nil, fmt.Errorf("grid: external sort spill dir: %w", err)
+					}
+				}
+				path := filepath.Join(tmpDir, fmt.Sprintf("run-%06d.spill", len(runs)))
+				if err := writeSpillRun(path, g); err != nil {
+					return nil, nil, err
+				}
+				run.path = path
+			}
+			runs = append(runs, run)
+		}
+	}
+
+	// Phase 2: loser-tree k-way merge over all runs, emitting canonical
+	// order and recording, per run, where each run-local cell landed in
+	// the merged grid.
+	out, remap, err := mergeExtRuns(ctx, runs, size, d)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 3: renumber the memoized point ids from run-local to canonical
+	// grid indices, one parallel pass per run's point range.
+	for r := range runs {
+		rm := remap[r]
+		lo, hi := runs[r].lo, runs[r].hi
+		ParallelRangesCtx(ctx, hi-lo, workers, func(_, slo, shi int) {
+			for i := lo + slo; i < lo+shi; i++ {
+				ids[i] = rm[ids[i]]
+			}
+		})
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	return out, ids, nil
+}
+
+// mergeExtRuns k-way merges sorted runs into one canonical grid, summing
+// duplicate cells in run order (exact: masses are integer point counts) and
+// filling remap[r][j] = merged index of run r's j-th cell. Spilled runs are
+// streamed back through buffered readers; nothing beyond the merged grid
+// and the remap tables is materialized.
+func mergeExtRuns(ctx context.Context, runs []extRun, size []int, d int) (*FlatGrid, [][]int32, error) {
+	remap := make([][]int32, len(runs))
+	streams := make([]*runStream, len(runs))
+	defer func() {
+		for _, st := range streams {
+			if st != nil {
+				st.close()
+			}
+		}
+	}()
+	total := 0
+	for i := range runs {
+		remap[i] = make([]int32, runs[i].cells)
+		st, err := openRunStream(&runs[i], d)
+		if err != nil {
+			return nil, nil, err
+		}
+		streams[i] = st
+		total += runs[i].cells
+	}
+	out := NewFlat(size, 0)
+	if len(streams) == 0 {
+		return out, remap, nil
+	}
+	lt := newLoserTree(streams)
+	emitted := 0
+	for {
+		s := lt.winner()
+		if s < 0 {
+			break
+		}
+		if emitted%ctxCheckStride == ctxCheckStride-1 {
+			if err := CtxErr(ctx); err != nil {
+				return nil, nil, err
+			}
+		}
+		st := streams[s]
+		m := out.Len()
+		if m > 0 && cmpCoords(out.Coords[(m-1)*d:m*d], st.cur) == 0 {
+			out.Vals[m-1] += st.curMass
+			remap[s][st.emitted] = int32(m - 1)
+		} else {
+			out.Append(st.cur, st.curMass)
+			remap[s][st.emitted] = int32(m)
+		}
+		st.emitted++
+		emitted++
+		if err := st.advance(); err != nil {
+			return nil, nil, err
+		}
+		lt.fix(s)
+	}
+	return out, remap, nil
+}
+
+// --- spill encoding -------------------------------------------------------
+//
+// A spill file is one sorted run in a packed delta encoding:
+//
+//	uvarint cellCount
+//	per cell: d × svarint coordinate delta from the previous cell
+//	          (the implicit previous cell before the first is the origin),
+//	          then the mass — uvarint(2·mass) when the mass is an integer
+//	          below 2³², else the escape uvarint(1) followed by 8 raw
+//	          little-endian IEEE-754 bytes.
+//
+// Sorted runs change slowly in the high dimensions, so the zigzag deltas
+// are almost always one byte, and quantization masses are small integer
+// counts — the packed run is typically 3–5 bytes per cell versus 2·d+8
+// in memory. The float escape keeps the encoding lossless for any future
+// caller whose masses outgrow uint32 or stop being integral.
+
+// massEscape marks a mass stored as raw float64 bits.
+const massEscape = 1
+
+// writeSpillRun encodes g (a sorted run) into a new spill file.
+func writeSpillRun(path string, g *FlatGrid) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("grid: external sort spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(b []byte) error { _, err := bw.Write(b); return err }
+
+	d := g.Dim()
+	m := g.Len()
+	werr := put(buf[:binary.PutUvarint(buf[:], uint64(m))])
+	prev := make([]uint16, d)
+	for i := 0; i < m && werr == nil; i++ {
+		cell := g.CellCoords(i)
+		for j := 0; j < d && werr == nil; j++ {
+			werr = put(buf[:binary.PutVarint(buf[:], int64(cell[j])-int64(prev[j]))])
+		}
+		copy(prev, cell)
+		if werr == nil {
+			werr = putMass(bw, buf[:], g.Vals[i])
+		}
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("grid: external sort spill %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// putMass writes one mass in the packed encoding: small integral masses as
+// a single uvarint, anything else promoted to raw float64 bits.
+func putMass(bw *bufio.Writer, buf []byte, v float64) error {
+	if u := uint64(v); v >= 0 && float64(u) == v && u < 1<<32 {
+		_, err := bw.Write(buf[:binary.PutUvarint(buf, u<<1)])
+		return err
+	}
+	if _, err := bw.Write(buf[:binary.PutUvarint(buf, massEscape)]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v))
+	_, err := bw.Write(buf[:8])
+	return err
+}
+
+// runStream yields one run's cells in order, either from the retained
+// in-memory grid or by decoding its spill file incrementally.
+type runStream struct {
+	d       int
+	cur     []uint16 // current cell coordinates (decode buffer for spills)
+	curMass float64
+	emitted int32 // cells already handed to the merge (run-local index)
+
+	// in-memory source
+	g   *FlatGrid
+	pos int
+
+	// spilled source
+	f         *os.File
+	br        *bufio.Reader
+	remaining int
+
+	done bool
+}
+
+// openRunStream opens a cursor over run and positions it on the first cell.
+func openRunStream(run *extRun, d int) (*runStream, error) {
+	st := &runStream{d: d, cur: make([]uint16, d)}
+	if run.g != nil {
+		st.g = run.g
+	} else {
+		f, err := os.Open(run.path)
+		if err != nil {
+			return nil, fmt.Errorf("grid: external sort merge: %w", err)
+		}
+		st.f = f
+		st.br = bufio.NewReaderSize(f, 256<<10)
+		m, err := binary.ReadUvarint(st.br)
+		if err != nil {
+			st.close()
+			return nil, fmt.Errorf("grid: external sort merge %s: %w", filepath.Base(run.path), err)
+		}
+		if int(m) != run.cells {
+			st.close()
+			return nil, fmt.Errorf("grid: external sort merge %s: %d cells on disk, expected %d", filepath.Base(run.path), m, run.cells)
+		}
+		st.remaining = int(m)
+	}
+	if err := st.advance(); err != nil {
+		st.close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// advance moves the cursor to the next cell; after the last cell the stream
+// reports done and loses to every live stream in the tree.
+func (st *runStream) advance() error {
+	if st.g != nil {
+		if st.pos >= st.g.Len() {
+			st.done = true
+			return nil
+		}
+		st.cur = st.g.CellCoords(st.pos)
+		st.curMass = st.g.Vals[st.pos]
+		st.pos++
+		return nil
+	}
+	if st.remaining == 0 {
+		st.done = true
+		return nil
+	}
+	for j := 0; j < st.d; j++ {
+		dv, err := binary.ReadVarint(st.br)
+		if err != nil {
+			return fmt.Errorf("grid: external sort merge: decoding spill: %w", err)
+		}
+		st.cur[j] = uint16(int64(st.cur[j]) + dv)
+	}
+	u, err := binary.ReadUvarint(st.br)
+	if err != nil {
+		return fmt.Errorf("grid: external sort merge: decoding spill: %w", err)
+	}
+	if u == massEscape {
+		var raw [8]byte
+		if _, err := readFull(st.br, raw[:]); err != nil {
+			return fmt.Errorf("grid: external sort merge: decoding spill: %w", err)
+		}
+		st.curMass = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	} else {
+		st.curMass = float64(u >> 1)
+	}
+	st.remaining--
+	return nil
+}
+
+// readFull is io.ReadFull without the io import dance for a bufio.Reader.
+func readFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// close releases the stream's file handle, if any.
+func (st *runStream) close() {
+	if st.f != nil {
+		st.f.Close()
+		st.f = nil
+	}
+}
+
+// --- loser tree -----------------------------------------------------------
+
+// loserTree is a k-way tournament tree over run streams: winner() is O(1),
+// fix(s) after advancing stream s replays only s's log₂(k) matches. Ties on
+// equal cells go to the lower run index, so duplicate cells are summed in
+// run (= point) order, matching mergeSortedShardsInto's shard order.
+type loserTree struct {
+	k       int
+	tree    []int32 // tree[0] = overall winner; tree[1:] = match losers
+	streams []*runStream
+}
+
+func newLoserTree(streams []*runStream) *loserTree {
+	k := len(streams)
+	lt := &loserTree{k: k, streams: streams, tree: make([]int32, k)}
+	for i := range lt.tree {
+		lt.tree[i] = -1
+	}
+	for s := k - 1; s >= 0; s-- {
+		lt.seed(int32(s))
+	}
+	return lt
+}
+
+// beats reports whether stream a wins against stream b (smaller cell, run
+// index breaking ties; an exhausted stream loses to every live one).
+func (lt *loserTree) beats(a, b int32) bool {
+	sa, sb := lt.streams[a], lt.streams[b]
+	if sa.done {
+		return false
+	}
+	if sb.done {
+		return true
+	}
+	c := cmpCoords(sa.cur, sb.cur)
+	return c < 0 || (c == 0 && a < b)
+}
+
+// seed plays stream s up the tree during construction: the first arrival at
+// an empty match waits there as the provisional loser.
+func (lt *loserTree) seed(s int32) {
+	winner := s
+	for t := (int(s) + lt.k) / 2; t > 0; t /= 2 {
+		if lt.tree[t] < 0 {
+			lt.tree[t] = winner
+			return
+		}
+		if lt.beats(lt.tree[t], winner) {
+			winner, lt.tree[t] = lt.tree[t], winner
+		}
+	}
+	lt.tree[0] = winner
+}
+
+// fix replays stream s's matches after its head advanced.
+func (lt *loserTree) fix(s int32) {
+	winner := s
+	for t := (int(s) + lt.k) / 2; t > 0; t /= 2 {
+		if lt.beats(lt.tree[t], winner) {
+			winner, lt.tree[t] = lt.tree[t], winner
+		}
+	}
+	lt.tree[0] = winner
+}
+
+// winner returns the stream index holding the smallest head cell, or −1
+// when every stream is exhausted.
+func (lt *loserTree) winner() int32 {
+	w := lt.tree[0]
+	if w < 0 || lt.streams[w].done {
+		return -1
+	}
+	return w
+}

@@ -1,0 +1,162 @@
+package grid
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"adawave/internal/pointset"
+)
+
+// clusteredDataset builds a clustered-plus-noise dataset that occupies many
+// cells with duplicate hits, exercising dedupe and cross-run merging.
+func clusteredDataset(n, d int, seed int64) *pointset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := pointset.New(d, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 { // uniform background
+			for j := range row {
+				row[j] = rng.Float64() * 100
+			}
+		} else { // one of 8 tight blobs
+			c := float64(rng.Intn(8)) * 12
+			for j := range row {
+				row[j] = c + rng.NormFloat64()*2
+			}
+		}
+		ds.AppendRow(row)
+	}
+	return ds
+}
+
+// sameGrid fails the test unless a and b are bit-identical flat grids.
+func sameGrid(t *testing.T, a, b *FlatGrid, label string) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: %d cells vs %d", label, a.Len(), b.Len())
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("%s: coords diverge at %d", label, i)
+		}
+	}
+	for i := range a.Vals {
+		if math.Float64bits(a.Vals[i]) != math.Float64bits(b.Vals[i]) {
+			t.Fatalf("%s: cell %d mass %v vs %v", label, i, a.Vals[i], b.Vals[i])
+		}
+	}
+}
+
+// TestQuantizeDatasetExternalEquivalence sweeps chunk sizes and spill
+// thresholds (including "spill everything") and checks the external sort
+// reproduces QuantizeDatasetCtx's grid and point→cell memo bit for bit,
+// at several worker counts, leaving no spill files behind.
+func TestQuantizeDatasetExternalEquivalence(t *testing.T) {
+	ds := clusteredDataset(20000, 3, 42)
+	q, err := NewQuantizerDataset(ds, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrid, wantIDs, err := q.QuantizeDatasetCtx(context.Background(), ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 12; iter++ {
+		chunk := 1 + rng.Intn(ds.N+1000)
+		spill := int64(1) // force everything to disk
+		if iter%3 == 1 {
+			spill = 1 << 16 // mixed retain/spill
+		} else if iter%3 == 2 {
+			spill = 1 << 30 // all in memory
+		}
+		workers := 1 + rng.Intn(4)
+		tmp := t.TempDir()
+		g, ids, err := q.QuantizeDatasetExternalCtx(context.Background(), ds, workers,
+			ExtSortOptions{ChunkPoints: chunk, SpillBytes: spill, TempDir: tmp})
+		if err != nil {
+			t.Fatalf("chunk=%d spill=%d workers=%d: %v", chunk, spill, workers, err)
+		}
+		sameGrid(t, wantGrid, g, "grid")
+		for i := range wantIDs {
+			if ids[i] != wantIDs[i] {
+				t.Fatalf("chunk=%d spill=%d workers=%d: ids[%d] = %d, want %d",
+					chunk, spill, workers, i, ids[i], wantIDs[i])
+			}
+		}
+		// Spill hygiene: every temp file and the spill dir itself must be
+		// gone after the call.
+		entries, err := os.ReadDir(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("chunk=%d spill=%d: %d leaked entries in spill base dir", chunk, spill, len(entries))
+		}
+	}
+}
+
+// TestQuantizeDatasetExternalCancel checks a cancelled external sort
+// unwinds with the taxonomy error and removes its spill directory.
+func TestQuantizeDatasetExternalCancel(t *testing.T) {
+	ds := clusteredDataset(50000, 2, 7)
+	q, err := NewQuantizerDataset(ds, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tmp := t.TempDir()
+	_, _, err = q.QuantizeDatasetExternalCtx(ctx, ds, 2,
+		ExtSortOptions{ChunkPoints: 1024, SpillBytes: 1, TempDir: tmp})
+	if err == nil {
+		t.Fatal("cancelled external sort returned no error")
+	}
+	entries, rerr := os.ReadDir(tmp)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d leaked entries after cancellation", len(entries))
+	}
+}
+
+// TestSpillRunRoundTrip round-trips the packed run encoding directly,
+// including a mass that needs the float escape.
+func TestSpillRunRoundTrip(t *testing.T) {
+	g := NewFlat([]int{16, 16}, 4)
+	g.Append([]uint16{0, 3}, 1)
+	g.Append([]uint16{2, 1}, 7)
+	g.Append([]uint16{2, 2}, 0.5)     // non-integral → escape
+	g.Append([]uint16{15, 15}, 1<<33) // too big for uint32 → escape
+	path := t.TempDir() + "/run.spill"
+	if err := writeSpillRun(path, g); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openRunStream(&extRun{path: path, cells: g.Len()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	for i := 0; i < g.Len(); i++ {
+		if st.done {
+			t.Fatalf("stream exhausted at cell %d", i)
+		}
+		if cmpCoords(st.cur, g.CellCoords(i)) != 0 {
+			t.Fatalf("cell %d coords %v, want %v", i, st.cur, g.CellCoords(i))
+		}
+		if math.Float64bits(st.curMass) != math.Float64bits(g.Vals[i]) {
+			t.Fatalf("cell %d mass %v, want %v", i, st.curMass, g.Vals[i])
+		}
+		if err := st.advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.done {
+		t.Fatal("stream not exhausted after last cell")
+	}
+}

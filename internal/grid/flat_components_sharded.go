@@ -1,0 +1,201 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Cell-range-sharded component labeling: the canonical cell stream is
+// carved into contiguous index ranges, each worker collects its range's
+// adjacency edges independently (face neighbors found by binary search in
+// the canonical order, so an edge whose endpoints straddle a range
+// boundary is discovered exactly like an interior one — boundary stitching
+// is free), and one sequential union-find pass folds all edge lists
+// together. The final numbering pass is shared with ComponentsFlatCtx, so
+// the labels agree with the map BFS — and with the sequential flat path —
+// cell for cell, at every worker count.
+
+// isCanonical reports whether f's cells are in strictly increasing
+// canonical order (the order quantization and the full transform emit).
+func isCanonical(f *FlatGrid) bool {
+	d := f.Dim()
+	for i := 1; i < f.Len(); i++ {
+		if cmpCoords(f.Coords[(i-1)*d:i*d], f.Coords[i*d:(i+1)*d]) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComponentsFlatAutoCtx labels connected components, choosing the sharded
+// range-parallel implementation when the grid is canonical and large enough
+// for the fan-out to pay, and the sequential ComponentsFlatCtx otherwise.
+// Both produce identical labels.
+func ComponentsFlatAutoCtx(ctx context.Context, f *FlatGrid, conn Connectivity, workers int) ([]int32, int, error) {
+	if workers > 1 && f.Len() >= parallelCellCutoff && isCanonical(f) {
+		return ComponentsFlatShardedCtx(ctx, f, conn, workers)
+	}
+	return ComponentsFlatCtx(ctx, f, conn)
+}
+
+// ComponentsFlatShardedCtx is the range-parallel flat component labeling.
+// f must be in canonical cell order (see SortCanonical); labels and
+// component numbering are identical to ComponentsFlatCtx. Cancellation is
+// polled inside every shard and between the union and numbering passes.
+func ComponentsFlatShardedCtx(ctx context.Context, f *FlatGrid, conn Connectivity, workers int) ([]int32, int, error) {
+	d := f.Dim()
+	m := f.Len()
+	if conn == Full && d > maxFullDim {
+		return nil, 0, invalidInput(fmt.Errorf("grid: Full connectivity limited to %d dimensions, grid has %d", maxFullDim, d))
+	}
+	labels := make([]int32, m)
+	if m == 0 {
+		return labels, 0, nil
+	}
+
+	// Phase 1: each worker scans a contiguous range of the canonical cell
+	// stream and records every adjacency (i, t) with i < t as an edge pair.
+	// Only "positive" offsets are enumerated (+1 in one dimension for
+	// Faces; first non-zero offset positive for Full), so each unordered
+	// neighbor pair is found exactly once, by its lexicographically smaller
+	// endpoint — wherever the two endpoints live, range boundaries
+	// included.
+	if workers > m {
+		workers = m
+	}
+	edges := make([][]int32, workers)
+	ParallelRangesCtx(ctx, m, workers, func(w, lo, hi int) {
+		if ctx.Err() != nil {
+			return
+		}
+		var out []int32
+		nb := make([]uint16, d)
+		switch conn {
+		case Faces:
+			for i := lo; i < hi; i++ {
+				if (i-lo)%ctxCheckStride == ctxCheckStride-1 && ctx.Err() != nil {
+					return
+				}
+				cell := f.Coords[i*d : (i+1)*d]
+				copy(nb, cell)
+				for j := 0; j < d; j++ {
+					c := int(cell[j]) + 1
+					if c >= f.Size[j] {
+						continue
+					}
+					nb[j] = uint16(c)
+					if t := f.Find(nb); t >= 0 {
+						out = append(out, int32(i), int32(t))
+					}
+					nb[j] = cell[j]
+				}
+			}
+		case Full:
+			off := make([]int, d)
+			for i := lo; i < hi; i++ {
+				if (i-lo)%ctxCheckStride == ctxCheckStride-1 && ctx.Err() != nil {
+					return
+				}
+				cell := f.Coords[i*d : (i+1)*d]
+				// Enumerate offsets in {-1,0,1}ᵈ whose first non-zero
+				// entry is +1: the "greater-than" half, so every pair is
+				// seen once from its canonical-smaller endpoint.
+				for j := range off {
+					off[j] = 0
+				}
+				// Counting up from {0,…,0,+1} with off[0] most significant
+				// visits exactly the offsets lexicographically above the
+				// zero vector — the ones whose first non-zero entry is +1.
+				off[d-1] = 1
+				for {
+					inBounds := true
+					for j, o := range off {
+						c := int(cell[j]) + o
+						if c < 0 || c >= f.Size[j] {
+							inBounds = false
+							break
+						}
+						nb[j] = uint16(c)
+					}
+					if inBounds {
+						if t := f.Find(nb); t >= 0 {
+							out = append(out, int32(i), int32(t))
+						}
+					}
+					// Advance the mixed-radix counter over {-1,0,1}ᵈ
+					// (least-significant dimension last, matching canonical
+					// significance).
+					j := d - 1
+					for ; j >= 0; j-- {
+						off[j]++
+						if off[j] <= 1 {
+							break
+						}
+						off[j] = -1
+					}
+					if j < 0 {
+						break
+					}
+				}
+			}
+		}
+		edges[w] = out
+	})
+	if err := CtxErr(ctx); err != nil {
+		return nil, 0, err
+	}
+
+	// Phase 2: stitch — one union-find over every worker's edges. The
+	// union order does not affect the result (components are a partition);
+	// the numbering pass below fixes label order deterministically.
+	parent := make([]int32, m)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, es := range edges {
+		for k := 0; k < len(es); k += 2 {
+			ra, rb := find(es[k]), find(es[k+1])
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, 0, err
+	}
+
+	// Phase 3: number components by the Key byte order of their first
+	// cell, exactly like ComponentsFlatCtx, so the two paths and the map
+	// BFS agree label for label.
+	perm := make([]int32, m)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		return keyByteLess(f.CellCoords(int(perm[a])), f.CellCoords(int(perm[b])))
+	})
+	rootLabel := make([]int32, m)
+	for i := range rootLabel {
+		rootLabel[i] = -1
+	}
+	next := int32(0)
+	for _, i := range perm {
+		r := find(i)
+		if rootLabel[r] < 0 {
+			rootLabel[r] = next
+			next++
+		}
+	}
+	for i := 0; i < m; i++ {
+		labels[i] = rootLabel[find(int32(i))]
+	}
+	return labels, int(next), nil
+}

@@ -60,6 +60,26 @@ func (k Key) With(j, c int) Key {
 	return Key(buf)
 }
 
+// putCoord stamps coordinate c into dimension j of a packed key buffer.
+func putCoord(buf []byte, j, c int) {
+	buf[2*j] = byte(c)
+	buf[2*j+1] = byte(c >> 8)
+}
+
+// AppendShiftedKey appends the packed bytes of k's ancestor key after
+// `levels` dyadic downsamplings to dst and returns dst — ShiftKey without
+// the per-call allocation: probing a map via
+// m[Key(AppendShiftedKey(buf[:0], k, levels))] compiles to an
+// allocation-free lookup, so per-point assignment sweeps reuse one buffer.
+func AppendShiftedKey(dst []byte, k Key, levels int) []byte {
+	d := k.Dim()
+	for j := 0; j < d; j++ {
+		c := k.Coord(j) >> uint(levels)
+		dst = append(dst, byte(c), byte(c>>8))
+	}
+	return dst
+}
+
 // Grid is a sparse d-dimensional grid of cell densities. Only cells with a
 // recorded (usually non-zero) density are stored.
 type Grid struct {
@@ -159,8 +179,23 @@ func TransformDim(g *Grid, j int, b wavelet.Basis) *Grid {
 	outLen := (g.Size[j] + 1) / 2
 	newSize[j] = outLen
 	out := New(newSize)
+	// Contributions accumulate into a values slice indexed through a
+	// slot map keyed by a reused key buffer: the map probe converts the
+	// buffer without allocating, so the per-(cell × tap) cost is one
+	// lookup plus a slice add — only a distinct output cell pays a key
+	// allocation. (The previous key.With per contribution dominated the
+	// sequential path's allocation profile.) Accumulation order is
+	// unchanged — same cell iteration, same tap loop — so the sums are
+	// bit-identical.
+	keyBuf := make([]byte, 2*g.Dim())
+	// Sized for the common case (downsampling keeps the occupied-cell
+	// count near the input's) so accumulation rarely rehashes; the output
+	// map is then built at its exact final size.
+	slot := make(map[Key]int32, len(g.Cells))
+	vals := make([]float64, 0, len(g.Cells))
 	for key, v := range g.Cells {
 		i := key.Coord(j)
+		copy(keyBuf, key)
 		for t, h := range b.Lo {
 			pos := i + b.Center - t
 			if pos < 0 || pos%2 != 0 {
@@ -170,8 +205,19 @@ func TransformDim(g *Grid, j int, b wavelet.Basis) *Grid {
 			if k >= outLen {
 				continue
 			}
-			out.Cells[key.With(j, k)] += h * v
+			putCoord(keyBuf, j, k)
+			s, ok := slot[Key(keyBuf)]
+			if !ok {
+				s = int32(len(vals))
+				vals = append(vals, 0)
+				slot[Key(keyBuf)] = s
+			}
+			vals[s] += h * v
 		}
+	}
+	out.Cells = make(map[Key]float64, len(slot))
+	for k, s := range slot {
+		out.Cells[k] = vals[s]
 	}
 	return out
 }

@@ -204,7 +204,9 @@ func (q *Quantizer) Cell(p []float64) Key {
 
 // Quantize builds the sparse density grid of points (each point adds mass 1
 // to its cell). This is the paper's Algorithm 2: linear in n, storing only
-// occupied cells.
+// occupied cells. Keys are packed into a reused buffer and interned once
+// per distinct cell, so the per-point cost is allocation-free — cells, not
+// points, bound the allocations.
 func (q *Quantizer) Quantize(points [][]float64) *Grid {
 	size := make([]int, q.Dim())
 	for j := range size {
@@ -212,23 +214,89 @@ func (q *Quantizer) Quantize(points [][]float64) *Grid {
 	}
 	g := New(size)
 	coords := make([]int, q.Dim())
+	buf := make([]byte, 2*q.Dim())
+	slot := make(map[Key]int32)
+	masses := make([]float64, 0, 1024)
 	for _, p := range points {
 		q.CellCoords(p, coords)
-		g.Cells[MakeKey(coords)] += 1
+		for j, c := range coords {
+			putCoord(buf, j, c)
+		}
+		s, ok := slot[Key(buf)]
+		if !ok {
+			s = int32(len(masses))
+			masses = append(masses, 0)
+			slot[Key(buf)] = s
+		}
+		masses[s] += 1
+	}
+	g.Cells = make(map[Key]float64, len(slot))
+	for k, s := range slot {
+		g.Cells[k] = masses[s]
 	}
 	return g
 }
 
 // CellOfPoint returns, for every point, the key of its cell at the
 // quantizer's base resolution — the first half of the paper's lookup table.
+// Keys are interned, so points sharing a cell share one Key allocation.
 func (q *Quantizer) CellOfPoint(points [][]float64) []Key {
 	out := make([]Key, len(points))
 	coords := make([]int, q.Dim())
+	buf := make([]byte, 2*q.Dim())
+	intern := make(map[Key]Key)
 	for i, p := range points {
 		q.CellCoords(p, coords)
-		out[i] = MakeKey(coords)
+		for j, c := range coords {
+			putCoord(buf, j, c)
+		}
+		k, ok := intern[Key(buf)]
+		if !ok {
+			k = Key(buf)
+			intern[k] = k
+		}
+		out[i] = k
 	}
 	return out
+}
+
+// QuantizeWithCells fuses Quantize and CellOfPoint into one pass over the
+// points: a single slot map serves as density accumulator and key intern,
+// so the grid and the per-point base-cell table are built for one map's
+// worth of work instead of two (the sequential pipeline needs both).
+func (q *Quantizer) QuantizeWithCells(points [][]float64) (*Grid, []Key) {
+	size := make([]int, q.Dim())
+	for j := range size {
+		size[j] = q.Scale
+	}
+	g := New(size)
+	cells := make([]Key, len(points))
+	coords := make([]int, q.Dim())
+	buf := make([]byte, 2*q.Dim())
+	slot := make(map[Key]int32)
+	keys := make([]Key, 0, 1024)
+	masses := make([]float64, 0, 1024)
+	for i, p := range points {
+		q.CellCoords(p, coords)
+		for j, c := range coords {
+			putCoord(buf, j, c)
+		}
+		s, ok := slot[Key(buf)]
+		if !ok {
+			s = int32(len(masses))
+			k := Key(buf)
+			keys = append(keys, k)
+			masses = append(masses, 0)
+			slot[k] = s
+		}
+		masses[s] += 1
+		cells[i] = keys[s]
+	}
+	g.Cells = make(map[Key]float64, len(masses))
+	for s, k := range keys {
+		g.Cells[k] = masses[s]
+	}
+	return g, cells
 }
 
 // ShiftKey maps a base-resolution cell key to its ancestor cell after

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package pointset
+
+import "os"
+
+// mapFloats on platforms without syscall.Mmap decodes the payload into
+// memory — OpenMapped still works, it just loses the out-of-core property.
+func mapFloats(f *os.File, n, d int) ([]float64, []byte, error) {
+	floats, err := readFloats(f, n, d)
+	return floats, nil, err
+}
+
+// unmapFloats matches the unix signature; there is never a region to free.
+func unmapFloats(mm []byte) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package pointset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mapFloats returns the payload of an open mapped-Dataset file as a
+// float64 slice. On a little-endian host it is a zero-copy read-only mmap
+// view (the returned region must be released with unmapFloats); on a
+// big-endian host the little-endian payload cannot be viewed in place, so
+// it is decoded into memory and the region is nil.
+func mapFloats(f *os.File, n, d int) ([]float64, []byte, error) {
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if !hostLittleEndian() {
+		floats, err := readFloats(f, n, d)
+		return floats, nil, err
+	}
+	size := mappedHeaderSize + n*d*8
+	mm, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pointset: mmap %s: %w", f.Name(), err)
+	}
+	floats := unsafe.Slice((*float64)(unsafe.Pointer(&mm[mappedHeaderSize])), n*d)
+	return floats, mm, nil
+}
+
+// unmapFloats releases a region returned by mapFloats.
+func unmapFloats(mm []byte) error { return syscall.Munmap(mm) }

@@ -244,3 +244,55 @@ func Blobs(k, perCluster, dim int, std float64, seed int64) *Dataset {
 	}
 	return ds
 }
+
+// StreamMixture generates an n-point, dim-dimensional Gaussian-blob
+// mixture with a uniform-noise fraction and streams it row by row through
+// emit — the out-of-core counterpart of Blobs for datasets too large to
+// hold in memory (cmd/synthgen -format mapped, the scale benchmarks). The
+// row slice passed to emit is reused between calls; copy it to retain.
+// Generation is deterministic given (n, dim, k, noise, seed) and uses O(k)
+// memory regardless of n. emit's first error aborts and is returned.
+func StreamMixture(n, dim, k int, noise float64, seed int64, emit func(row []float64) error) error {
+	if n < 0 || dim < 1 || k < 1 {
+		return fmt.Errorf("synth: invalid mixture n=%d dim=%d k=%d", n, dim, k)
+	}
+	if noise < 0 || noise > 1 {
+		return fmt.Errorf("synth: noise fraction %v outside [0,1]", noise)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = 0.15 + 0.7*rng.Float64()
+		}
+	}
+	const std = 0.03
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < noise {
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+		} else {
+			c := centers[rng.Intn(k)]
+			for j := range row {
+				v := c[j] + rng.NormFloat64()*std
+				// Clamp into the unit box so the bounding box — and with
+				// it every cell assignment — is set by the data's shape,
+				// not by one stray tail sample.
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				row[j] = v
+			}
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,10 +22,11 @@ const (
 type Option func(*settings)
 
 // settings is the accumulated option state: the Config the engine validates
-// plus the facade-level worker count.
+// plus the facade-level worker count and out-of-core memory budget.
 type settings struct {
-	cfg     Config
-	workers int
+	cfg              Config
+	workers          int
+	maxResidentBytes int64
 }
 
 // WithConfig replaces the base configuration the remaining options layer
@@ -38,6 +39,18 @@ func WithConfig(cfg Config) Option {
 // n ≤ 0 selects runtime.GOMAXPROCS(0) at each call (the default).
 func WithWorkers(n int) Option {
 	return func(s *settings) { s.workers = n }
+}
+
+// WithMaxResidentBytes sets the resident-memory budget of the out-of-core
+// entry points (ClusterDatasetExternal, ClusterMappedFile): the external
+// radix sort sizes its point chunks and in-memory run budget so the run's
+// per-point heap — label and cell-memo outputs, chunk working set, retained
+// sorted runs — stays within n bytes, spilling sorted runs to temp files
+// beyond it. n ≤ 0 selects the 512 MiB default. The budget does not cover
+// the O(cells) grid, whose size is bounded by the scale and the data's
+// occupancy, not by the point count.
+func WithMaxResidentBytes(n int64) Option {
+	return func(s *settings) { s.maxResidentBytes = n }
 }
 
 // WithBasis selects the wavelet filter bank (default CDF(2,2), the paper's
@@ -104,5 +117,10 @@ func New(opts ...Option) (*Clusterer, error) {
 	for _, opt := range opts {
 		opt(&s)
 	}
-	return NewClusterer(s.cfg, s.workers)
+	c, err := NewClusterer(s.cfg, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	c.maxResidentBytes = s.maxResidentBytes
+	return c, nil
 }
