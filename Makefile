@@ -14,10 +14,16 @@ GO ?= go
 # governance workloads (DRR scheduler fairness solo vs contended, the
 # 50k-point session evict→rehydrate round trip).
 # BENCHTIME is overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k
+BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k|GridFootprint
 BENCHTIME ?= 100x
 
-.PHONY: build test race bench bench-json fmt-check vet ci
+# The committed perf-trajectory snapshot this PR writes (BENCH_$(BENCH_N).json)
+# and the previous one benchcheck gates against. Bump BENCH_N once per PR
+# that refreshes the snapshot instead of editing each filename below.
+BENCH_N ?= 8
+BENCH_PREV = $(shell expr $(BENCH_N) - 1)
+
+.PHONY: build test race bench bench-json bench-scale profile fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -40,25 +46,32 @@ bench:
 	$(GO) test -bench=Fig2 -benchtime=1x -run '^$$' .
 
 # The perf suite with allocation stats as test2json lines, committed as
-# BENCH_7.json so the repo records its own performance trajectory; CI also
-# uploads it as an artifact next to the Fig. 2 bench smoke. (BENCH_2.json
-# through BENCH_6.json are the committed PR-2…PR-6 snapshots, kept for the
-# trajectory.) After the run, benchcheck diffs the fresh numbers against
-# the previous committed snapshot and fails loudly when any benchmark
-# present in both regressed beyond 2× — a perf cliff is a red build, not a
-# silent drift. Benchmarks new in this snapshot (the scale axis) are
-# listed but not gated until the next PR gives them a baseline.
+# BENCH_$(BENCH_N).json so the repo records its own performance trajectory;
+# CI also uploads it as an artifact next to the Fig. 2 bench smoke. (The
+# earlier BENCH_*.json files are the committed PR-by-PR snapshots, kept for
+# the trajectory.) After the run, benchcheck diffs the fresh numbers against
+# the previous committed snapshot — ns/op, B/op and allocs/op alike — and
+# fails loudly when any series present in both regressed beyond 2× — a perf
+# or memory cliff is a red build, not a silent drift. Benchmarks new in this
+# snapshot are listed but not gated until the next PR gives them a baseline.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_7.json
-	$(GO) run ./cmd/benchcheck -old BENCH_6.json -new BENCH_7.json -factor 2
+	$(GO) test -run '^$$' -bench '$(BENCH_PERF)' -benchmem -benchtime $(BENCHTIME) -json . > BENCH_$(BENCH_N).json
+	$(GO) run ./cmd/benchcheck -old BENCH_$(BENCH_PREV).json -new BENCH_$(BENCH_N).json -factor 2
 
-# The scale axis: 10 million points clustered out-of-core under a 384 MiB
+# The scale axis: 10 million points clustered out-of-core under a tight
 # resident budget (with an in-bench ReadMemStats assertion that the budget
-# held), appended to BENCH_7.json so the scale numbers ride the same
-# committed trajectory. One iteration — the workload takes minutes, and
-# the gate is completion-within-budget, not variance-free timing.
+# held), appended to BENCH_$(BENCH_N).json so the scale numbers ride the
+# same committed trajectory. One iteration — the workload takes minutes,
+# and the gate is completion-within-budget, not variance-free timing.
 bench-scale:
-	$(GO) test -run '^$$' -bench 'BenchmarkExternal10M' -benchtime 1x -timeout 30m -json . >> BENCH_7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkExternal10M' -benchtime 1x -timeout 30m -json . >> BENCH_$(BENCH_N).json
+
+# CPU + heap profiles of the Fig. 2 engine benchmark, for chasing where the
+# pipeline actually spends its time and bytes; CI uploads both pprof files
+# as an artifact next to the bench smoke.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineDatasetFig2RunningExample' -benchtime $(BENCHTIME) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

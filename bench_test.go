@@ -997,3 +997,51 @@ func BenchmarkMergeThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
+
+// BenchmarkGridFootprint measures resident bytes per occupied cell of the
+// two grid representations on real quantized workloads — the flat
+// struct-of-arrays layout against the block-compressed PackedGrid — and
+// times the pack itself. The ≥2× compression floor is asserted, not just
+// reported: the packed representation exists to shrink the resident set,
+// and a format change that quietly loses the win should fail here.
+func BenchmarkGridFootprint(b *testing.B) {
+	mixture := pointset.New(3, 200_000)
+	if err := synth.StreamMixture(200_000, 3, 6, 0.3, 1, func(row []float64) error {
+		mixture.AppendRow(row)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	fixtures := []struct {
+		name  string
+		ds    *pointset.Dataset
+		scale int
+	}{
+		{"fig2", synth.RunningExampleSized(800, 1).Flat(), 128},
+		{"mixture3d", mixture, 64},
+	}
+	for _, fx := range fixtures {
+		b.Run(fx.name, func(b *testing.B) {
+			q, err := grid.NewQuantizerDataset(fx.ds, fx.scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, _ := q.QuantizeDataset(fx.ds, 1)
+			var pg *grid.PackedGrid
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pg = grid.PackFlat(g)
+			}
+			b.StopTimer()
+			cells := float64(g.Len())
+			flatBytes := float64(len(g.Coords))*2 + float64(len(g.Vals))*8 + float64(len(g.Size))*8
+			packedBytes := float64(pg.Bytes())
+			b.ReportMetric(flatBytes/cells, "flat-B/cell")
+			b.ReportMetric(packedBytes/cells, "packed-B/cell")
+			if packedBytes*2 > flatBytes {
+				b.Fatalf("packed grid %d B for %d cells (%.1f B/cell) misses the 2x floor against flat %.1f B/cell",
+					pg.Bytes(), g.Len(), packedBytes/cells, flatBytes/cells)
+			}
+		})
+	}
+}

@@ -5,6 +5,12 @@
 //
 //	benchcheck -old BENCH_5.json -new BENCH_6.json -factor 2
 //
+// Three units are gated per benchmark, each against the same factor: ns/op,
+// and (when the snapshot was taken with -benchmem) B/op and allocs/op — a
+// memory cliff is as much a regression as a time cliff. A unit with a zero
+// baseline is skipped (nothing meaningful to ratio against), as is a unit
+// absent from either snapshot.
+//
 // Only benchmarks present in both snapshots are gated; benchmarks new in the
 // current snapshot (no baseline yet) and ones retired from it are listed
 // informationally. A snapshot of entirely new benchmarks passes with a
@@ -30,17 +36,25 @@ type event struct {
 	Output string `json:"Output"`
 }
 
-// parse extracts name → ns/op from a test2json bench snapshot. test2json
-// attributes a benchmark's result line (iterations, then value/unit pairs) to
-// the bench via the Test field, so sub-benchmarks keep their full path and
-// like compares with like.
-func parse(path string) (map[string]float64, error) {
+// gatedUnits are the value/unit pairs of a testing.B result line the gate
+// compares, in report order.
+var gatedUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// parse extracts name → unit → value from a test2json bench snapshot.
+// test2json attributes a benchmark's result line (iterations, then
+// value/unit pairs) to the bench via the Test field, so sub-benchmarks keep
+// their full path and like compares with like.
+func parse(path string) (map[string]map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]float64)
+	gated := make(map[string]bool, len(gatedUnits))
+	for _, u := range gatedUnits {
+		gated[u] = true
+	}
+	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -63,14 +77,17 @@ func parse(path string) (map[string]float64, error) {
 		}
 		// iterations  value unit  [value unit ...]
 		for i := 1; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			if !gated[fields[i+1]] {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
-			if err == nil {
-				out[ev.Test] = v
+			if err != nil {
+				continue
 			}
-			break
+			if out[ev.Test] == nil {
+				out[ev.Test] = make(map[string]float64, len(gatedUnits))
+			}
+			out[ev.Test][fields[i+1]] = v
 		}
 	}
 	return out, sc.Err()
@@ -79,7 +96,7 @@ func parse(path string) (map[string]float64, error) {
 func main() {
 	oldPath := flag.String("old", "", "baseline bench snapshot (test2json)")
 	newPath := flag.String("new", "", "current bench snapshot (test2json)")
-	factor := flag.Float64("factor", 2, "fail when current ns/op exceeds baseline by this factor")
+	factor := flag.Float64("factor", 2, "fail when current ns/op, B/op or allocs/op exceeds baseline by this factor")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -old and -new are required")
@@ -114,10 +131,10 @@ func main() {
 	sort.Strings(added)
 	sort.Strings(retired)
 	for _, name := range added {
-		fmt.Printf("NEW        %-60s %12.0f ns/op (no baseline, not gated)\n", name, newRes[name])
+		fmt.Printf("NEW        %-60s %12.0f ns/op (no baseline, not gated)\n", name, newRes[name]["ns/op"])
 	}
 	for _, name := range retired {
-		fmt.Printf("RETIRED    %-60s %12.0f ns/op (absent from current snapshot)\n", name, oldRes[name])
+		fmt.Printf("RETIRED    %-60s %12.0f ns/op (absent from current snapshot)\n", name, oldRes[name]["ns/op"])
 	}
 	if len(names) == 0 {
 		if len(added) > 0 {
@@ -133,17 +150,27 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	var failed int
+	var compared, failed int
 	for _, name := range names {
-		ratio := newRes[name] / oldRes[name]
-		if ratio > *factor {
-			failed++
-			fmt.Printf("REGRESSION %-60s %12.0f → %12.0f ns/op (%.2fx > %.2gx)\n",
-				name, oldRes[name], newRes[name], ratio, *factor)
+		for _, unit := range gatedUnits {
+			oldV, okOld := oldRes[name][unit]
+			newV, okNew := newRes[name][unit]
+			if !okOld || !okNew || oldV == 0 {
+				// A zero baseline (an alloc-free benchmark growing its
+				// first byte) has no meaningful ratio; absolute growth from
+				// zero is caught the PR after it lands a baseline.
+				continue
+			}
+			compared++
+			if ratio := newV / oldV; ratio > *factor {
+				failed++
+				fmt.Printf("REGRESSION %-60s %12.0f → %12.0f %-9s (%.2fx > %.2gx)\n",
+					name, oldV, newV, unit, ratio, *factor)
+			}
 		}
 	}
-	fmt.Printf("benchcheck: %d benchmarks compared, %d regressed beyond %.2gx\n",
-		len(names), failed, *factor)
+	fmt.Printf("benchcheck: %d benchmarks, %d unit series compared, %d regressed beyond %.2gx\n",
+		len(names), compared, failed, *factor)
 	if failed > 0 {
 		os.Exit(1)
 	}

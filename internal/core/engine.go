@@ -81,11 +81,17 @@ func (e *Engine) effectiveWorkers() int {
 
 // getGrid clones src into a pooled FlatGrid; putGrid returns it.
 func (e *Engine) getGrid(src *grid.FlatGrid) *grid.FlatGrid {
+	return src.CloneInto(e.getEmptyGrid())
+}
+
+// getEmptyGrid takes a pooled FlatGrid without copying anything into it —
+// the landing buffer for unpacking a compressed base grid.
+func (e *Engine) getEmptyGrid() *grid.FlatGrid {
 	g, _ := e.grids.Get().(*grid.FlatGrid)
 	if g == nil {
 		g = &grid.FlatGrid{}
 	}
-	return src.CloneInto(g)
+	return g
 }
 
 func (e *Engine) putGrid(g *grid.FlatGrid) { e.grids.Put(g) }
@@ -185,6 +191,42 @@ func (e *Engine) clusterFromBase(ctx context.Context, base *grid.FlatGrid, ids [
 		// The ablation path skips the transform; finish on a copy so the
 		// base grid (and the ids into it) survives coefficient dropping.
 		t = base.Clone()
+	}
+	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
+
+	out, err := e.finishClusteringFlat(ctx, t, base, ids, cfg.Levels, cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	out.CellsQuantized = cellsQuantized
+	return out, nil
+}
+
+// clusterFromPacked is clusterFromBase for a block-compressed base grid,
+// the re-entry point of packed-cell Sessions and the packed external path.
+// The transform runs on a pooled private unpacking — the promotion point
+// where bit-packed integer masses become float64 densities — so the packed
+// grid itself is never permuted (no SortCanonical restore needed, and a
+// cancelled run cannot disturb it), and the assignment pass streams
+// ancestor labels block by block off the compressed base directly.
+func (e *Engine) clusterFromPacked(ctx context.Context, base *grid.PackedGrid, ids []int32, cfg Config, w int) (*Result, error) {
+	cellsQuantized := base.Len()
+	if err := stage(ctx, StageTransform); err != nil {
+		return nil, err
+	}
+	u := base.UnpackInto(e.getEmptyGrid())
+	defer e.putGrid(u)
+	var t *grid.FlatGrid
+	if cfg.Levels > 0 {
+		levels, err := grid.TransformLevelsFlatCtx(ctx, u, cfg.Basis, cfg.Levels, w)
+		if err != nil {
+			return nil, err
+		}
+		t = levels[len(levels)-1]
+	} else {
+		// The ablation path skips the transform; u is already a private
+		// copy, so coefficient dropping can run on it directly.
+		t = u
 	}
 	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
 
@@ -350,13 +392,22 @@ func dropLowCoefficientsFlat(t *grid.FlatGrid, eps float64) {
 	t.DropBelow(cut)
 }
 
+// ancestorGrid is the assignment base of a finishing pass: either
+// representation of the canonical quantization grid can map each of its
+// cells to a kept-grid ancestor label (flat: AncestorLabelsIntoCtx; packed:
+// block-parallel decode-and-lookup).
+type ancestorGrid interface {
+	AncestorLabelsCtx(ctx context.Context, dst []int32, kept *grid.FlatGrid, levels int, keptLabels []int32, workers int) ([]int32, error)
+}
+
 // finishClusteringFlat performs threshold filtering, component labeling and
 // point assignment on an already-transformed flat grid — steps 3–6 of
 // Alg. 1, the flat mirror of finishClustering. t must be in canonical cell
 // order (quantization and the full transform guarantee it) and is owned by
-// the caller; base is the canonical-order quantization grid, read-only, and
-// ids holds each point's memoized index into it.
-func (e *Engine) finishClusteringFlat(ctx context.Context, t, base *grid.FlatGrid, ids []int32, levels int, cfg Config, workers int) (*Result, error) {
+// the caller; base is the canonical-order quantization grid (in either
+// representation), read-only, and ids holds each point's memoized index
+// into it.
+func (e *Engine) finishClusteringFlat(ctx context.Context, t *grid.FlatGrid, base ancestorGrid, ids []int32, levels int, cfg Config, workers int) (*Result, error) {
 	res := &Result{
 		CellsTransformed: t.Len(),
 		Levels:           levels,
@@ -408,7 +459,7 @@ func (e *Engine) finishClusteringFlat(ctx context.Context, t, base *grid.FlatGri
 	if tbl == nil {
 		tbl = new([]int32)
 	}
-	cellLabels, err := grid.AncestorLabelsIntoCtx(ctx, *tbl, base, kept, levels, labels, workers)
+	cellLabels, err := base.AncestorLabelsCtx(ctx, *tbl, kept, levels, labels, workers)
 	*tbl = cellLabels
 	if err != nil {
 		// The pooled table goes back even on a cancelled pass.

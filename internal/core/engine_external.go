@@ -90,6 +90,9 @@ func deriveExtSort(opts ExternalOptions, n, d int) (grid.ExtSortOptions, error) 
 		out.ChunkPoints = int(chunk)
 	}
 	if out.SpillBytes == 0 {
+		// Retained runs are block-compressed (PackedGrid, ~2–4 bytes per
+		// cell instead of the flat 2·d+8), so the same quarter-budget now
+		// holds roughly 4× the cells before the first spill.
 		out.SpillBytes = working / 4
 		if out.SpillBytes < 1 {
 			out.SpillBytes = 1
@@ -121,6 +124,16 @@ func (e *Engine) ClusterDatasetExternal(ctx context.Context, ds *pointset.Datase
 	q, err := grid.NewQuantizerDatasetCtx(ctx, ds, cfg.Scale, w)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.PackedCells {
+		// The merged grid comes out block-compressed straight from the
+		// loser-tree merge; downstream, only the transform's private
+		// unpacking is ever materialized flat.
+		base, ids, err := q.QuantizeDatasetExternalPackedCtx(ctx, ds, w, ext)
+		if err != nil {
+			return nil, err
+		}
+		return e.clusterFromPacked(ctx, base, ids, cfg, w)
 	}
 	base, ids, err := q.QuantizeDatasetExternalCtx(ctx, ds, w, ext)
 	if err != nil {

@@ -151,6 +151,60 @@ func TestSessionCheckpointBetweenRemoveAndRead(t *testing.T) {
 	assertSessionsAgree(t, sess, restored)
 }
 
+// TestSessionCheckpointRepresentationPortable: PackedCells is a runtime
+// choice, not a durable one — a checkpoint taken under either grid
+// representation must restore under the other (the fingerprint excludes
+// the flag) and keep producing identical labels through further mutations.
+func TestSessionCheckpointRepresentationPortable(t *testing.T) {
+	packed := DefaultConfig()
+	packed.PackedCells = true
+	flat := DefaultConfig()
+	flat.PackedCells = false
+	data := synth.RunningExampleSized(400, 1)
+	for _, dir := range []struct {
+		name     string
+		from, to Config
+	}{
+		{"packed-to-flat", packed, flat},
+		{"flat-to-packed", flat, packed},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			sess, err := NewSession(dir.from, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Append(pointset.MustFromSlices(data.Points)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Labels(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Remove([]int{10, 11, 200}); err != nil {
+				t.Fatal(err)
+			}
+			restored := checkpointRestore(t, sess, dir.to, 2)
+			assertSessionGrid(t, restored)
+			assertSessionsAgree(t, sess, restored)
+			// Both sessions keep agreeing as they mutate identically past
+			// the representation switch.
+			more := synth.RunningExampleSized(100, 2).Flat()
+			if err := sess.Append(more); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Append(more); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Remove([]int{0, 5}); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Remove([]int{0, 5}); err != nil {
+				t.Fatal(err)
+			}
+			assertSessionsAgree(t, sess, restored)
+		})
+	}
+}
+
 // TestSessionCheckpointEmpty: an empty session (fresh, or drained by
 // removals) checkpoints and restores, preserving a fixed dimensionality.
 func TestSessionCheckpointEmpty(t *testing.T) {

@@ -35,11 +35,23 @@ func sessionFixtures(t *testing.T) []sessionFixture {
 	dermCfg := DefaultConfig()
 	dermCfg.Scale = 0 // automatic scale: changes as the stream grows
 	dermCfg.Basis = wavelet.Haar()
-	return []sessionFixture{
+	// Every fixture runs under both live-grid representations
+	// (DefaultConfig enables the packed one); the equivalence assertions
+	// below must hold bit for bit either way.
+	base := []sessionFixture{
 		{"fig2", synth.RunningExampleSized(500, 1).Points, DefaultConfig()},
 		{"fig7", synth.Evaluation(400, 0.8, 1).Points, DefaultConfig()},
 		{"dermatology", derm.Points, dermCfg},
 	}
+	out := make([]sessionFixture, 0, 2*len(base))
+	for _, fx := range base {
+		packed, flat := fx.cfg, fx.cfg
+		packed.PackedCells, flat.PackedCells = true, false
+		out = append(out,
+			sessionFixture{fx.name + "/packed", fx.pts, packed},
+			sessionFixture{fx.name + "/flat", fx.pts, flat})
+	}
+	return out
 }
 
 // randomBatches splits n into a random sequence of batch sizes.
@@ -71,18 +83,22 @@ func assertSessionGrid(t *testing.T, s *Session) {
 		t.Fatal(err)
 	}
 	want, wantIDs := q.QuantizeDataset(s.ds, 1)
-	if want.Len() != s.base.Len() {
-		t.Fatalf("live grid has %d cells, one-shot %d", s.base.Len(), want.Len())
+	live := s.base
+	if s.pbase != nil {
+		live = s.pbase.Unpack()
+	}
+	if want.Len() != live.Len() {
+		t.Fatalf("live grid has %d cells, one-shot %d", live.Len(), want.Len())
 	}
 	d := want.Dim()
 	for i := 0; i < want.Len(); i++ {
 		for j := 0; j < d; j++ {
-			if want.Coords[i*d+j] != s.base.Coords[i*d+j] {
-				t.Fatalf("cell %d coords diverge: one-shot %v, live %v", i, want.CellCoords(i), s.base.CellCoords(i))
+			if want.Coords[i*d+j] != live.Coords[i*d+j] {
+				t.Fatalf("cell %d coords diverge: one-shot %v, live %v", i, want.CellCoords(i), live.CellCoords(i))
 			}
 		}
-		if want.Vals[i] != s.base.Vals[i] {
-			t.Fatalf("cell %d mass: one-shot %v, live %v", i, want.Vals[i], s.base.Vals[i])
+		if want.Vals[i] != live.Vals[i] {
+			t.Fatalf("cell %d mass: one-shot %v, live %v", i, want.Vals[i], live.Vals[i])
 		}
 	}
 	for i, id := range wantIDs {

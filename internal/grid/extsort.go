@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -18,15 +19,16 @@ import (
 // sorted per-shard accumulator, and k-way merges — every intermediate lives
 // in memory at once. Out of core, the same plan is cut into fixed-size
 // point chunks: each chunk is quantized and sorted exactly like an in-RAM
-// shard, but the resulting sorted run is either retained in memory (small)
-// or spilled to a temp file in a delta-coded packed encoding (large), and a
-// loser-tree k-way merge over all runs emits cells in canonical order while
-// renumbering every point's memoized chunk-local cell id to its
+// shard, but the resulting sorted run is block-compressed (PackedGrid) and
+// either retained in memory (small) or spilled to a temp file (large), and
+// a loser-tree k-way merge over all runs emits cells in canonical order
+// while renumbering every point's memoized chunk-local cell id to its
 // canonical-grid index. Cell masses are integer point counts, so the merge
 // sums are exact in any order and the resulting grid, ids, and every label
 // derived from them are bit-identical to QuantizeDatasetCtx — only the
 // peak resident memory changes: O(chunk + retained runs + cells) instead
-// of O(points).
+// of O(points), and the packed runs hold ~4× the cells of the former flat
+// runs in the same spill budget.
 
 // ExtSortOptions tunes the external sort. The zero value selects defaults
 // suitable for a machine with a few GB to spare; core.ExternalOptions
@@ -36,8 +38,10 @@ type ExtSortOptions struct {
 	// (the unit of in-memory work). ≤ 0 selects 1<<20.
 	ChunkPoints int
 	// SpillBytes bounds the total bytes of sorted runs retained in memory:
-	// once retained runs exceed it, further runs spill to disk. ≤ 0
-	// selects 256 MiB; 1 forces every run to spill (useful in tests).
+	// once retained runs exceed it, further runs spill to disk. Runs are
+	// block-compressed, so the budget is measured against packed bytes
+	// (typically 2–4 per cell rather than the flat 2·d+8). ≤ 0 selects
+	// 256 MiB; 1 forces every run to spill (useful in tests).
 	SpillBytes int64
 	// TempDir is the base directory for the spill directory ("" uses the
 	// system default). Spill files live in a fresh os.MkdirTemp directory
@@ -53,18 +57,22 @@ const (
 )
 
 // extRun is one sorted, deduped cell run: the quantization of a contiguous
-// point range, in canonical cell order. It is either retained in memory
-// (g != nil) or spilled to a packed temp file (path != "").
+// point range, in canonical cell order. It is block-compressed either way:
+// retained in memory (p != nil) or spilled to a temp file (path != "").
 type extRun struct {
 	lo, hi int // the point range whose memoized ids are local to this run
 	cells  int
-	g      *FlatGrid
+	p      *PackedGrid
 	path   string
 }
 
-// runBytes estimates the in-memory footprint of a retained run.
-func runBytes(cells, d int) int64 {
-	return int64(cells) * int64(2*d+8)
+// gridSize returns the per-dimension cell counts of q's grid.
+func (q *Quantizer) gridSize() []int {
+	size := make([]int, q.Dim())
+	for j := range size {
+		size[j] = q.Scale
+	}
+	return size
 }
 
 // QuantizeDatasetExternal is QuantizeDatasetExternalCtx without
@@ -85,14 +93,36 @@ func (q *Quantizer) QuantizeDatasetExternal(ds *pointset.Dataset, workers int, o
 // ctxCheckStride points within; a cancelled call removes its spill
 // directory before returning.
 func (q *Quantizer) QuantizeDatasetExternalCtx(ctx context.Context, ds *pointset.Dataset, workers int, opts ExtSortOptions) (*FlatGrid, []int32, error) {
-	d := q.Dim()
-	size := make([]int, d)
-	for j := range size {
-		size[j] = q.Scale
+	size := q.gridSize()
+	out := NewFlat(size, 0)
+	ids, err := q.quantizeDatasetExternalInto(ctx, ds, workers, opts, flatSink{out})
+	if err != nil {
+		return nil, nil, err
 	}
+	return out, ids, nil
+}
+
+// QuantizeDatasetExternalPackedCtx is QuantizeDatasetExternalCtx emitting
+// the merged grid in the block-compressed representation: the loser-tree
+// merge streams straight into a PackedBuilder, so the uncompressed cell
+// array never materializes at any point of the external pipeline.
+func (q *Quantizer) QuantizeDatasetExternalPackedCtx(ctx context.Context, ds *pointset.Dataset, workers int, opts ExtSortOptions) (*PackedGrid, []int32, error) {
+	bld := NewPackedBuilder(q.gridSize(), -1)
+	ids, err := q.quantizeDatasetExternalInto(ctx, ds, workers, opts, packedSink{bld})
+	if err != nil {
+		return nil, nil, err
+	}
+	return bld.Grid(), ids, nil
+}
+
+// quantizeDatasetExternalInto is the shared external-sort pipeline behind
+// both representations; merged cells stream into sink in canonical order.
+func (q *Quantizer) quantizeDatasetExternalInto(ctx context.Context, ds *pointset.Dataset, workers int, opts ExtSortOptions, sink cellSink) ([]int32, error) {
+	d := q.Dim()
+	size := q.gridSize()
 	n := ds.N
 	if n == 0 {
-		return &FlatGrid{Size: size}, nil, nil
+		return nil, nil
 	}
 	chunkPts := opts.ChunkPoints
 	if chunkPts <= 0 {
@@ -136,7 +166,7 @@ func (q *Quantizer) QuantizeDatasetExternalCtx(ctx context.Context, ds *pointset
 			hi = n
 		}
 		if err := CtxErr(ctx); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		nn := hi - lo
 		w := workers
@@ -169,35 +199,32 @@ func (q *Quantizer) QuantizeDatasetExternalCtx(ctx context.Context, ds *pointset
 			shardLo[sw], shardHi[sw] = lo+slo, lo+shi
 		})
 		if err := CtxErr(ctx); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		// Retain or spill each shard's run, in shard order so the decision
-		// (and the run sequence the merge sees) is deterministic.
+		// Pack, then retain or spill each shard's run, in shard order so the
+		// decision (and the run sequence the merge sees) is deterministic.
+		// Packing drops the chunk-sized shard buffers either way, so a
+		// retained run pins only its compressed cells.
 		for sw, g := range shardGrids {
 			if g == nil {
 				continue
 			}
 			run := extRun{lo: shardLo[sw], hi: shardHi[sw], cells: g.Len()}
-			if b := runBytes(g.Len(), d); memUsed+b <= spillBytes {
-				// Copy out of the chunk-sized shard buffers so the retained
-				// run pins only its own cells.
-				run.g = &FlatGrid{
-					Size:   size,
-					Coords: append(make([]uint16, 0, g.Len()*d), g.Coords...),
-					Vals:   append(make([]float64, 0, g.Len()), g.Vals...),
-				}
+			pg := PackFlat(g)
+			if b := pg.Bytes(); memUsed+b <= spillBytes {
+				run.p = pg
 				memUsed += b
 			} else {
 				if tmpDir == "" {
 					var err error
 					tmpDir, err = os.MkdirTemp(opts.TempDir, "adawave-extsort-")
 					if err != nil {
-						return nil, nil, fmt.Errorf("grid: external sort spill dir: %w", err)
+						return nil, fmt.Errorf("grid: external sort spill dir: %w", err)
 					}
 				}
 				path := filepath.Join(tmpDir, fmt.Sprintf("run-%06d.spill", len(runs)))
-				if err := writeSpillRun(path, g); err != nil {
-					return nil, nil, err
+				if err := writeSpillRun(path, pg); err != nil {
+					return nil, err
 				}
 				run.path = path
 			}
@@ -208,9 +235,9 @@ func (q *Quantizer) QuantizeDatasetExternalCtx(ctx context.Context, ds *pointset
 	// Phase 2: loser-tree k-way merge over all runs, emitting canonical
 	// order and recording, per run, where each run-local cell landed in
 	// the merged grid.
-	out, remap, err := mergeExtRuns(ctx, runs, size, d)
+	remap, err := mergeExtRuns(ctx, runs, d, sink)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// Phase 3: renumber the memoized point ids from run-local to canonical
@@ -225,17 +252,42 @@ func (q *Quantizer) QuantizeDatasetExternalCtx(ctx context.Context, ds *pointset
 		})
 	}
 	if err := CtxErr(ctx); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return out, ids, nil
+	return ids, nil
 }
 
-// mergeExtRuns k-way merges sorted runs into one canonical grid, summing
-// duplicate cells in run order (exact: masses are integer point counts) and
-// filling remap[r][j] = merged index of run r's j-th cell. Spilled runs are
-// streamed back through buffered readers; nothing beyond the merged grid
-// and the remap tables is materialized.
-func mergeExtRuns(ctx context.Context, runs []extRun, size []int, d int) (*FlatGrid, [][]int32, error) {
+// cellSink receives the merged cells in canonical order. The two
+// implementations are the flat grid and the packed builder; the merge only
+// ever appends a new cell or folds mass into the last one, which both
+// representations support without re-encoding.
+type cellSink interface {
+	len() int
+	appendCell(coords []uint16, mass float64)
+	addLast(mass float64)
+	lastCoords() []uint16
+}
+
+type flatSink struct{ g *FlatGrid }
+
+func (s flatSink) len() int                            { return s.g.Len() }
+func (s flatSink) appendCell(c []uint16, mass float64) { s.g.Append(c, mass) }
+func (s flatSink) addLast(mass float64)                { s.g.Vals[s.g.Len()-1] += mass }
+func (s flatSink) lastCoords() []uint16                { return s.g.CellCoords(s.g.Len() - 1) }
+
+type packedSink struct{ b *PackedBuilder }
+
+func (s packedSink) len() int                            { return s.b.Len() }
+func (s packedSink) appendCell(c []uint16, mass float64) { s.b.Append(c, mass) }
+func (s packedSink) addLast(mass float64)                { s.b.AddLast(mass) }
+func (s packedSink) lastCoords() []uint16                { return s.b.LastCoords() }
+
+// mergeExtRuns k-way merges sorted runs into sink, summing duplicate cells
+// in run order (exact: masses are integer point counts) and filling
+// remap[r][j] = merged index of run r's j-th cell. Spilled runs are
+// streamed back block by block through buffered readers; nothing beyond
+// the sink and the remap tables is materialized.
+func mergeExtRuns(ctx context.Context, runs []extRun, d int, sink cellSink) ([][]int32, error) {
 	remap := make([][]int32, len(runs))
 	streams := make([]*runStream, len(runs))
 	defer func() {
@@ -245,19 +297,16 @@ func mergeExtRuns(ctx context.Context, runs []extRun, size []int, d int) (*FlatG
 			}
 		}
 	}()
-	total := 0
 	for i := range runs {
 		remap[i] = make([]int32, runs[i].cells)
 		st, err := openRunStream(&runs[i], d)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		streams[i] = st
-		total += runs[i].cells
 	}
-	out := NewFlat(size, 0)
 	if len(streams) == 0 {
-		return out, remap, nil
+		return remap, nil
 	}
 	lt := newLoserTree(streams)
 	emitted := 0
@@ -268,50 +317,50 @@ func mergeExtRuns(ctx context.Context, runs []extRun, size []int, d int) (*FlatG
 		}
 		if emitted%ctxCheckStride == ctxCheckStride-1 {
 			if err := CtxErr(ctx); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 		st := streams[s]
-		m := out.Len()
-		if m > 0 && cmpCoords(out.Coords[(m-1)*d:m*d], st.cur) == 0 {
-			out.Vals[m-1] += st.curMass
+		m := sink.len()
+		if m > 0 && cmpCoords(sink.lastCoords(), st.cur) == 0 {
+			sink.addLast(st.curMass)
 			remap[s][st.emitted] = int32(m - 1)
 		} else {
-			out.Append(st.cur, st.curMass)
+			sink.appendCell(st.cur, st.curMass)
 			remap[s][st.emitted] = int32(m)
 		}
 		st.emitted++
 		emitted++
 		if err := st.advance(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		lt.fix(s)
 	}
-	return out, remap, nil
+	return remap, nil
 }
 
-// --- spill encoding -------------------------------------------------------
+// --- spill encoding (format v2) -------------------------------------------
 //
-// A spill file is one sorted run in a packed delta encoding:
+// A spill file is one sorted run as a sequence of the same block payloads
+// PackedGrid holds in memory (frame-of-reference delta-coded bit-packed
+// coordinates, bit-packed integer masses; see packed.go for the layout):
 //
 //	uvarint cellCount
-//	per cell: d × svarint coordinate delta from the previous cell
-//	          (the implicit previous cell before the first is the origin),
-//	          then the mass — uvarint(2·mass) when the mass is an integer
-//	          below 2³², else the escape uvarint(1) followed by 8 raw
-//	          little-endian IEEE-754 bytes.
+//	per block: uvarint payloadLen, then payloadLen payload bytes
 //
-// Sorted runs change slowly in the high dimensions, so the zigzag deltas
-// are almost always one byte, and quantization masses are small integer
-// counts — the packed run is typically 3–5 bytes per cell versus 2·d+8
-// in memory. The float escape keeps the encoding lossless for any future
-// caller whose masses outgrow uint32 or stop being integral.
+// Spilling a packed run is therefore a straight copy of its block payloads
+// — no re-encode — and reading one back is the block decoder shared with
+// the in-memory representation: fixed-width branch-free unpacking instead
+// of format v1's per-value varint loop, at ~2–4 bytes per cell either way.
 
-// massEscape marks a mass stored as raw float64 bits.
-const massEscape = 1
+// ErrCorruptSpillRun reports a spill file whose bytes do not decode as the
+// packed run format — truncation, a bad length prefix, or a malformed
+// block. Every decode failure wraps it, and decoding never panics or
+// allocates beyond the fixed per-block buffers however corrupt the input.
+var ErrCorruptSpillRun = errors.New("grid: corrupt spill run")
 
-// writeSpillRun encodes g (a sorted run) into a new spill file.
-func writeSpillRun(path string, g *FlatGrid) error {
+// writeSpillRun writes p (a sorted run) into a new spill file.
+func writeSpillRun(path string, p *PackedGrid) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("grid: external sort spill: %w", err)
@@ -320,18 +369,11 @@ func writeSpillRun(path string, g *FlatGrid) error {
 	var buf [binary.MaxVarintLen64]byte
 	put := func(b []byte) error { _, err := bw.Write(b); return err }
 
-	d := g.Dim()
-	m := g.Len()
-	werr := put(buf[:binary.PutUvarint(buf[:], uint64(m))])
-	prev := make([]uint16, d)
-	for i := 0; i < m && werr == nil; i++ {
-		cell := g.CellCoords(i)
-		for j := 0; j < d && werr == nil; j++ {
-			werr = put(buf[:binary.PutVarint(buf[:], int64(cell[j])-int64(prev[j]))])
-		}
-		copy(prev, cell)
-		if werr == nil {
-			werr = putMass(bw, buf[:], g.Vals[i])
+	werr := put(buf[:binary.PutUvarint(buf[:], uint64(p.Len()))])
+	for b := 0; b < p.blocks() && werr == nil; b++ {
+		pl := p.payload(b)
+		if werr = put(buf[:binary.PutUvarint(buf[:], uint64(len(pl)))]); werr == nil {
+			werr = put(pl)
 		}
 	}
 	if werr == nil {
@@ -346,46 +388,49 @@ func writeSpillRun(path string, g *FlatGrid) error {
 	return nil
 }
 
-// putMass writes one mass in the packed encoding: small integral masses as
-// a single uvarint, anything else promoted to raw float64 bits.
-func putMass(bw *bufio.Writer, buf []byte, v float64) error {
-	if u := uint64(v); v >= 0 && float64(u) == v && u < 1<<32 {
-		_, err := bw.Write(buf[:binary.PutUvarint(buf, u<<1)])
-		return err
-	}
-	if _, err := bw.Write(buf[:binary.PutUvarint(buf, massEscape)]); err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v))
-	_, err := bw.Write(buf[:8])
-	return err
-}
-
-// runStream yields one run's cells in order, either from the retained
-// in-memory grid or by decoding its spill file incrementally.
+// runStream yields one run's cells in order, decoding one block at a time
+// from either the retained packed grid or its spill file.
 type runStream struct {
 	d       int
-	cur     []uint16 // current cell coordinates (decode buffer for spills)
+	cur     []uint16 // current cell coordinates (view into blkCoords)
 	curMass float64
 	emitted int32 // cells already handed to the merge (run-local index)
 
-	// in-memory source
-	g   *FlatGrid
-	pos int
+	// decoded block window, shared by both sources
+	blkCoords []uint16
+	blkMasses []float64
+	count     int // cells in the window
+	pos       int // next cell within the window
+
+	// retained source
+	p    *PackedGrid
+	next int // next block to decode
 
 	// spilled source
 	f         *os.File
 	br        *bufio.Reader
 	remaining int
+	payload   []byte
 
 	done bool
 }
 
 // openRunStream opens a cursor over run and positions it on the first cell.
 func openRunStream(run *extRun, d int) (*runStream, error) {
-	st := &runStream{d: d, cur: make([]uint16, d)}
-	if run.g != nil {
-		st.g = run.g
+	buf := run.cells
+	if buf < 0 {
+		buf = 0
+	}
+	if buf > packedBlockCells {
+		buf = packedBlockCells
+	}
+	st := &runStream{
+		d:         d,
+		blkCoords: make([]uint16, buf*d),
+		blkMasses: make([]float64, buf),
+	}
+	if run.p != nil {
+		st.p = run.p
 	} else {
 		f, err := os.Open(run.path)
 		if err != nil {
@@ -396,11 +441,11 @@ func openRunStream(run *extRun, d int) (*runStream, error) {
 		m, err := binary.ReadUvarint(st.br)
 		if err != nil {
 			st.close()
-			return nil, fmt.Errorf("grid: external sort merge %s: %w", filepath.Base(run.path), err)
+			return nil, fmt.Errorf("grid: external sort merge %s: %w: cell count: %v", filepath.Base(run.path), ErrCorruptSpillRun, err)
 		}
-		if int(m) != run.cells {
+		if m > uint64(math.MaxInt32) || int(m) != run.cells {
 			st.close()
-			return nil, fmt.Errorf("grid: external sort merge %s: %d cells on disk, expected %d", filepath.Base(run.path), m, run.cells)
+			return nil, fmt.Errorf("grid: external sort merge %s: %w: %d cells on disk, expected %d", filepath.Base(run.path), ErrCorruptSpillRun, m, run.cells)
 		}
 		st.remaining = int(m)
 	}
@@ -411,44 +456,60 @@ func openRunStream(run *extRun, d int) (*runStream, error) {
 	return st, nil
 }
 
-// advance moves the cursor to the next cell; after the last cell the stream
-// reports done and loses to every live stream in the tree.
+// advance moves the cursor to the next cell, decoding the next block when
+// the window is exhausted; after the last cell the stream reports done and
+// loses to every live stream in the tree.
 func (st *runStream) advance() error {
-	if st.g != nil {
-		if st.pos >= st.g.Len() {
+	if st.pos >= st.count {
+		if err := st.nextBlock(); err != nil || st.done {
+			return err
+		}
+	}
+	st.cur = st.blkCoords[st.pos*st.d : (st.pos+1)*st.d]
+	st.curMass = st.blkMasses[st.pos]
+	st.pos++
+	return nil
+}
+
+// nextBlock refills the decode window from the stream's source.
+func (st *runStream) nextBlock() error {
+	st.pos, st.count = 0, 0
+	if st.p != nil {
+		if st.next >= st.p.blocks() {
 			st.done = true
 			return nil
 		}
-		st.cur = st.g.CellCoords(st.pos)
-		st.curMass = st.g.Vals[st.pos]
-		st.pos++
+		st.count = st.p.decodeBlockInto(st.next, st.blkCoords, st.blkMasses)
+		st.next++
 		return nil
 	}
 	if st.remaining == 0 {
 		st.done = true
 		return nil
 	}
-	for j := 0; j < st.d; j++ {
-		dv, err := binary.ReadVarint(st.br)
-		if err != nil {
-			return fmt.Errorf("grid: external sort merge: decoding spill: %w", err)
-		}
-		st.cur[j] = uint16(int64(st.cur[j]) + dv)
-	}
-	u, err := binary.ReadUvarint(st.br)
+	plen, err := binary.ReadUvarint(st.br)
 	if err != nil {
-		return fmt.Errorf("grid: external sort merge: decoding spill: %w", err)
+		return fmt.Errorf("grid: external sort merge: %w: block length: %v", ErrCorruptSpillRun, err)
 	}
-	if u == massEscape {
-		var raw [8]byte
-		if _, err := readFull(st.br, raw[:]); err != nil {
-			return fmt.Errorf("grid: external sort merge: decoding spill: %w", err)
-		}
-		st.curMass = math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
-	} else {
-		st.curMass = float64(u >> 1)
+	if plen == 0 || plen > uint64(maxPackedPayload(st.d)) {
+		return fmt.Errorf("grid: external sort merge: %w: block length %d out of range", ErrCorruptSpillRun, plen)
 	}
-	st.remaining--
+	if cap(st.payload) < int(plen) {
+		st.payload = make([]byte, plen)
+	}
+	st.payload = st.payload[:plen]
+	if _, err := readFull(st.br, st.payload); err != nil {
+		return fmt.Errorf("grid: external sort merge: %w: truncated block: %v", ErrCorruptSpillRun, err)
+	}
+	count, err := decodePackedBlock(st.payload, st.d, st.blkCoords, st.blkMasses)
+	if err != nil {
+		return fmt.Errorf("grid: external sort merge: %w: %v", ErrCorruptSpillRun, err)
+	}
+	if count > st.remaining {
+		return fmt.Errorf("grid: external sort merge: %w: block of %d cells exceeds remaining %d", ErrCorruptSpillRun, count, st.remaining)
+	}
+	st.remaining -= count
+	st.count = count
 	return nil
 }
 

@@ -2,6 +2,8 @@ package grid
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -88,6 +90,20 @@ func TestQuantizeDatasetExternalEquivalence(t *testing.T) {
 					chunk, spill, workers, i, ids[i], wantIDs[i])
 			}
 		}
+		// The packed-output variant of the same external sort must agree
+		// bit for bit after unpacking.
+		pg, pids, err := q.QuantizeDatasetExternalPackedCtx(context.Background(), ds, workers,
+			ExtSortOptions{ChunkPoints: chunk, SpillBytes: spill, TempDir: tmp})
+		if err != nil {
+			t.Fatalf("packed chunk=%d spill=%d workers=%d: %v", chunk, spill, workers, err)
+		}
+		sameGrid(t, wantGrid, pg.Unpack(), "packed grid")
+		for i := range wantIDs {
+			if pids[i] != wantIDs[i] {
+				t.Fatalf("packed chunk=%d spill=%d workers=%d: ids[%d] = %d, want %d",
+					chunk, spill, workers, i, pids[i], wantIDs[i])
+			}
+		}
 		// Spill hygiene: every temp file and the spill dir itself must be
 		// gone after the call.
 		entries, err := os.ReadDir(tmp)
@@ -126,15 +142,15 @@ func TestQuantizeDatasetExternalCancel(t *testing.T) {
 }
 
 // TestSpillRunRoundTrip round-trips the packed run encoding directly,
-// including a mass that needs the float escape.
+// including masses that need the raw-float64 block mode.
 func TestSpillRunRoundTrip(t *testing.T) {
 	g := NewFlat([]int{16, 16}, 4)
 	g.Append([]uint16{0, 3}, 1)
 	g.Append([]uint16{2, 1}, 7)
-	g.Append([]uint16{2, 2}, 0.5)     // non-integral → escape
-	g.Append([]uint16{15, 15}, 1<<33) // too big for uint32 → escape
+	g.Append([]uint16{2, 2}, 0.5)     // non-integral → float mass mode
+	g.Append([]uint16{15, 15}, 1<<33) // too big for uint32 → float mass mode
 	path := t.TempDir() + "/run.spill"
-	if err := writeSpillRun(path, g); err != nil {
+	if err := writeSpillRun(path, PackFlat(g)); err != nil {
 		t.Fatal(err)
 	}
 	st, err := openRunStream(&extRun{path: path, cells: g.Len()}, 2)
@@ -159,4 +175,67 @@ func TestSpillRunRoundTrip(t *testing.T) {
 	if !st.done {
 		t.Fatal("stream not exhausted after last cell")
 	}
+}
+
+// drainSpillRun opens path as a spill run of declared cells and streams it
+// to the end, returning the first error.
+func drainSpillRun(path string, cells, d int) error {
+	st, err := openRunStream(&extRun{path: path, cells: cells}, d)
+	if err != nil {
+		return err
+	}
+	defer st.close()
+	for !st.done {
+		if err := st.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FuzzReadSpillRun feeds arbitrary bytes to the spill-run reader: any
+// input must either stream to completion or fail with an error wrapping
+// ErrCorruptSpillRun — never panic, and never allocate beyond the fixed
+// per-block decode buffers (the t.TempDir file is the only unbounded
+// input, and it is the fuzzer's own).
+func FuzzReadSpillRun(f *testing.F) {
+	// Seed with valid runs (integer and float masses, multiple blocks) and
+	// a few adversarial prefixes.
+	big := NewFlat([]int{64, 64}, 0)
+	for x := 0; x < 64; x++ {
+		for y := 0; y < 64; y++ {
+			big.Append([]uint16{uint16(x), uint16(y)}, float64(1+(x+y)%7))
+		}
+	}
+	small := NewFlat([]int{16, 16}, 2)
+	small.Append([]uint16{1, 2}, 0.25)
+	small.Append([]uint16{3, 4}, 1<<40)
+	dir := f.TempDir()
+	for i, g := range []*FlatGrid{big, small} {
+		path := fmt.Sprintf("%s/seed-%d.spill", dir, i)
+		if err := writeSpillRun(path, PackFlat(g)); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw, g.Len())
+	}
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 12)
+	f.Add([]byte{4, 200, 1}, 4)
+
+	f.Fuzz(func(t *testing.T, data []byte, cells int) {
+		if cells < 0 || cells > 1<<20 {
+			cells = 1 << 20
+		}
+		path := t.TempDir() + "/fuzz.spill"
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := drainSpillRun(path, cells, 2); err != nil && !errors.Is(err, ErrCorruptSpillRun) {
+			t.Fatalf("spill decode error not typed as ErrCorruptSpillRun: %v", err)
+		}
+	})
 }

@@ -9,15 +9,26 @@ import (
 	"math"
 )
 
-// Grid snapshots: a FlatGrid serializes to a compact little-endian binary
+// Grid snapshots: a grid serializes to a compact little-endian binary
 // stream so a long-lived session can checkpoint its live base grid (and a
 // restarted process can warm-start from it) without replaying every point.
 // The format is versioned by a 4-byte magic; all integers are little-endian.
+// ReadSnapshot restores either version:
 //
 //	"AWG1" | dim uint32 | size[dim] uint32 | cells uint64
 //	     | coords[cells*dim] uint16 | vals[cells] float64
+//
+//	"AWG2" | dim uint32 | size[dim] uint32 | cells uint64
+//	     | per block: payloadLen uint32, then the packed block payload
+//	       (see packed.go for the block layout)
+//
+// AWG1 is what FlatGrid.WriteSnapshot emits; AWG2 is the block-compressed
+// encoding PackedGrid.WriteSnapshot emits — the payload bytes are the
+// in-memory blocks verbatim, so checkpointing a packed session grid is a
+// copy, and the snapshot shrinks by the same ~3–5× as the resident grid.
 
 var snapshotMagic = [4]byte{'A', 'W', 'G', '1'}
+var snapshotMagic2 = [4]byte{'A', 'W', 'G', '2'}
 
 // ErrUnserializableGrid is returned by WriteSnapshot for a grid holding a
 // non-finite cell mass: such a grid is corrupt, and no byte stream restored
@@ -105,7 +116,7 @@ func ReadSnapshot(r io.Reader) (*FlatGrid, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("grid: read snapshot magic: %w", err)
 	}
-	if magic != snapshotMagic {
+	if magic != snapshotMagic && magic != snapshotMagic2 {
 		return nil, fmt.Errorf("grid: bad snapshot magic %q", magic[:])
 	}
 	var d32 uint32
@@ -142,6 +153,9 @@ func ReadSnapshot(r io.Reader) (*FlatGrid, error) {
 	}
 	if cells > max {
 		return nil, fmt.Errorf("grid: snapshot cell count %d exceeds grid volume", cells)
+	}
+	if magic == snapshotMagic2 {
+		return readSnapshotV2Body(br, size, cells)
 	}
 	// Read each section in bounded chunks, growing the buffer with the
 	// data actually present: a corrupt header declaring a huge cell count
@@ -204,6 +218,115 @@ func ReadSnapshot(r io.Reader) (*FlatGrid, error) {
 		if i > 0 && cmpCoords(f.CellCoords(i-1), f.CellCoords(i)) >= 0 {
 			return nil, fmt.Errorf("grid: snapshot cells %d and %d out of canonical order", i-1, i)
 		}
+	}
+	return f, nil
+}
+
+// WriteSnapshot serializes the packed grid to w in the AWG2 snapshot
+// format: the block payloads are written verbatim behind a length prefix.
+// As with FlatGrid.WriteSnapshot, tombstone cells are swept on write (via
+// Compact, so the remaining blocks stay dense) and a non-finite mass is
+// reported as ErrUnserializableGrid.
+func (p *PackedGrid) WriteSnapshot(w io.Writer) error {
+	g := p
+	if p.tombs > 0 {
+		g, _ = p.Compact()
+	}
+	for c := g.Cursor(); c.Next(); {
+		if v := c.Mass(); math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("grid: write snapshot: cell mass %v: %w", v, ErrUnserializableGrid)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic2[:]); err != nil {
+		return fmt.Errorf("grid: write snapshot: %w", err)
+	}
+	d := g.Dim()
+	hdr := make([]uint32, 0, 1+d)
+	hdr = append(hdr, uint32(d))
+	for _, s := range g.Size {
+		hdr = append(hdr, uint32(s))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("grid: write snapshot header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.Len())); err != nil {
+		return fmt.Errorf("grid: write snapshot header: %w", err)
+	}
+	for b := 0; b < g.blocks(); b++ {
+		pl := g.payload(b)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(pl))); err != nil {
+			return fmt.Errorf("grid: write snapshot block: %w", err)
+		}
+		if _, err := bw.Write(pl); err != nil {
+			return fmt.Errorf("grid: write snapshot block: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("grid: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshotV2Body restores the block-encoded body of an AWG2 snapshot,
+// whose header ReadSnapshot has already read and validated. Decoding is
+// bounded block by block — a corrupt header or length prefix fails before
+// any allocation beyond one block's buffers — and the restored cells pass
+// exactly the AWG1 validation: coordinates inside the recorded sizes,
+// strictly positive finite masses, strict canonical order.
+func readSnapshotV2Body(br *bufio.Reader, size []int, cells uint64) (*FlatGrid, error) {
+	d := len(size)
+	initial := uint64(1 << 16)
+	if cells < initial {
+		initial = cells
+	}
+	f := NewFlat(size, int(initial))
+	buf := uint64(packedBlockCells)
+	if cells < buf {
+		buf = cells
+	}
+	blkCoords := make([]uint16, buf*uint64(d))
+	blkMasses := make([]float64, buf)
+	payload := make([]byte, 0, 64)
+	for remaining := cells; remaining > 0; {
+		var plen uint32
+		if err := binary.Read(br, binary.LittleEndian, &plen); err != nil {
+			return nil, fmt.Errorf("grid: read snapshot block length: %w", err)
+		}
+		if plen == 0 || int(plen) > maxPackedPayload(d) {
+			return nil, fmt.Errorf("grid: snapshot block length %d out of range", plen)
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("grid: read snapshot block: %w", err)
+		}
+		count, err := decodePackedBlock(payload, d, blkCoords, blkMasses)
+		if err != nil {
+			return nil, fmt.Errorf("grid: read snapshot block: %w", err)
+		}
+		if uint64(count) > remaining {
+			return nil, fmt.Errorf("grid: snapshot block of %d cells exceeds declared count", count)
+		}
+		for i := 0; i < count; i++ {
+			cc := blkCoords[i*d : (i+1)*d]
+			for j, c := range cc {
+				if int(c) >= size[j] {
+					return nil, fmt.Errorf("grid: snapshot cell %d coordinate %d out of range in dimension %d", f.Len(), c, j)
+				}
+			}
+			v := blkMasses[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return nil, fmt.Errorf("grid: snapshot cell %d has non-positive or non-finite mass %v", f.Len(), v)
+			}
+			if m := f.Len(); m > 0 && cmpCoords(f.CellCoords(m-1), cc) >= 0 {
+				return nil, fmt.Errorf("grid: snapshot cells %d and %d out of canonical order", m-1, m)
+			}
+			f.Append(cc, v)
+		}
+		remaining -= uint64(count)
 	}
 	return f, nil
 }

@@ -102,6 +102,17 @@ func WithMinClusterMass(frac float64) Option {
 	return func(s *settings) { s.cfg.MinClusterMass = frac }
 }
 
+// WithPackedCells selects the grid representation for grids that stay
+// resident — a streaming session's live base grid and the out-of-core
+// path's merged output. true (the default) stores them block-compressed
+// (delta-coded bit-packed coordinates, bit-packed integer masses), cutting
+// bytes per occupied cell several-fold; false keeps the flat
+// struct-of-arrays layout. Labels are bit-identical either way, and
+// checkpoints restore across either setting.
+func WithPackedCells(on bool) Option {
+	return func(s *settings) { s.cfg.PackedCells = on }
+}
+
 // New constructs a Clusterer from functional options layered over
 // DefaultConfig — the context-first v1 construction path:
 //

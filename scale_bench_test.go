@@ -113,10 +113,12 @@ func runExternalScale(b *testing.B, path string, opts core.ExternalOptions) {
 		if res.NumClusters < 1 {
 			b.Fatalf("no clusters found at scale n=%d", m.N())
 		}
-		if growth := int64(peak) - int64(base.HeapAlloc); growth > opts.MaxResidentBytes {
+		growth := int64(peak) - int64(base.HeapAlloc)
+		if growth > opts.MaxResidentBytes {
 			b.Fatalf("peak heap growth %d MiB exceeds the %d MiB resident budget",
 				growth>>20, opts.MaxResidentBytes>>20)
 		}
+		b.ReportMetric(float64(growth)/(1<<20), "peakMiB")
 		b.ReportMetric(float64(res.NumClusters), "clusters")
 	}
 	b.StopTimer()
@@ -124,15 +126,19 @@ func runExternalScale(b *testing.B, path string, opts core.ExternalOptions) {
 }
 
 // BenchmarkExternal10M is the scale-axis gate: 10 million 2-D points
-// clustered out-of-core under a 384 MiB resident budget, with chunking and
+// clustered out-of-core under a 256 MiB resident budget, with chunking and
 // spill thresholds forced small enough that the run exercises multiple
-// chunks and on-disk sorted runs (not one lucky in-RAM pass).
+// chunks and on-disk sorted runs (not one lucky in-RAM pass). The budget
+// was 384 MiB before the block-compressed grid representation; the
+// observed peak is ~160 MiB (the 120 MiB per-point outputs dominate), so
+// 256 MiB gates real working-set regressions while leaving GC-slack
+// headroom.
 func BenchmarkExternal10M(b *testing.B) {
 	path := filepath.Join(os.TempDir(), "adawave-bench-10m.awds")
 	buildMappedMixture(b, path, 10_000_000, 2)
 	b.Cleanup(func() { os.Remove(path) })
 	runExternalScale(b, path, core.ExternalOptions{
-		MaxResidentBytes: 384 << 20,
+		MaxResidentBytes: 256 << 20,
 		ChunkPoints:      2_000_000,
 		SpillBytes:       8 << 20,
 	})
