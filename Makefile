@@ -14,13 +14,13 @@ GO ?= go
 # governance workloads (DRR scheduler fairness solo vs contended, the
 # 50k-point session evict→rehydrate round trip).
 # BENCHTIME is overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k|GridFootprint
+BENCH_PERF = Fig2RunningExample|EmbedFig2|EmbedHighDim|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k|GridFootprint
 BENCHTIME ?= 100x
 
 # The committed perf-trajectory snapshot this PR writes (BENCH_$(BENCH_N).json)
 # and the previous one benchcheck gates against. Bump BENCH_N once per PR
 # that refreshes the snapshot instead of editing each filename below.
-BENCH_N ?= 8
+BENCH_N ?= 9
 BENCH_PREV = $(shell expr $(BENCH_N) - 1)
 
 .PHONY: build test race bench bench-json bench-scale profile fmt-check vet ci

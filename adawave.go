@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"adawave/internal/core"
+	"adawave/internal/embed"
 	"adawave/internal/wavelet"
 )
 
@@ -37,6 +38,33 @@ type (
 // Basis is a wavelet filter bank in density-preserving (DC gain 1)
 // normalization.
 type Basis = wavelet.Basis
+
+// Embedding specifies the optional dimensionality-reduction front-end that
+// runs as the pipeline's first stage: raw rows are projected to K dimensions
+// and everything downstream — grid, transform, threshold, components,
+// assignment — operates in the projected space. The zero value disables the
+// stage. Construct with PCA or RandomProjection and install with
+// WithEmbedding; the same clusterer then clusters, streams and checkpoints
+// in the embedded space (a streaming session fits the embedding once, on its
+// first appended batch, and never refits).
+type Embedding = embed.Spec
+
+// PCA returns an Embedding that projects rows onto their top k principal
+// components, fitted deterministically on (a stride sample of) the data.
+// Best when the data concentrates near a k-dimensional linear subspace and
+// the fit may adapt to the data.
+func PCA(k int) Embedding {
+	return Embedding{Kind: embed.KindPCA, K: k}
+}
+
+// RandomProjection returns an Embedding that projects rows through a seeded
+// sparse random matrix (Achlioptas ±√(3/k) entries) down to k dimensions.
+// Data-independent: the matrix depends only on (k, seed, input dimension),
+// so distances are preserved in the Johnson–Lindenstrauss sense and results
+// are reproducible across datasets sharing a shape.
+func RandomProjection(k int, seed int64) Embedding {
+	return Embedding{Kind: embed.KindRP, K: k, Seed: seed}
+}
 
 // DefaultConfig returns the paper's default parameters: scale 128,
 // CDF(2,2) basis, one decomposition level, face connectivity, and the

@@ -21,6 +21,7 @@ import (
 	"adawave/internal/baselines/wavecluster"
 	"adawave/internal/core"
 	"adawave/internal/datasets"
+	"adawave/internal/embed"
 	"adawave/internal/grid"
 	"adawave/internal/metrics"
 	"adawave/internal/persist"
@@ -1042,6 +1043,70 @@ func BenchmarkGridFootprint(b *testing.B) {
 				b.Fatalf("packed grid %d B for %d cells (%.1f B/cell) misses the 2x floor against flat %.1f B/cell",
 					pg.Bytes(), g.Len(), packedBytes/cells, flatBytes/cells)
 			}
+		})
+	}
+}
+
+// BenchmarkEmbedFig2 times the embedding front-end where it can't help: the
+// Fig. 2 running example is already 2-d, so PCA(2) buys nothing and its
+// whole cost — covariance, the Jacobi solve, the projection pass — is
+// front-end overhead over the raw pipeline. The pair bounds the price of
+// leaving WithEmbedding on for low-dimensional data.
+func BenchmarkEmbedFig2(b *testing.B) {
+	ds := synth.RunningExampleSized(800, 1)
+	for _, bc := range []struct {
+		name string
+		spec embed.Spec
+	}{
+		{"raw", embed.Spec{}},
+		{"pca", embed.Spec{Kind: embed.KindPCA, K: 2}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Embedding = bc.spec
+			var ami float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMINonNoise(ds.Labels, res.Labels, synth.NoiseLabel)
+			}
+			b.ReportMetric(ami, "AMI")
+		})
+	}
+}
+
+// BenchmarkEmbedHighDim times the front-end on its real workload — the d=64
+// noisy-mixture scenario projected to its rank-4 signal subspace. PCA pays a
+// 64×64 covariance accumulation plus the Jacobi solve per fit; the seeded
+// random projection fits in O(d·k) draws, so the pair separates fit cost
+// from the shared projection + clustering cost.
+func BenchmarkEmbedHighDim(b *testing.B) {
+	ds := synth.HighDimMixture(5, 250, 64, 4, 0.2, 1)
+	for _, bc := range []struct {
+		name  string
+		spec  embed.Spec
+		scale int
+	}{
+		{"pca", embed.Spec{Kind: embed.KindPCA, K: 4}, 12},
+		{"rp", embed.Spec{Kind: embed.KindRP, K: 4, Seed: 2}, 16},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Embedding = bc.spec
+			cfg.Scale = bc.scale
+			var ami float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Cluster(ds.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ami = metrics.AMI(ds.Labels, res.Labels)
+			}
+			b.ReportMetric(ami, "AMI")
 		})
 	}
 }

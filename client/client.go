@@ -111,7 +111,12 @@ func (e *APIError) Is(target error) bool {
 	case adawave.ErrNoPoints:
 		return e.Code == api.CodeNoPoints
 	case adawave.ErrConfigMismatch:
-		return e.Code == api.CodeConfigMismatch
+		// embedding_mismatch refines config_mismatch on the wire exactly as
+		// ErrEmbeddingMismatch wraps ErrConfigMismatch in Go, so the broad
+		// sentinel matches both codes.
+		return e.Code == api.CodeConfigMismatch || e.Code == api.CodeEmbeddingMismatch
+	case adawave.ErrEmbeddingMismatch:
+		return e.Code == api.CodeEmbeddingMismatch
 	case adawave.ErrCanceled:
 		return e.Code == api.CodeCanceled
 	case adawave.ErrDeadlineExceeded:

@@ -430,7 +430,22 @@ func configFromAPI(sc *api.SessionConfig) (adawave.Config, error) {
 	if sc.MinClusterMass != nil {
 		cfg.MinClusterMass = *sc.MinClusterMass
 	}
+	if sc.Embedding != nil {
+		cfg.Embedding = adawave.Embedding{Kind: sc.Embedding.Kind, K: sc.Embedding.K, Seed: sc.Embedding.Seed}
+		if err := cfg.Embedding.Validate(); err != nil {
+			return cfg, err
+		}
+	}
 	return cfg, nil
+}
+
+// embeddingDTO renders a config's embedding spec for the wire; nil when the
+// session runs without one.
+func embeddingDTO(e adawave.Embedding) *api.EmbeddingSpec {
+	if !e.Enabled() {
+		return nil
+	}
+	return &api.EmbeddingSpec{Kind: e.Kind, K: e.K, Seed: e.Seed}
 }
 
 func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
@@ -518,6 +533,7 @@ func (s *server) sessionDetail(w http.ResponseWriter, r *http.Request) {
 	detail := api.SessionDetail{
 		ID: ss.id, Points: sess.Len(), Dim: sess.Dim(),
 		Tenant: ss.tenant, Resident: true, ResidentBytes: sess.ResidentBytes(),
+		Embedding: embeddingDTO(sess.Config().Embedding),
 	}
 	if detail.Points > 0 {
 		cells, err := sess.CellsContext(r.Context())

@@ -14,6 +14,7 @@ import (
 
 	"adawave"
 	"adawave/internal/core"
+	"adawave/internal/embed"
 	"adawave/internal/grid"
 	"adawave/internal/persist"
 	"adawave/internal/pointset"
@@ -147,6 +148,13 @@ func configFromMeta(m persist.ConfigMeta) (adawave.Config, error) {
 	cfg.CoeffEpsilon = m.CoeffEpsilon
 	cfg.MinClusterCells = m.MinClusterCells
 	cfg.MinClusterMass = m.MinClusterMass
+	if m.Embedding != "" {
+		sp, err := embed.ParseSpec(m.Embedding)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Embedding = sp
+	}
 	if got := core.ConfigFingerprint(cfg); got != m {
 		return cfg, fmt.Errorf("config fingerprint does not round-trip (stored %+v, rebuilt %+v)", m, got)
 	}

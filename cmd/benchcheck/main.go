@@ -9,7 +9,9 @@
 // and (when the snapshot was taken with -benchmem) B/op and allocs/op — a
 // memory cliff is as much a regression as a time cliff. A unit with a zero
 // baseline is skipped (nothing meaningful to ratio against), as is a unit
-// absent from either snapshot.
+// absent from either snapshot. Every compared series prints one line — OK
+// with the percentage delta, or REGRESSION with the ratio — so a passing run
+// doubles as the review summary for a committed snapshot.
 //
 // Only benchmarks present in both snapshots are gated; benchmarks new in the
 // current snapshot (no baseline yet) and ones retired from it are listed
@@ -162,11 +164,17 @@ func main() {
 				continue
 			}
 			compared++
-			if ratio := newV / oldV; ratio > *factor {
+			ratio := newV / oldV
+			if ratio > *factor {
 				failed++
 				fmt.Printf("REGRESSION %-60s %12.0f → %12.0f %-9s (%.2fx > %.2gx)\n",
 					name, oldV, newV, unit, ratio, *factor)
+				continue
 			}
+			// One line per passing series too, so the snapshot diff in review
+			// reads as a delta table instead of silence-until-failure.
+			fmt.Printf("OK         %-60s %12.0f → %12.0f %-9s (%+.1f%%)\n",
+				name, oldV, newV, unit, (ratio-1)*100)
 		}
 	}
 	fmt.Printf("benchcheck: %d benchmarks, %d unit series compared, %d regressed beyond %.2gx\n",

@@ -10,6 +10,8 @@
 //	synthgen -dataset roadmap -n 40000 -out roadmap.csv
 //	synthgen -dataset glass -out glass.csv        (any Table I stand-in name)
 //	synthgen -dataset blobs -k 4 -per 500 -dim 3 -out blobs.csv
+//	synthgen -dataset highd -k 5 -per 250 -dim 64 -rank 4 -noise 0.2 -out highd64.csv
+//	synthgen -dataset imageseg -size 48 -out image_seg.csv
 //
 //	// 10M-point 2-D mixture streamed straight to a mapped file, O(1) memory:
 //	synthgen -format mapped -n 10000000 -dim 2 -k 6 -noise 0.3 -seed 1 -out pts.awds
@@ -34,7 +36,9 @@ func main() {
 		per     = flag.Int("per", 5600, "points per cluster (evaluation, blobs)")
 		n       = flag.Int("n", 0, "total points: roadmap size (csv) or dataset size (mapped)")
 		k       = flag.Int("k", 4, "cluster count (blobs, mapped)")
-		dim     = flag.Int("dim", 2, "dimensionality (blobs, mapped)")
+		dim     = flag.Int("dim", 2, "dimensionality (blobs, highd, mapped)")
+		rank    = flag.Int("rank", 4, "signal-subspace dimensionality for -dataset highd")
+		size    = flag.Int("size", 48, "image side length for -dataset imageseg")
 		std     = flag.Float64("std", 0.02, "cluster spread for -dataset blobs")
 		seed    = flag.Int64("seed", 1, "random seed")
 	)
@@ -73,6 +77,10 @@ func main() {
 		ds = adawave.RoadmapData(*n, *seed)
 	case "blobs":
 		ds = adawave.Blobs(*k, *per, *dim, *std, *seed)
+	case "highd":
+		ds = adawave.HighDimMixture(*k, *per, *dim, *rank, *noise, *seed)
+	case "imageseg":
+		ds = adawave.ImageSegmentation(*size, *seed)
 	default:
 		var err error
 		ds, err = adawave.StandIn(*dataset, *seed)

@@ -49,3 +49,22 @@ func RunningExample(seed int64) *LabeledDataset { return synth.RunningExample(se
 func Blobs(k, perCluster, dim int, std float64, seed int64) *LabeledDataset {
 	return synth.Blobs(k, perCluster, dim, std, seed)
 }
+
+// HighDimMixture generates k Gaussian clusters on a random rank-dimensional
+// linear subspace of a dim-dimensional ambient space, with subspace-uniform
+// background noise (fraction gamma) and small isotropic ambient noise — the
+// embedding front-end's benchmark workload: hopeless for direct grid
+// clustering at dim = 64, easy after WithEmbedding(PCA(rank)).
+func HighDimMixture(k, perCluster, dim, rank int, gamma float64, seed int64) *LabeledDataset {
+	return synth.HighDimMixture(k, perCluster, dim, rank, gamma, seed)
+}
+
+// ImageSegmentation renders a size×size synthetic grayscale image of four
+// intensity regions and returns one wavelet-style feature row per pixel
+// (intensity, two window means, Haar-style details, weakly scaled
+// coordinates), labeled by ground-truth region — pixel clustering as in
+// Chen & Frey (arXiv 1907.03591). Cluster the rows under
+// WithEmbedding(PCA(2)) to segment the image.
+func ImageSegmentation(size int, seed int64) *LabeledDataset {
+	return synth.ImageSegmentation(size, seed)
+}

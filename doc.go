@@ -12,6 +12,17 @@
 // Algorithm 4), labels connected components of the surviving cells, and
 // maps every input point back through a lookup table.
 //
+// Every engine runs the same ordered list of composable stages:
+//
+//	embed? ──▶ quantize ──▶ transform ──▶ threshold ──▶ connect ──▶ assign
+//
+// embed (optional) projects rows through a fitted linear embedding,
+// quantize turns rows into the sparse grid, transform smooths cell masses
+// with the wavelet, threshold picks the adaptive elbow cut, connect labels
+// cell components, and assign maps points back to labels. All stages after
+// embed are oblivious to whether the rows they consume are raw or
+// projected — see the Embeddings section.
+//
 // The algorithm is deterministic, runs in O(n·d + m log m) for n points
 // and m occupied cells, is insensitive to input order and to cluster
 // shape, and needs no parameter tuning for typical workloads:
@@ -47,12 +58,40 @@
 // New builds a Clusterer from functional options layered over
 // DefaultConfig: WithWorkers, WithBasis, WithScale, WithLevels,
 // WithThreshold, WithConnectivity, WithCoeffEpsilon, WithMinClusterCells,
-// WithMinClusterMass, WithPackedCells, and WithConfig for callers holding an explicit
-// Config. Zero options reproduce the paper's parameter-free defaults. The
+// WithMinClusterMass, WithPackedCells, WithEmbedding, and WithConfig for
+// callers holding an explicit Config. Zero options reproduce the paper's parameter-free defaults. The
 // same option set configures streaming sessions through
 // Clusterer.NewSession and Clusterer.RestoreSession, which share the
 // clusterer's engine and pooled buffers. NewClusterer(cfg, workers)
 // remains as the explicit-Config constructor.
+//
+// # Embeddings
+//
+// WithEmbedding prepends the embed stage: rows are projected into k
+// dimensions by a fitted linear embedder before quantization, and every
+// later stage — grid, transform, threshold, assignment, streaming, the
+// out-of-core path — runs in the projected space unchanged. Two embedders
+// are built in. PCA(k) fits principal components over the package's Jacobi
+// eigensolver: deterministic, data-aware, the right default when the
+// signal lives on a low-dimensional subspace (cluster the d=64
+// HighDimMixture under PCA(4), or an ImageSegmentation feature table under
+// PCA(2)). RandomProjection(k, seed) draws a seeded sparse Achlioptas
+// matrix: data-independent and O(d·k) to fit, at the price of
+// Johnson–Lindenstrauss distortion — prefer it when fitting must not look
+// at the data (streams whose first batch is unrepresentative) or d is too
+// large to covary. Clustering with an embedding is bit-identical to
+// fitting the same embedder yourself, projecting the rows, and clustering
+// the projection without one.
+//
+// A streaming Session fits its embedder exactly once, on the first
+// appended batch, and never refits — so labels stay comparable across the
+// session's lifetime and a session replayed from its durability log
+// refits identically. Checkpoints carry the fitted parameters: restore
+// rehydrates the projection without refitting, and restoring under a
+// different embedding spec fails with ErrEmbeddingMismatch (a refinement
+// of ErrConfigMismatch). Over HTTP, the /v1 session-create body takes an
+// optional embedding spec, echoed back in the session detail and guarded
+// by the embedding_mismatch wire code.
 //
 // # Context semantics
 //

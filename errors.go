@@ -27,6 +27,11 @@ import (
 //	errors.Is(err, adawave.ErrConfigMismatch)    a checkpoint restored under a
 //	                                             configuration other than the
 //	                                             one it was written with
+//	errors.Is(err, adawave.ErrEmbeddingMismatch) the embedding-specific
+//	                                             refinement: checkpoint and
+//	                                             engine disagree on the
+//	                                             embedding spec (it also
+//	                                             matches ErrConfigMismatch)
 //	errors.Is(err, adawave.ErrCanceled)          the caller's context was
 //	                                             canceled mid-pipeline; the
 //	                                             engine unwound cleanly and the
@@ -53,6 +58,11 @@ var (
 	// ErrConfigMismatch reports a session checkpoint restored under a
 	// differing configuration fingerprint.
 	ErrConfigMismatch = persist.ErrConfigMismatch
+	// ErrEmbeddingMismatch reports the embedding-specific fingerprint
+	// disagreement: the checkpoint was taken under one embedding spec and
+	// restored under another (or one side has no embedding at all). It wraps
+	// ErrConfigMismatch, so code matching the broad root keeps working.
+	ErrEmbeddingMismatch = persist.ErrEmbeddingMismatch
 	// ErrCanceled tags computation abandoned because the context was
 	// canceled.
 	ErrCanceled = grid.ErrCanceled

@@ -26,6 +26,20 @@ type SessionConfig struct {
 	CoeffEpsilon    *float64 `json:"coeffEpsilon,omitempty"`
 	MinClusterCells *int     `json:"minClusterCells,omitempty"`
 	MinClusterMass  *float64 `json:"minClusterMass,omitempty"`
+	// Embedding installs a dimensionality-reduction front-end as the
+	// session pipeline's first stage; omitted = no embedding.
+	Embedding *EmbeddingSpec `json:"embedding,omitempty"`
+}
+
+// EmbeddingSpec is the wire form of an embedding front-end: Kind is "pca" or
+// "rp", K the output dimensionality, Seed the random-projection seed (pca
+// ignores it). The session fits the embedding once, on its first appended
+// batch, and checkpoints the fitted parameters; restoring the session under
+// a different spec fails with embedding_mismatch.
+type EmbeddingSpec struct {
+	Kind string `json:"kind"`
+	K    int    `json:"k"`
+	Seed int64  `json:"seed,omitempty"`
 }
 
 // CreateSessionResponse answers POST /v1/sessions. Tenant is the tenant the
@@ -71,6 +85,9 @@ type SessionDetail struct {
 	Tenant        string `json:"tenant,omitempty"`
 	Resident      bool   `json:"resident"`
 	ResidentBytes int64  `json:"residentBytes"`
+	// Embedding echoes the session's embedding front-end; omitted when the
+	// session runs without one.
+	Embedding *EmbeddingSpec `json:"embedding,omitempty"`
 }
 
 // AppendRequest is the JSON body of POST /v1/sessions/{id}/points (the

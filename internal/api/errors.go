@@ -30,6 +30,11 @@ const (
 	// CodeConfigMismatch: a checkpoint or restore under a configuration
 	// other than the one the state was written with.
 	CodeConfigMismatch = "config_mismatch"
+	// CodeEmbeddingMismatch: the embedding-specific refinement of
+	// config_mismatch — checkpoint and engine disagree on the embedding
+	// spec. Classified before the broad code because the Go error wraps
+	// ErrConfigMismatch.
+	CodeEmbeddingMismatch = "embedding_mismatch"
 	// CodeCanceled: the client went away and the in-flight pipeline was
 	// aborted; nothing was computed or mutated.
 	CodeCanceled = "canceled"
@@ -80,6 +85,7 @@ type ErrorResponse struct {
 // error code of the v1 contract:
 //
 //	ErrNoPoints                 → 409 no_points
+//	ErrEmbeddingMismatch        → 409 embedding_mismatch
 //	ErrConfigMismatch           → 409 config_mismatch
 //	ErrInvalidInput             → 422 invalid_input
 //	ErrCanceled                 → 499 canceled      (client abort, not a 5xx)
@@ -95,6 +101,10 @@ func Classify(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, adawave.ErrNoPoints):
 		return http.StatusConflict, CodeNoPoints
+	// ErrEmbeddingMismatch wraps ErrConfigMismatch, so the refinement must
+	// be checked first or it would classify as the broad code.
+	case errors.Is(err, adawave.ErrEmbeddingMismatch):
+		return http.StatusConflict, CodeEmbeddingMismatch
 	case errors.Is(err, adawave.ErrConfigMismatch):
 		return http.StatusConflict, CodeConfigMismatch
 	case errors.Is(err, adawave.ErrInvalidInput):

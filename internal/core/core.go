@@ -13,7 +13,9 @@ import (
 	"math"
 	"sort"
 
+	"adawave/internal/embed"
 	"adawave/internal/grid"
+	"adawave/internal/pointset"
 	"adawave/internal/wavelet"
 )
 
@@ -67,6 +69,16 @@ type Config struct {
 	// representation never affects results, so checkpoints restore across
 	// either setting. DefaultConfig enables it.
 	PackedCells bool
+	// Embedding, when enabled, prepends a fitted linear projection to the
+	// pipeline: rows are embedded into Embedding.K dimensions (PCA over
+	// the Jacobi eigensolver, or a seeded sparse random projection) before
+	// quantization, and every later stage — grid, transform, threshold,
+	// assignment, the external path — consumes the projected rows
+	// unchanged. The zero Spec disables it (the paper's raw-space
+	// pipeline). One-shot runs fit the embedder on the input itself; a
+	// streaming Session fits once on its first appended batch and never
+	// refits, and checkpoints carry the fitted parameters.
+	Embedding embed.Spec
 }
 
 // DefaultConfig returns the paper's default parameters.
@@ -184,6 +196,9 @@ func (c *Config) Validate() error {
 	if c.MinClusterMass < 0 || c.MinClusterMass >= 1 {
 		return fmt.Errorf("core: MinClusterMass must be in [0,1), got %v", c.MinClusterMass)
 	}
+	if err := c.Embedding.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -195,6 +210,27 @@ func Cluster(points [][]float64, cfg Config) (*Result, error) {
 	}
 	if len(points) == 0 {
 		return nil, grid.ErrNoPoints
+	}
+	// Step 0 — embedding, when configured: fit on the input rows and
+	// project them, exactly as the parallel engine's embed stage does, so
+	// the sequential reference stays label-identical to the Engine.
+	if cfg.Embedding.Enabled() {
+		ds, err := pointset.FromSlices(points)
+		if err != nil {
+			return nil, grid.InvalidInput(err)
+		}
+		emb, err := embed.New(cfg.Embedding)
+		if err != nil {
+			return nil, err
+		}
+		if err := emb.Fit(ds); err != nil {
+			return nil, err
+		}
+		pds, err := emb.Transform(ds)
+		if err != nil {
+			return nil, err
+		}
+		points = pds.Rows()
 	}
 	cfg = resolveScale(cfg, points)
 

@@ -8,10 +8,12 @@ import (
 )
 
 // Pipeline stage names, in execution order, as reported to the stage hook:
-// quantize → transform → threshold → connect → assign (plus "fold" when the
-// streaming Session folds pending mutations before a read). Tests use them
-// to target a cancellation at an exact pipeline position.
+// embed (only when an embedding is configured) → quantize → transform →
+// threshold → connect → assign (plus "fold" when the streaming Session
+// folds pending mutations before a read). Tests use them to target a
+// cancellation at an exact pipeline position.
 const (
+	StageEmbed     = "embed"
 	StageQuantize  = "quantize"
 	StageFold      = "fold"
 	StageTransform = "transform"

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"adawave/internal/embed"
+	"adawave/internal/persist"
+	"adawave/internal/pointset"
+	"adawave/internal/synth"
+)
+
+// embedEquivCases are the dataset × spec grid of the embedding equivalence
+// gate: 2-d data under a k=2 projection (PCA is then a rotation) and 8-d
+// blobs compressed to 3.
+func embedEquivCases() []struct {
+	name string
+	ds   *pointset.Dataset
+	spec embed.Spec
+} {
+	return []struct {
+		name string
+		ds   *pointset.Dataset
+		spec embed.Spec
+	}{
+		{"fig2/pca", synth.RunningExampleSized(200, 1).Flat(), embed.Spec{Kind: embed.KindPCA, K: 2}},
+		{"fig2/rp", synth.RunningExampleSized(200, 1).Flat(), embed.Spec{Kind: embed.KindRP, K: 2, Seed: 7}},
+		{"fig7/pca", synth.Evaluation(120, 0.6, 4).Flat(), embed.Spec{Kind: embed.KindPCA, K: 2}},
+		{"blobs8d/pca", synth.Blobs(4, 150, 8, 0.5, 3).Flat(), embed.Spec{Kind: embed.KindPCA, K: 3}},
+		{"blobs8d/rp", synth.Blobs(4, 150, 8, 0.5, 3).Flat(), embed.Spec{Kind: embed.KindRP, K: 3, Seed: 11}},
+	}
+}
+
+// TestEmbeddingMatchesManualProjection is the embedding equivalence gate:
+// clustering raw rows through a configured embedding must reproduce, bit
+// for bit, clustering the manually projected rows without one — the embed
+// stage is a pure front-end, with the packed and flat grid representations
+// agreeing as always.
+func TestEmbeddingMatchesManualProjection(t *testing.T) {
+	for _, tc := range embedEquivCases() {
+		for _, packed := range []bool{false, true} {
+			name := tc.name + "/flat"
+			if packed {
+				name = tc.name + "/packed"
+			}
+			t.Run(name, func(t *testing.T) {
+				base := DefaultConfig()
+				base.Scale = 64
+				base.PackedCells = packed
+
+				emb, err := embed.New(tc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := emb.Fit(tc.ds); err != nil {
+					t.Fatal(err)
+				}
+				pds, err := emb.Transform(tc.ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plain, err := NewEngine(base, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := plain.ClusterDataset(pds)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				cfg := base
+				cfg.Embedding = tc.spec
+				eng, err := NewEngine(cfg, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.ClusterDataset(tc.ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.NumClusters != want.NumClusters || got.Threshold != want.Threshold {
+					t.Fatalf("got %d clusters at %v, want %d at %v", got.NumClusters, got.Threshold, want.NumClusters, want.Threshold)
+				}
+				for i := range want.Labels {
+					if got.Labels[i] != want.Labels[i] {
+						t.Fatalf("label %d: got %d, want %d", i, got.Labels[i], want.Labels[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEmbeddingExternalMatchesInRAM: the out-of-core path under an embedding
+// must still be bit-identical to the in-RAM path — the embed stage charges
+// the projected rows against the budget and hands the same projected dataset
+// to the external sort.
+func TestEmbeddingExternalMatchesInRAM(t *testing.T) {
+	ds := synth.Blobs(4, 200, 8, 0.5, 3).Flat()
+	cfg := DefaultConfig()
+	cfg.Scale = 64
+	cfg.Embedding = embed.Spec{Kind: embed.KindPCA, K: 3}
+	eng, err := NewEngine(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.ClusterDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.ClusterDatasetExternal(t.Context(), ds, ExternalOptions{
+		MaxResidentBytes: 1 << 20, SpillBytes: 1, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters != want.NumClusters {
+		t.Fatalf("clusters: got %d, want %d", got.NumClusters, want.NumClusters)
+	}
+	for i := range want.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("label %d: got %d, want %d", i, got.Labels[i], want.Labels[i])
+		}
+	}
+}
+
+// TestSessionEmbeddingRPMatchesOneShot: with a random projection (whose fit
+// is data-independent), a session built from appends must match the one-shot
+// embedded run bit for bit, through removals too — the streaming
+// equivalence gate lifted into the embedded space.
+func TestSessionEmbeddingRPMatchesOneShot(t *testing.T) {
+	data := synth.Blobs(4, 200, 8, 0.5, 5)
+	ds := data.Flat()
+	cfg := DefaultConfig()
+	cfg.Scale = 64
+	cfg.Embedding = embed.Spec{Kind: embed.KindRP, K: 3, Seed: 13}
+	for _, packed := range []bool{false, true} {
+		name := "flat"
+		if packed {
+			name = "packed"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := cfg
+			c.PackedCells = packed
+			eng, err := NewEngine(c, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := eng.NewSession()
+			for off := 0; off < ds.N; off += 333 {
+				end := off + 333
+				if end > ds.N {
+					end = ds.N
+				}
+				batch := &pointset.Dataset{Data: ds.Data[off*ds.D : end*ds.D], N: end - off, D: ds.D}
+				if err := sess.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := eng.ClusterDataset(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sess.Labels()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Labels {
+				if got[i] != want.Labels[i] {
+					t.Fatalf("label %d: got %d, want %d", i, got[i], want.Labels[i])
+				}
+			}
+
+			// Remove a slice from the middle; survivors must match one-shot.
+			idx := make([]int, 120)
+			for i := range idx {
+				idx[i] = 100 + i
+			}
+			if err := sess.Remove(idx); err != nil {
+				t.Fatal(err)
+			}
+			surv := pointset.New(ds.D, ds.N-len(idx))
+			for i := 0; i < ds.N; i++ {
+				if i >= 100 && i < 220 {
+					continue
+				}
+				surv.AppendRow(ds.Row(i))
+			}
+			wantAfter, err := eng.ClusterDataset(surv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAfter, err := sess.Labels()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantAfter.Labels {
+				if gotAfter[i] != wantAfter.Labels[i] {
+					t.Fatalf("label %d after removal: got %d, want %d", i, gotAfter[i], wantAfter.Labels[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSessionEmbeddingCheckpointRestore: a checkpoint taken from an
+// embedding session restores the fitted projection bit for bit — labels
+// identical before and after, and identical again after both sessions
+// append the same further batch (the restored embedder is the original fit,
+// never a refit). PCA makes this sharp: a refit on different rows would
+// change the projection.
+func TestSessionEmbeddingCheckpointRestore(t *testing.T) {
+	data := synth.Blobs(4, 220, 8, 0.5, 9)
+	ds := data.Flat()
+	cfg := DefaultConfig()
+	cfg.Scale = 64
+	cfg.Embedding = embed.Spec{Kind: embed.KindPCA, K: 3}
+	eng, err := NewEngine(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := eng.NewSession()
+	half := &pointset.Dataset{Data: ds.Data[:(ds.N/2)*ds.D], N: ds.N / 2, D: ds.D}
+	rest := &pointset.Dataset{Data: ds.Data[(ds.N/2)*ds.D:], N: ds.N - ds.N/2, D: ds.D}
+	if err := sess.Append(half); err != nil {
+		t.Fatal(err)
+	}
+	before, err := sess.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := restored.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("label %d after restore: got %d, want %d", i, after[i], before[i])
+		}
+	}
+	for _, s := range []*Session{sess, restored} {
+		if err := s.Append(rest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantFull, err := sess.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFull, err := restored.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantFull {
+		if gotFull[i] != wantFull[i] {
+			t.Fatalf("label %d after post-restore append: got %d, want %d", i, gotFull[i], wantFull[i])
+		}
+	}
+
+	// Restoring under a different embedding spec — or none — is the typed
+	// embedding mismatch, which still matches the broad config mismatch.
+	other := cfg
+	other.Embedding = embed.Spec{Kind: embed.KindRP, K: 3, Seed: 1}
+	otherEng, err := NewEngine(other, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreSession(bytes.NewReader(buf.Bytes()), otherEng); !errors.Is(err, persist.ErrEmbeddingMismatch) {
+		t.Fatalf("restore under different spec: got %v, want ErrEmbeddingMismatch", err)
+	}
+	none := cfg
+	none.Embedding = embed.Spec{}
+	noneEng, err := NewEngine(none, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RestoreSession(bytes.NewReader(buf.Bytes()), noneEng)
+	if !errors.Is(err, persist.ErrEmbeddingMismatch) || !errors.Is(err, persist.ErrConfigMismatch) {
+		t.Fatalf("restore without embedding: got %v, want ErrEmbeddingMismatch wrapping ErrConfigMismatch", err)
+	}
+}
+
+// TestSessionEmbeddingEmptyCheckpoint: removing every point and
+// checkpointing keeps the fitted embedder, so the restored session projects
+// new appends with the original fit instead of refitting.
+func TestSessionEmbeddingEmptyCheckpoint(t *testing.T) {
+	ds := synth.Blobs(3, 100, 6, 0.5, 2).Flat()
+	cfg := DefaultConfig()
+	cfg.Scale = 32
+	cfg.Embedding = embed.Spec{Kind: embed.KindPCA, K: 2}
+	eng, err := NewEngine(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := eng.NewSession()
+	if err := sess.Append(ds); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, ds.N)
+	for i := range all {
+		all[i] = i
+	}
+	if err := sess.Remove(all); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(bytes.NewReader(buf.Bytes()), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Session{sess, restored} {
+		if err := s.Append(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := sess.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -141,101 +141,32 @@ func (e *Engine) ClusterDatasetContext(ctx context.Context, ds *pointset.Dataset
 	if ds == nil || ds.N == 0 {
 		return nil, grid.ErrNoPoints
 	}
-	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
-	w := e.effectiveWorkers()
-
-	if err := stage(ctx, StageQuantize); err != nil {
-		return nil, err
-	}
-	q, err := grid.NewQuantizerDatasetCtx(ctx, ds, cfg.Scale, w)
-	if err != nil {
-		return nil, err
-	}
-	base, ids, err := q.QuantizeDatasetCtx(ctx, ds, w)
-	if err != nil {
-		return nil, err
-	}
-	return e.clusterFromBase(ctx, base, ids, cfg, w)
+	st := &pipeState{cfg: e.cfg, w: e.effectiveWorkers(), ds: ds}
+	return e.runStages(ctx, st, stageList[stageFromTop:])
 }
 
-// clusterFromBase runs every pipeline stage after quantization — transform,
-// coefficient denoising, threshold, components, assignment — on a canonical
-// base grid with memoized per-point cell ids. This is the re-entry point of
-// the streaming Session: a live grid maintained by incremental merges feeds
-// the identical downstream code, so an incrementally built base yields the
-// same Result as a one-shot run, bit for bit. cfg must already be resolved
-// (see resolveScaleND). base's cell order is permuted during the transform
-// and restored to canonical before returning; its masses are not modified.
-// A cancelled run restores base to canonical order before returning, so a
-// streaming Session's live grid survives the abort intact.
+// clusterFromBase re-enters the stage list at the transform with an
+// existing canonical base grid and memoized per-point cell ids — the
+// streaming Session's path: a live grid maintained by incremental merges
+// feeds the identical downstream stages, so an incrementally built base
+// yields the same Result as a one-shot run, bit for bit. cfg must already
+// be resolved (see resolveScaleND). base's cell order is permuted during
+// the transform and restored to canonical before returning — on cancelled
+// runs too, so a Session's live grid survives the abort intact; its masses
+// are never modified.
 func (e *Engine) clusterFromBase(ctx context.Context, base *grid.FlatGrid, ids []int32, cfg Config, w int) (*Result, error) {
-	cellsQuantized := base.Len()
-	var t *grid.FlatGrid
-	if err := stage(ctx, StageTransform); err != nil {
-		return nil, err
-	}
-	if cfg.Levels > 0 {
-		levels, err := grid.TransformLevelsFlatCtx(ctx, base, cfg.Basis, cfg.Levels, w)
-		if err != nil {
-			// The failed (or cancelled) transform may have permuted base
-			// mid-flight; restore the canonical order the memoized ids
-			// index into.
-			base.SortCanonical()
-			return nil, err
-		}
-		// The transform permuted base's cell order in place; restore the
-		// canonical order the memoized ids index into.
-		base.SortCanonical()
-		t = levels[len(levels)-1]
-	} else {
-		// The ablation path skips the transform; finish on a copy so the
-		// base grid (and the ids into it) survives coefficient dropping.
-		t = base.Clone()
-	}
-	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
-
-	out, err := e.finishClusteringFlat(ctx, t, base, ids, cfg.Levels, cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	out.CellsQuantized = cellsQuantized
-	return out, nil
+	st := &pipeState{cfg: cfg, w: w, base: base, ids: ids}
+	return e.runStages(ctx, st, stageList[stageFromTransform:])
 }
 
 // clusterFromPacked is clusterFromBase for a block-compressed base grid,
 // the re-entry point of packed-cell Sessions and the packed external path.
-// The transform runs on a pooled private unpacking — the promotion point
-// where bit-packed integer masses become float64 densities — so the packed
-// grid itself is never permuted (no SortCanonical restore needed, and a
-// cancelled run cannot disturb it), and the assignment pass streams
-// ancestor labels block by block off the compressed base directly.
+// The transform stage runs on a pooled private unpacking, so the packed
+// grid itself is never permuted, and the assignment stage streams ancestor
+// labels block by block off the compressed base directly.
 func (e *Engine) clusterFromPacked(ctx context.Context, base *grid.PackedGrid, ids []int32, cfg Config, w int) (*Result, error) {
-	cellsQuantized := base.Len()
-	if err := stage(ctx, StageTransform); err != nil {
-		return nil, err
-	}
-	u := base.UnpackInto(e.getEmptyGrid())
-	defer e.putGrid(u)
-	var t *grid.FlatGrid
-	if cfg.Levels > 0 {
-		levels, err := grid.TransformLevelsFlatCtx(ctx, u, cfg.Basis, cfg.Levels, w)
-		if err != nil {
-			return nil, err
-		}
-		t = levels[len(levels)-1]
-	} else {
-		// The ablation path skips the transform; u is already a private
-		// copy, so coefficient dropping can run on it directly.
-		t = u
-	}
-	dropLowCoefficientsFlat(t, cfg.CoeffEpsilon)
-
-	out, err := e.finishClusteringFlat(ctx, t, base, ids, cfg.Levels, cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	out.CellsQuantized = cellsQuantized
-	return out, nil
+	st := &pipeState{cfg: cfg, w: w, pbase: base, ids: ids}
+	return e.runStages(ctx, st, stageList[stageFromTransform:])
 }
 
 // ClusterMultiResolution runs the pipeline at every decomposition level
@@ -278,21 +209,11 @@ func (e *Engine) ClusterMultiResolutionDatasetContext(ctx context.Context, ds *p
 	if ds == nil || ds.N == 0 {
 		return nil, grid.ErrNoPoints
 	}
-	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
-	w := e.effectiveWorkers()
-
-	if err := stage(ctx, StageQuantize); err != nil {
+	st := &pipeState{cfg: e.cfg, w: e.effectiveWorkers(), ds: ds}
+	if _, err := e.runStages(ctx, st, stageList[:stagesThroughQuant]); err != nil {
 		return nil, err
 	}
-	q, err := grid.NewQuantizerDatasetCtx(ctx, ds, cfg.Scale, w)
-	if err != nil {
-		return nil, err
-	}
-	base, ids, err := q.QuantizeDatasetCtx(ctx, ds, w)
-	if err != nil {
-		return nil, err
-	}
-	return e.multiResolutionFromBase(ctx, base, ids, cfg, maxLevels, w)
+	return e.multiResolutionFromBase(ctx, st.base, st.ids, st.cfg, maxLevels, st.w)
 }
 
 // multiResolutionFromBase is the post-quantization half of
@@ -400,79 +321,16 @@ type ancestorGrid interface {
 	AncestorLabelsCtx(ctx context.Context, dst []int32, kept *grid.FlatGrid, levels int, keptLabels []int32, workers int) ([]int32, error)
 }
 
-// finishClusteringFlat performs threshold filtering, component labeling and
-// point assignment on an already-transformed flat grid — steps 3–6 of
-// Alg. 1, the flat mirror of finishClustering. t must be in canonical cell
-// order (quantization and the full transform guarantee it) and is owned by
-// the caller; base is the canonical-order quantization grid (in either
-// representation), read-only, and ids holds each point's memoized index
-// into it.
+// finishClusteringFlat re-enters the stage list at the threshold — the
+// per-level finisher of a multi-resolution pass (threshold, components,
+// assignment on an already-transformed grid; steps 3–6 of Alg. 1). t must
+// be in canonical cell order (quantization and the full transform guarantee
+// it) and is owned by the caller; base is the canonical-order quantization
+// grid (in either representation), read-only, and ids holds each point's
+// memoized index into it.
 func (e *Engine) finishClusteringFlat(ctx context.Context, t *grid.FlatGrid, base ancestorGrid, ids []int32, levels int, cfg Config, workers int) (*Result, error) {
-	res := &Result{
-		CellsTransformed: t.Len(),
-		Levels:           levels,
-		Scale:            cfg.Scale,
-	}
-	res.Labels = make([]int, len(ids))
-	if t.Len() == 0 {
-		for i := range res.Labels {
-			res.Labels[i] = Noise
-		}
-		return res, nil
-	}
-	if err := stage(ctx, StageThreshold); err != nil {
-		return nil, err
-	}
-	// Sort the density curve in a pooled buffer; Result.Curve gets an
-	// exact-size copy because it outlives the call.
-	buf, _ := e.curves.Get().(*[]float64)
-	if buf == nil {
-		buf = new([]float64)
-	}
-	*buf = t.SortedDensitiesInto(*buf)
-	res.Curve = append(make([]float64, 0, len(*buf)), *buf...)
-	e.curves.Put(buf)
-	res.Threshold, res.ThresholdIndex = cfg.Threshold.Cut(res.Curve)
-	kept := t.Threshold(res.Threshold)
-	if kept.Len() == 0 {
-		kept = t
-	}
-	res.CellsKept = kept.Len()
-	if err := stage(ctx, StageConnect); err != nil {
-		return nil, err
-	}
-	comp, ncomp, err := grid.ComponentsFlatAutoCtx(ctx, kept, cfg.Connectivity, workers)
-	if err != nil {
-		return nil, err
-	}
-	labels, numClusters := relabelBySizeFlat(kept, comp, ncomp, cfg.MinClusterCells, cfg.MinClusterMass)
-	res.NumClusters = numClusters
-
-	if err := stage(ctx, StageAssign); err != nil {
-		return nil, err
-	}
-	// Per-level ancestor table, built by one pass over the cells: shift
-	// each base cell's coordinates, look its ancestor up in the kept grid.
-	// Assignment is then a single array lookup per point (the table stores
-	// Noise as −1, which is the Noise label itself).
-	tbl, _ := e.tables.Get().(*[]int32)
-	if tbl == nil {
-		tbl = new([]int32)
-	}
-	cellLabels, err := base.AncestorLabelsCtx(ctx, *tbl, kept, levels, labels, workers)
-	*tbl = cellLabels
-	if err != nil {
-		// The pooled table goes back even on a cancelled pass.
-		e.tables.Put(tbl)
-		return nil, err
-	}
-	grid.ParallelRangesCtx(ctx, len(ids), workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			res.Labels[i] = int(cellLabels[ids[i]])
-		}
-	})
-	e.tables.Put(tbl)
-	return res, nil
+	st := &pipeState{cfg: cfg, w: workers, t: t, abase: base, ids: ids, levels: levels}
+	return e.runStages(ctx, st, stageList[stageFromThreshold:])
 }
 
 // relabelBySizeFlat is relabelBySize on flat component labels: renumber

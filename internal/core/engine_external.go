@@ -111,33 +111,9 @@ func (e *Engine) ClusterDatasetExternal(ctx context.Context, ds *pointset.Datase
 	if ds == nil || ds.N == 0 {
 		return nil, grid.ErrNoPoints
 	}
-	cfg := resolveScaleND(e.cfg, ds.N, ds.D)
-	w := e.effectiveWorkers()
-	ext, err := deriveExtSort(opts, ds.N, ds.D)
-	if err != nil {
-		return nil, err
-	}
-
-	if err := stage(ctx, StageQuantize); err != nil {
-		return nil, err
-	}
-	q, err := grid.NewQuantizerDatasetCtx(ctx, ds, cfg.Scale, w)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.PackedCells {
-		// The merged grid comes out block-compressed straight from the
-		// loser-tree merge; downstream, only the transform's private
-		// unpacking is ever materialized flat.
-		base, ids, err := q.QuantizeDatasetExternalPackedCtx(ctx, ds, w, ext)
-		if err != nil {
-			return nil, err
-		}
-		return e.clusterFromPacked(ctx, base, ids, cfg, w)
-	}
-	base, ids, err := q.QuantizeDatasetExternalCtx(ctx, ds, w, ext)
-	if err != nil {
-		return nil, err
-	}
-	return e.clusterFromBase(ctx, base, ids, cfg, w)
+	// opts is cloned into the state: the embed stage may charge the
+	// projected rows against the budget before the quantize stage derives
+	// its chunk and spill sizes from what remains.
+	st := &pipeState{cfg: e.cfg, w: e.effectiveWorkers(), ds: ds, ext: &opts}
+	return e.runStages(ctx, st, stageList[stageFromTop:])
 }

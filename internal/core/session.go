@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"adawave/internal/embed"
 	"adawave/internal/grid"
 	"adawave/internal/persist"
 	"adawave/internal/pointset"
@@ -41,6 +42,14 @@ import (
 // box may shrink), or when the automatic scale resolves differently for the
 // new point count. Everything downstream of quantization is byte-for-byte
 // the one-shot code path.
+//
+// With an embedding configured the guarantee is stated in projected space:
+// the embedder is fitted once, on the first appended batch, then frozen, and
+// the session's labels are bit-identical to a one-shot run over its own
+// projection of the current rows. For the data-independent random
+// projection that coincides with Engine.ClusterDataset on the raw rows
+// exactly; for PCA the one-shot path fits on the full input instead, so the
+// two agree only when fitted on the same rows.
 type Session struct {
 	eng *Engine
 
@@ -48,7 +57,16 @@ type Session struct {
 	// ds owns every current point, row-major; rows [0, folded) are folded
 	// into base/ids, rows [folded, ds.N) are pending appends.
 	ds *pointset.Dataset
-	q  *grid.Quantizer
+	// With an embedding configured, emb is the fitted embedder — fitted
+	// once, on the first appended batch, and never refit, so the projection
+	// (and therefore every label) is a deterministic function of the append
+	// sequence — and eds mirrors ds row for row in projected space. The
+	// quantizer, grids and bounding-box checks all live in projected space;
+	// ds keeps the raw rows for checkpoints. Both stay nil without an
+	// embedding.
+	emb embed.Embedder
+	eds *pointset.Dataset
+	q   *grid.Quantizer
 	// The live canonical grid (may hold tombstones) lives in exactly one of
 	// base and pbase once the first fold happens, chosen by
 	// Config.PackedCells: flat, or block-compressed (~3–5× fewer resident
@@ -128,10 +146,46 @@ func (s *Session) AppendContext(ctx context.Context, batch *pointset.Dataset) er
 	if batch.D != s.ds.D {
 		return grid.InvalidInput(fmt.Errorf("core: appending %d-dimensional points to a %d-dimensional session", batch.D, s.ds.D))
 	}
+	if s.eng.cfg.Embedding.Enabled() {
+		// Fit once, on the first batch ever appended (the WAL journals
+		// batches in order, so crash recovery refits on the same rows and
+		// reproduces the projection exactly); every batch then projects
+		// through the frozen embedder before anything commits, so a
+		// rejected batch leaves the session untouched.
+		emb := s.emb
+		if emb == nil {
+			var err error
+			if emb, err = embed.New(s.eng.cfg.Embedding); err != nil {
+				return err
+			}
+			if err := emb.Fit(batch); err != nil {
+				return err
+			}
+		}
+		pbatch, err := emb.Transform(batch)
+		if err != nil {
+			return err
+		}
+		s.emb = emb
+		if s.eds == nil {
+			s.eds = &pointset.Dataset{D: emb.OutDim()}
+		}
+		s.eds.Data = append(s.eds.Data, pbatch.Data...)
+		s.eds.N += pbatch.N
+	}
 	s.ds.Data = append(s.ds.Data, batch.Data[:batch.N*batch.D]...)
 	s.ds.N += batch.N
 	s.dirty = true
 	return nil
+}
+
+// dataset returns the rowset the grid side of the session works on: the
+// projected mirror when an embedding is configured, the raw rows otherwise.
+func (s *Session) dataset() *pointset.Dataset {
+	if s.eds != nil {
+		return s.eds
+	}
+	return s.ds
 }
 
 // Remove deletes the points at the given indices (into the session's
@@ -169,13 +223,17 @@ func (s *Session) RemoveContext(ctx context.Context, indices []int) error {
 			return grid.InvalidInput(fmt.Errorf("core: duplicate remove index %d", i))
 		}
 	}
+	pds := s.dataset()
+	pd := pds.D
 	for _, i := range idx {
 		if i >= s.folded {
 			// A pending row never contributed to the grid or its bounding
 			// box; deleting it cannot change the one-shot frame.
 			continue
 		}
-		if s.q != nil && s.touchesBBox(s.ds.Data[i*d:(i+1)*d]) {
+		// The bounding box (like the whole grid side) lives in projected
+		// space when an embedding is configured.
+		if s.q != nil && s.touchesBBox(pds.Data[i*pd:(i+1)*pd]) {
 			s.rebuild = true
 		}
 		if s.pbase != nil {
@@ -191,8 +249,9 @@ func (s *Session) RemoveContext(ctx context.Context, indices []int) error {
 			}
 		}
 	}
-	// Compact rows and ids in place, preserving order. Folded rows precede
-	// pending rows, and survivors only move left, so ids stays aligned.
+	// Compact rows (raw and, with an embedding, their projected mirror) and
+	// ids in place, preserving order. Folded rows precede pending rows, and
+	// survivors only move left, so ids stays aligned.
 	w, k, removedFolded := 0, 0, 0
 	for i := 0; i < n; i++ {
 		if k < len(idx) && idx[k] == i {
@@ -204,6 +263,9 @@ func (s *Session) RemoveContext(ctx context.Context, indices []int) error {
 		}
 		if w != i {
 			copy(s.ds.Data[w*d:(w+1)*d], s.ds.Data[i*d:(i+1)*d])
+			if s.eds != nil {
+				copy(s.eds.Data[w*pd:(w+1)*pd], s.eds.Data[i*pd:(i+1)*pd])
+			}
 			if i < s.folded {
 				s.ids[w] = s.ids[i]
 			}
@@ -212,6 +274,10 @@ func (s *Session) RemoveContext(ctx context.Context, indices []int) error {
 	}
 	s.ds.Data = s.ds.Data[:w*d]
 	s.ds.N = w
+	if s.eds != nil {
+		s.eds.Data = s.eds.Data[:w*pd]
+		s.eds.N = w
+	}
 	s.folded -= removedFolded
 	s.ids = s.ids[:s.folded]
 	s.dirty = true
@@ -233,11 +299,14 @@ func (s *Session) touchesBBox(row []float64) bool {
 // expandsBBox reports whether any pending row falls outside the session
 // quantizer's bounding box (non-finite coordinates count as outside, so the
 // full-rebuild path reports them exactly like the one-shot constructor).
+// Like every grid-side check it reads the projected rows when an embedding
+// is configured.
 func (s *Session) expandsBBox() bool {
-	d := s.ds.D
+	pds := s.dataset()
+	d := pds.D
 	mins, maxs := s.q.Mins, s.q.Maxs
-	for i := s.folded; i < s.ds.N; i++ {
-		for j, v := range s.ds.Data[i*d : (i+1)*d] {
+	for i := s.folded; i < pds.N; i++ {
+		for j, v := range pds.Data[i*d : (i+1)*d] {
 			if !(v >= mins[j] && v <= maxs[j]) {
 				return true
 			}
@@ -257,7 +326,11 @@ func (s *Session) expandsBBox() bool {
 // fold leaves the session exactly as it was before the call — same grid,
 // same ids, same dirty/pending markers — and the next read retries it.
 func (s *Session) syncLocked(ctx context.Context) (Config, error) {
-	n, d := s.ds.N, s.ds.D
+	// The grid side works on the projected mirror when an embedding is
+	// configured — the scale resolves against the projected dimensionality,
+	// exactly as the one-shot pipeline resolves it after its embed stage.
+	pds := s.dataset()
+	n, d := pds.N, pds.D
 	if n == 0 {
 		return Config{}, grid.ErrNoPoints
 	}
@@ -267,11 +340,11 @@ func (s *Session) syncLocked(ctx context.Context) (Config, error) {
 	cfg := resolveScaleND(s.eng.cfg, n, d)
 	w := s.eng.effectiveWorkers()
 	if s.q == nil || s.rebuild || cfg.Scale != s.scale || s.expandsBBox() {
-		q, err := grid.NewQuantizerDatasetCtx(ctx, s.ds, cfg.Scale, w)
+		q, err := grid.NewQuantizerDatasetCtx(ctx, pds, cfg.Scale, w)
 		if err != nil {
 			return Config{}, err
 		}
-		base, ids, err := q.QuantizeDatasetCtx(ctx, s.ds, w)
+		base, ids, err := q.QuantizeDatasetCtx(ctx, pds, w)
 		if err != nil {
 			return Config{}, err
 		}
@@ -286,7 +359,7 @@ func (s *Session) syncLocked(ctx context.Context) (Config, error) {
 		return cfg, nil
 	}
 	if s.folded < n {
-		delta := &pointset.Dataset{Data: s.ds.Data[s.folded*d:], N: n - s.folded, D: d}
+		delta := &pointset.Dataset{Data: pds.Data[s.folded*d:], N: n - s.folded, D: d}
 		dg, dids, err := s.q.QuantizeDatasetCtx(ctx, delta, w)
 		if err != nil {
 			return Config{}, err
@@ -463,6 +536,7 @@ func ConfigFingerprint(cfg Config) persist.ConfigMeta {
 		Threshold:       fmt.Sprintf("%s %#v", cfg.Threshold.Name(), cfg.Threshold),
 		MinClusterCells: cfg.MinClusterCells,
 		MinClusterMass:  cfg.MinClusterMass,
+		Embedding:       cfg.Embedding.String(),
 	}
 }
 
@@ -487,6 +561,9 @@ func (s *Session) CheckpointContext(ctx context.Context, w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := persist.SessionState{Config: ConfigFingerprint(s.eng.cfg), DS: s.ds}
+	// A fitted embedder persists even with zero points (all rows removed):
+	// it was fitted on the first batch ever appended and must never refit.
+	st.Embedder = s.emb
 	if s.ds.N > 0 {
 		if _, err := s.syncLocked(ctx); err != nil {
 			return err
@@ -521,6 +598,16 @@ func RestoreSession(r io.Reader, eng *Engine) (*Session, error) {
 	}
 	s := eng.NewSession()
 	s.ds = st.DS
+	if st.Embedder != nil {
+		// Adopt the fitted embedder and rebuild the projected mirror by
+		// re-transforming the raw rows — the frozen parameters make the
+		// re-projection bit-identical to the one the checkpointing session
+		// quantized, so the adopted grid and ids stay consistent with it.
+		s.emb = st.Embedder
+		if s.eds, err = st.Embedder.Transform(st.DS); err != nil {
+			return nil, err
+		}
+	}
 	if st.DS.N == 0 {
 		return s, nil
 	}
@@ -551,6 +638,9 @@ func (s *Session) ResidentBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	b := int64(cap(s.ds.Data)) * 8
+	if s.eds != nil {
+		b += int64(cap(s.eds.Data)) * 8
+	}
 	if s.base != nil {
 		b += int64(cap(s.base.Coords))*2 + int64(cap(s.base.Vals))*8
 	}

@@ -1,0 +1,276 @@
+package embed
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"adawave/internal/grid"
+	"adawave/internal/pointset"
+)
+
+func TestSpecStringParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{}, ""},
+		{Spec{Kind: KindPCA, K: 8}, "pca(k=8)"},
+		{Spec{Kind: KindRP, K: 16, Seed: 42}, "rp(k=16,seed=42)"},
+		{Spec{Kind: KindRP, K: 4, Seed: -7}, "rp(k=4,seed=-7)"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Fatalf("String(%+v) = %q, want %q", c.spec, got, c.want)
+		}
+		back, err := ParseSpec(c.want)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.want, err)
+		}
+		// PCA specs drop the seed in rendering; normalize before compare.
+		norm := c.spec
+		if norm.Kind == KindPCA {
+			norm.Seed = 0
+		}
+		if back != norm {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.want, back, norm)
+		}
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, in := range []string{"pca", "pca()", "pca(k=)", "pca(j=3)", "umap(k=3)", "pca(k=0)", "rp(k=2,seed=x)", "(k=2)"} {
+		if _, err := ParseSpec(in); !errors.Is(err, grid.ErrInvalidInput) {
+			t.Fatalf("ParseSpec(%q): got %v, want ErrInvalidInput", in, err)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	for _, s := range []Spec{{Kind: "umap", K: 2}, {Kind: KindPCA, K: 0}, {Kind: KindRP, K: -1}, {Kind: KindPCA, K: maxOutDim + 1}} {
+		if err := s.Validate(); !errors.Is(err, grid.ErrInvalidInput) {
+			t.Fatalf("Validate(%+v): got %v, want ErrInvalidInput", s, err)
+		}
+	}
+}
+
+// anisotropic returns points stretched along a known direction in d dims,
+// so PCA's first component is predictable.
+func anisotropic(n, d int, seed int64) *pointset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := pointset.New(d, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		t := rng.NormFloat64() * 10
+		for c := range row {
+			row[c] = rng.NormFloat64() * 0.1
+		}
+		row[0] += t     // dominant variance along axis 0
+		row[1] += t / 2 // correlated second axis
+		ds.AppendRow(row)
+	}
+	return ds
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	ds := anisotropic(500, 4, 1)
+	e, err := New(Spec{Kind: KindPCA, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	p := e.(*pcaEmbedder)
+	// The dominant direction is (1, 0.5, 0, 0)/‖·‖ ≈ (0.894, 0.447, 0, 0).
+	want := []float64{2 / math.Sqrt(5), 1 / math.Sqrt(5), 0, 0}
+	for c, w := range want {
+		if math.Abs(p.comps[c]-w) > 0.05 {
+			t.Fatalf("component[%d] = %.3f, want ≈ %.3f", c, p.comps[c], w)
+		}
+	}
+	if in, out := e.InDim(), e.OutDim(); in != 4 || out != 1 {
+		t.Fatalf("dims = (%d, %d), want (4, 1)", in, out)
+	}
+}
+
+func TestPCAKEqualsDIsARotation(t *testing.T) {
+	ds := anisotropic(300, 3, 2)
+	e, _ := New(Spec{Kind: KindPCA, K: 3})
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Transform(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full-rank PCA preserves pairwise distances (orthogonal transform).
+	for trial := 0; trial < 20; trial++ {
+		i, j := trial, trial+100
+		var din, dout float64
+		for c := 0; c < 3; c++ {
+			di := ds.Row(i)[c] - ds.Row(j)[c]
+			do := out.Row(i)[c] - out.Row(j)[c]
+			din += di * di
+			dout += do * do
+		}
+		if math.Abs(din-dout) > 1e-9*(1+din) {
+			t.Fatalf("distance not preserved: %.12f vs %.12f", din, dout)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	ds := anisotropic(10, 3, 3)
+	for _, s := range []Spec{{Kind: KindPCA, K: 4}, {Kind: KindRP, K: 4, Seed: 1}} {
+		e, _ := New(s)
+		if err := e.Fit(ds); !errors.Is(err, grid.ErrInvalidInput) {
+			t.Fatalf("k > d fit: got %v, want ErrInvalidInput", err)
+		}
+	}
+	e, _ := New(Spec{Kind: KindPCA, K: 2})
+	if err := e.Fit(&pointset.Dataset{}); !errors.Is(err, grid.ErrInvalidInput) {
+		t.Fatalf("empty fit: got %v, want ErrInvalidInput", err)
+	}
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(ds); !errors.Is(err, grid.ErrInvalidInput) {
+		t.Fatalf("refit: got %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.Transform(anisotropic(5, 2, 4)); !errors.Is(err, grid.ErrInvalidInput) {
+		t.Fatalf("dim-mismatched transform: got %v, want ErrInvalidInput", err)
+	}
+	un, _ := New(Spec{Kind: KindRP, K: 2, Seed: 1})
+	if _, err := un.Transform(ds); !errors.Is(err, grid.ErrInvalidInput) {
+		t.Fatalf("unfitted transform: got %v, want ErrInvalidInput", err)
+	}
+	if _, err := un.MarshalBinary(); !errors.Is(err, grid.ErrInvalidInput) {
+		t.Fatalf("unfitted marshal: got %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestRPDeterministicBySeed(t *testing.T) {
+	ds := anisotropic(100, 32, 5)
+	build := func(seed int64) *pointset.Dataset {
+		e, _ := New(Spec{Kind: KindRP, K: 8, Seed: seed})
+		if err := e.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Transform(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b, c := build(42), build(42), build(43)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical projections")
+	}
+}
+
+func TestRPPreservesDistancesRoughly(t *testing.T) {
+	ds := anisotropic(200, 64, 6)
+	e, _ := New(Spec{Kind: KindRP, K: 16, Seed: 9})
+	if err := e.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Transform(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Johnson–Lindenstrauss sanity: the mean squared-distance ratio over
+	// random pairs stays near 1 (individual pairs may wobble).
+	rng := rand.New(rand.NewSource(7))
+	var ratio float64
+	const pairs = 200
+	for p := 0; p < pairs; p++ {
+		i, j := rng.Intn(ds.N), rng.Intn(ds.N)
+		if i == j {
+			j = (j + 1) % ds.N
+		}
+		var din, dout float64
+		for c := 0; c < ds.D; c++ {
+			d := ds.Row(i)[c] - ds.Row(j)[c]
+			din += d * d
+		}
+		for c := 0; c < out.D; c++ {
+			d := out.Row(i)[c] - out.Row(j)[c]
+			dout += d * d
+		}
+		ratio += dout / din
+	}
+	ratio /= pairs
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("mean distance ratio %.3f, want within [0.7, 1.3]", ratio)
+	}
+}
+
+func TestMarshalRoundTripBitIdentical(t *testing.T) {
+	ds := anisotropic(300, 16, 8)
+	for _, s := range []Spec{{Kind: KindPCA, K: 5}, {Kind: KindRP, K: 6, Seed: 11}} {
+		e, _ := New(s)
+		if err := e.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Spec() != e.Spec() || !back.Fitted() || back.InDim() != e.InDim() || back.OutDim() != e.OutDim() {
+			t.Fatalf("%s: restored shape mismatch", s)
+		}
+		want, _ := e.Transform(ds)
+		got, err := back.Transform(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%s: restored transform diverged at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("AWE1"),
+		[]byte("NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"),
+	}
+	e, _ := New(Spec{Kind: KindPCA, K: 2})
+	if err := e.Fit(anisotropic(50, 4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := e.MarshalBinary()
+	cases = append(cases, blob[:len(blob)-3], append(append([]byte(nil), blob...), 0))
+	bad := append([]byte(nil), blob...)
+	bad[4] = 99 // unknown kind code
+	cases = append(cases, bad)
+	for i, b := range cases {
+		if _, err := Unmarshal(b); !errors.Is(err, grid.ErrInvalidInput) {
+			t.Fatalf("case %d: got %v, want ErrInvalidInput", i, err)
+		}
+	}
+}

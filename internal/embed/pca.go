@@ -1,0 +1,129 @@
+package embed
+
+import (
+	"fmt"
+
+	"adawave/internal/grid"
+	"adawave/internal/linalg"
+	"adawave/internal/pointset"
+)
+
+// maxFitSample bounds the number of rows the PCA fit reads. The sample is a
+// deterministic stride over the dataset (rows 0, s, 2s, …), so fitting is
+// O(sample·d²) + one Jacobi eigendecomposition regardless of n, and the
+// same dataset always yields the same components — including through the
+// out-of-core path, where the stride touches a bounded number of mapped
+// pages instead of streaming every row.
+const maxFitSample = 4096
+
+// pcaEmbedder projects rows onto the top-K principal components of a
+// sampled covariance matrix. Components are rows of comps (K×inDim,
+// row-major), each sign-normalized so the coordinate of largest magnitude
+// is positive — eigenvector sign is otherwise arbitrary, and an unstable
+// sign would break checkpoint/refit reproducibility.
+type pcaEmbedder struct {
+	spec  Spec
+	inDim int
+	mean  []float64
+	comps []float64
+}
+
+func (p *pcaEmbedder) Spec() Spec   { return p.spec }
+func (p *pcaEmbedder) Fitted() bool { return p.inDim > 0 }
+func (p *pcaEmbedder) InDim() int   { return p.inDim }
+func (p *pcaEmbedder) OutDim() int  { return p.spec.K }
+
+func (p *pcaEmbedder) Fit(ds *pointset.Dataset) error {
+	d, err := checkFit(p.Fitted(), p.spec, ds)
+	if err != nil {
+		return err
+	}
+	step := 1
+	if ds.N > maxFitSample {
+		step = (ds.N + maxFitSample - 1) / maxFitSample
+	}
+	mean := make([]float64, d)
+	m := 0
+	for i := 0; i < ds.N; i += step {
+		row := ds.Data[i*d : (i+1)*d]
+		for c, v := range row {
+			mean[c] += v
+		}
+		m++
+	}
+	for c := range mean {
+		mean[c] /= float64(m)
+	}
+	// Sample covariance (normalized by m, not m-1: the eigenvectors are
+	// identical and m ≥ 1 always divides).
+	cov := linalg.NewMatrix(d, d)
+	centered := make([]float64, d)
+	for i := 0; i < ds.N; i += step {
+		row := ds.Data[i*d : (i+1)*d]
+		for c, v := range row {
+			centered[c] = v - mean[c]
+		}
+		for r := 0; r < d; r++ {
+			vr := centered[r]
+			covr := cov.Row(r)
+			for c := r; c < d; c++ {
+				covr[c] += vr * centered[c]
+			}
+		}
+	}
+	inv := 1 / float64(m)
+	for r := 0; r < d; r++ {
+		for c := r; c < d; c++ {
+			cov.Set(r, c, cov.At(r, c)*inv)
+			cov.Set(c, r, cov.At(r, c))
+		}
+	}
+	eig, err := linalg.JacobiEigen(cov, 0)
+	if err != nil {
+		return fmt.Errorf("%w: pca eigendecomposition: %v", grid.ErrInvalidInput, err)
+	}
+	// Eigenvalues come back ascending with column-wise eigenvectors; the
+	// top-K components are the last K columns, emitted in descending
+	// eigenvalue order.
+	k := p.spec.K
+	comps := make([]float64, k*d)
+	for j := 0; j < k; j++ {
+		col := d - 1 - j
+		comp := comps[j*d : (j+1)*d]
+		pivot, pivotAbs := 0, 0.0
+		for r := 0; r < d; r++ {
+			comp[r] = eig.Vectors.At(r, col)
+			if a := abs(comp[r]); a > pivotAbs {
+				pivot, pivotAbs = r, a
+			}
+		}
+		if comp[pivot] < 0 {
+			for r := range comp {
+				comp[r] = -comp[r]
+			}
+		}
+	}
+	p.inDim, p.mean, p.comps = d, mean, comps
+	return nil
+}
+
+func (p *pcaEmbedder) Transform(ds *pointset.Dataset) (*pointset.Dataset, error) {
+	if err := checkTransform(p.Fitted(), p.inDim, ds); err != nil {
+		return nil, err
+	}
+	return project(ds, p.mean, p.comps, p.spec.K), nil
+}
+
+func (p *pcaEmbedder) MarshalBinary() ([]byte, error) {
+	if !p.Fitted() {
+		return nil, fmt.Errorf("%w: cannot marshal unfitted embedder", grid.ErrInvalidInput)
+	}
+	return marshalFrame(kindCodePCA, p.spec, p.inDim, p.mean, p.comps), nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

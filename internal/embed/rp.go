@@ -1,0 +1,63 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adawave/internal/grid"
+	"adawave/internal/pointset"
+)
+
+// rpEmbedder projects rows through a sparse random matrix in the style of
+// Achlioptas (2003): entries are ±√(3/K) with probability 1/6 each and 0
+// with probability 2/3, so two thirds of the multiplies vanish while the
+// Johnson–Lindenstrauss distance-preservation guarantee holds. The matrix
+// is generated once at fit time from (Seed, inDim, K) via math/rand's
+// deterministic generator and then stored verbatim in checkpoints, so a
+// restored session projects identically even if the generator ever changed.
+type rpEmbedder struct {
+	spec  Spec
+	inDim int
+	mat   []float64 // K×inDim row-major
+}
+
+func (p *rpEmbedder) Spec() Spec   { return p.spec }
+func (p *rpEmbedder) Fitted() bool { return p.inDim > 0 }
+func (p *rpEmbedder) InDim() int   { return p.inDim }
+func (p *rpEmbedder) OutDim() int  { return p.spec.K }
+
+func (p *rpEmbedder) Fit(ds *pointset.Dataset) error {
+	d, err := checkFit(p.Fitted(), p.spec, ds)
+	if err != nil {
+		return err
+	}
+	k := p.spec.K
+	scale := math.Sqrt(3 / float64(k))
+	rng := rand.New(rand.NewSource(p.spec.Seed))
+	mat := make([]float64, k*d)
+	for i := range mat {
+		switch rng.Intn(6) {
+		case 0:
+			mat[i] = scale
+		case 1:
+			mat[i] = -scale
+		}
+	}
+	p.inDim, p.mat = d, mat
+	return nil
+}
+
+func (p *rpEmbedder) Transform(ds *pointset.Dataset) (*pointset.Dataset, error) {
+	if err := checkTransform(p.Fitted(), p.inDim, ds); err != nil {
+		return nil, err
+	}
+	return project(ds, nil, p.mat, p.spec.K), nil
+}
+
+func (p *rpEmbedder) MarshalBinary() ([]byte, error) {
+	if !p.Fitted() {
+		return nil, fmt.Errorf("%w: cannot marshal unfitted embedder", grid.ErrInvalidInput)
+	}
+	return marshalFrame(kindCodeRP, p.spec, p.inDim, p.mat), nil
+}

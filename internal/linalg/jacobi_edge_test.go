@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of the Jacobi eigensolver that the PCA embedder leans on:
+// degenerate spectra (repeated eigenvalues), rank-deficient covariance
+// matrices (fewer samples than dimensions, or constant coordinates), the
+// trivial 1×1 problem, and rejection of inputs outside the symmetric
+// contract.
+
+// TestJacobiRepeatedEigenvalues: a matrix with a degenerate eigenspace.
+// Individual eigenvectors of a repeated eigenvalue are not unique, so the
+// test checks the invariants that are: the multiset of eigenvalues, the
+// eigenpair residual A·v = λ·v, and orthonormality of the returned basis.
+func TestJacobiRepeatedEigenvalues(t *testing.T) {
+	// Spectrum {1, 1, 4}: reflection of the all-ones direction scaled.
+	// A = I + J where J is the all-ones 3×3 matrix (eigenvalues of J: 3,0,0).
+	a, _ := FromRows([][]float64{
+		{2, 1, 1},
+		{1, 2, 1},
+		{1, 1, 2},
+	})
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 4}
+	for i, w := range want {
+		if !almostEq(eig.Values[i], w, 1e-10) {
+			t.Fatalf("eigenvalues = %v, want %v", eig.Values, want)
+		}
+	}
+	checkEigenInvariants(t, a, eig, 1e-9)
+}
+
+// TestJacobiRankDeficient: a singular covariance-shaped matrix. PCA on
+// fewer samples than dimensions produces exactly this: rank ≤ n-1 with a
+// zero eigenvalue per null direction.
+func TestJacobiRankDeficient(t *testing.T) {
+	// A = x·xᵀ for x = (1, 2, 2): rank 1, spectrum {0, 0, |x|² = 9}.
+	x := []float64{1, 2, 2}
+	n := len(x)
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, x[i]*x[j])
+		}
+	}
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(eig.Values[0], 0, 1e-10) || !almostEq(eig.Values[1], 0, 1e-10) || !almostEq(eig.Values[2], 9, 1e-10) {
+		t.Fatalf("rank-1 spectrum = %v, want [0 0 9]", eig.Values)
+	}
+	checkEigenInvariants(t, a, eig, 1e-9)
+
+	// The top eigenvector must span x (up to sign).
+	dot := 0.0
+	for r := 0; r < n; r++ {
+		dot += eig.Vectors.At(r, 2) * x[r]
+	}
+	if !almostEq(math.Abs(dot), 3, 1e-9) { // |x| = 3, unit eigenvector
+		t.Fatalf("top eigenvector not aligned with x: |v·x| = %v, want 3", math.Abs(dot))
+	}
+}
+
+// TestJacobiZeroMatrix: the all-zero matrix (constant dataset covariance)
+// must decompose cleanly rather than loop or divide by zero.
+func TestJacobiZeroMatrix(t *testing.T) {
+	a := NewMatrix(4, 4)
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range eig.Values {
+		if v != 0 {
+			t.Fatalf("eigenvalue %d of zero matrix = %v", i, v)
+		}
+	}
+	checkEigenInvariants(t, a, eig, 1e-12)
+}
+
+// TestJacobiOneByOne: the 1×1 problem is its own decomposition.
+func TestJacobiOneByOne(t *testing.T) {
+	a, _ := FromRows([][]float64{{-2.5}})
+	eig, err := JacobiEigen(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eig.Values) != 1 || eig.Values[0] != -2.5 {
+		t.Fatalf("1×1 eigenvalues = %v, want [-2.5]", eig.Values)
+	}
+	if eig.Vectors.At(0, 0) != 1 {
+		t.Fatalf("1×1 eigenvector = %v, want 1", eig.Vectors.At(0, 0))
+	}
+}
+
+// TestJacobiRejectsNonSymmetric: inputs outside the symmetric contract are
+// refused outright — both the hard asymmetric case and one just past the
+// symmetry tolerance.
+func TestJacobiRejectsNonSymmetric(t *testing.T) {
+	hard, _ := FromRows([][]float64{{1, 5}, {-5, 1}})
+	if _, err := JacobiEigen(hard, 0); err == nil {
+		t.Fatal("hard asymmetric matrix must be rejected")
+	}
+	slight, _ := FromRows([][]float64{{1, 1}, {1 + 1e-6, 1}})
+	if _, err := JacobiEigen(slight, 0); err == nil {
+		t.Fatal("matrix asymmetric beyond tolerance must be rejected")
+	}
+	rect := NewMatrix(3, 2)
+	if _, err := JacobiEigen(rect, 0); err == nil {
+		t.Fatal("rectangular matrix must be rejected")
+	}
+}
+
+// checkEigenInvariants verifies A·v_i = λ_i·v_i for every returned pair and
+// that the eigenvector columns form an orthonormal basis.
+func checkEigenInvariants(t *testing.T, a *Matrix, eig *Eigen, tol float64) {
+	t.Helper()
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		vec := make([]float64, n)
+		for r := 0; r < n; r++ {
+			vec[r] = eig.Vectors.At(r, k)
+		}
+		av, err := a.MulVec(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			if !almostEq(av[r], eig.Values[k]*vec[r], tol) {
+				t.Fatalf("eigenpair %d residual at row %d: %v vs %v", k, r, av[r], eig.Values[k]*vec[r])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dot := 0.0
+			for r := 0; r < n; r++ {
+				dot += eig.Vectors.At(r, i) * eig.Vectors.At(r, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(dot, want, tol) {
+				t.Fatalf("eigenvector columns %d,%d not orthonormal: dot = %v", i, j, dot)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAMITable pins AMI (NormMax) against hand-computed references. The
+// non-obvious entries were worked through the hypergeometric EMI model by
+// hand:
+//
+//   - u=[0,0,1,1], v=[0,1,0,1]: MI = 0, H(U) = H(V) = ln 2, and
+//     EMI = ln2/3, so AMI = (0 − ln2/3)/(ln2 − ln2/3) = −1/2 — complementary
+//     partitions score strictly below chance.
+//   - u=[0,0,1,1], v=[0,0,0,1]: MI = ½ln(4/3) + ¼ln(2/3) + ¼ln 2 ≈ 0.21576,
+//     and the EMI sum over the four cells comes to exactly the same value,
+//     so the adjusted score is 0: this overlap is precisely what chance
+//     predicts for those marginals.
+func TestAMITable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		u, v []int
+		want float64
+	}{
+		{"identical", []int{0, 0, 1, 1, 2, 2}, []int{0, 0, 1, 1, 2, 2}, 1},
+		{"renamed", []int{0, 0, 1, 1, 2, 2}, []int{9, 9, 4, 4, 0, 0}, 1},
+		{"complementary-2x2", []int{0, 0, 1, 1}, []int{0, 1, 0, 1}, -0.5},
+		{"chance-exact", []int{0, 0, 1, 1}, []int{0, 0, 0, 1}, 0},
+		{"both-trivial", []int{7, 7, 7}, []int{2, 2, 2}, 1},
+		{"trivial-vs-singletons", []int{1, 1, 1}, []int{0, 1, 2}, 0},
+		{"empty", nil, nil, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := AMI(tc.u, tc.v); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("AMI = %v, want %v", got, tc.want)
+			}
+			// AMI is symmetric; the references must hold both ways.
+			if got := AMI(tc.v, tc.u); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("AMI reversed = %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	// NMI on the chance-exact case for contrast: the unadjusted score is
+	// MI/max(H) = 0.21576/ln2 ≈ 0.3113 — the adjustment is what removes
+	// the illusory agreement.
+	if got := NMI([]int{0, 0, 1, 1}, []int{0, 0, 0, 1}); math.Abs(got-0.311278124459) > 1e-9 {
+		t.Fatalf("NMI(chance-exact) = %v, want ≈0.31128", got)
+	}
+}

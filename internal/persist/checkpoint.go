@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 
+	"adawave/internal/embed"
 	"adawave/internal/grid"
 	"adawave/internal/pointset"
 )
@@ -19,12 +20,23 @@ import (
 //
 //	"AWC1"
 //	| configLen uint32 | config JSON (ConfigMeta)
-//	| n uint64 | d uint32 | data n·d float64
+//	| n uint64 | d uint32
+//	| — when the config names an embedding —
+//	| embLen uint32 | fitted embedder (embed.MarshalBinary bytes)
+//	| data n·d float64
 //	| — when n > 0 —
-//	| scale uint32 | mins d float64 | maxs d float64
+//	| scale uint32 | mins g float64 | maxs g float64
 //	| ids n int32
 //	| gridLen uint64 | grid snapshot (FlatGrid.WriteSnapshot bytes)
 //	| crc32c uint32
+//
+// d is always the raw row dimensionality. The quantizer frame and the grid
+// live in grid space: g equals the embedder's output dimensionality when an
+// embedding is configured (the embedder section restores the exact fitted
+// projection, so a restored session re-projects its raw rows bit for bit),
+// and g = d otherwise — a checkpoint without an embedding is byte-identical
+// to the pre-embedding format, so old checkpoints keep restoring. embLen is
+// 0 only for an empty session whose embedder was never fitted.
 //
 // The point rows and memoized cell ids are the session's warm state: a
 // restore rebuilds the quantizer from the stored frame (scale + bounds) and
@@ -38,6 +50,10 @@ const checkpointMagic = "AWC1"
 // maxConfigJSON bounds the config section; a fingerprint is < 1 KiB.
 const maxConfigJSON = 1 << 20
 
+// maxEmbedderBytes bounds the fitted-embedder section: a (k+1)×d float64
+// parameter block at the dimension caps is ~8 MiB; 16 MiB leaves headroom.
+const maxEmbedderBytes = 1 << 24
+
 // maxCheckpointPoints bounds the declared row count before any conversion
 // to int, mirroring the grid snapshot's cell-count guard on 32-bit
 // platforms.
@@ -46,6 +62,14 @@ const maxCheckpointPoints = 1 << 40
 // ErrConfigMismatch reports a checkpoint restored under an engine whose
 // configuration differs from the one the checkpoint was taken under.
 var ErrConfigMismatch = errors.New("persist: checkpoint configuration does not match the engine")
+
+// ErrEmbeddingMismatch is the embedding-specific refinement of
+// ErrConfigMismatch: the checkpoint and the engine disagree on the
+// embedding spec (one has an embedding the other lacks, or the kind, K or
+// seed differ). It wraps ErrConfigMismatch, so callers matching the broad
+// root keep working while the serving layer can answer with the dedicated
+// embedding_mismatch wire code.
+var ErrEmbeddingMismatch = fmt.Errorf("%w: embedding spec differs", ErrConfigMismatch)
 
 // ConfigMeta is the serialized configuration fingerprint. The basis is
 // stored by name (the built-in filter banks are fixed by their names); the
@@ -62,13 +86,21 @@ type ConfigMeta struct {
 	Threshold       string  `json:"threshold"`
 	MinClusterCells int     `json:"minClusterCells"`
 	MinClusterMass  float64 `json:"minClusterMass"`
+	// Embedding is the canonical embed.Spec rendering ("pca(k=8)",
+	// "rp(k=16,seed=42)"), empty when no embedding is configured — old
+	// fingerprints without the field decode to the empty spec.
+	Embedding string `json:"embedding,omitempty"`
 }
 
 // CheckConfig returns ErrConfigMismatch (with both fingerprints in the
-// message) unless the checkpoint's meta equals the engine's.
+// message) unless the checkpoint's meta equals the engine's; a disagreement
+// on the embedding spec reports the more specific ErrEmbeddingMismatch.
 func CheckConfig(fromCheckpoint, fromEngine ConfigMeta) error {
 	if fromCheckpoint == fromEngine {
 		return nil
+	}
+	if fromCheckpoint.Embedding != fromEngine.Embedding {
+		return fmt.Errorf("%w: checkpoint %q, engine %q", ErrEmbeddingMismatch, fromCheckpoint.Embedding, fromEngine.Embedding)
 	}
 	return fmt.Errorf("%w: checkpoint %+v, engine %+v", ErrConfigMismatch, fromCheckpoint, fromEngine)
 }
@@ -94,6 +126,11 @@ type SessionState struct {
 	// *FlatGrid: representation is a runtime choice, not a durable one.
 	Grid   *grid.FlatGrid
 	Packed *grid.PackedGrid
+	// Embedder is the session's fitted embedder; required when the config
+	// names an embedding and DS.N > 0 (the frame and grid live in its
+	// output space), nil otherwise. Its Spec must render to
+	// Config.Embedding.
+	Embedder embed.Embedder
 }
 
 // WriteSessionCheckpoint serializes st to w in the checkpoint format.
@@ -123,11 +160,35 @@ func WriteSessionCheckpoint(w io.Writer, st *SessionState) error {
 	if err := writeU32(cw, uint32(d)); err != nil {
 		return fmt.Errorf("persist: write checkpoint: %w", err)
 	}
+	// g is the grid-space dimensionality the frame below is sized by: the
+	// embedder's output dimension when one is configured, d otherwise.
+	g := d
+	if st.Config.Embedding != "" {
+		var blob []byte
+		if st.Embedder != nil {
+			if got := st.Embedder.Spec().String(); got != st.Config.Embedding {
+				return fmt.Errorf("persist: inconsistent session state: embedder %q under config embedding %q", got, st.Config.Embedding)
+			}
+			var err error
+			if blob, err = st.Embedder.MarshalBinary(); err != nil {
+				return fmt.Errorf("persist: write checkpoint embedder: %w", err)
+			}
+			g = st.Embedder.OutDim()
+		} else if n > 0 {
+			return fmt.Errorf("persist: inconsistent session state: %d points but no fitted embedder for embedding %q", n, st.Config.Embedding)
+		}
+		if err := writeU32(cw, uint32(len(blob))); err != nil {
+			return fmt.Errorf("persist: write checkpoint embedder: %w", err)
+		}
+		if _, err := cw.Write(blob); err != nil {
+			return fmt.Errorf("persist: write checkpoint embedder: %w", err)
+		}
+	}
 	if n > 0 {
 		if err := writeFloats(cw, st.DS.Data[:n*d]); err != nil {
 			return fmt.Errorf("persist: write checkpoint rows: %w", err)
 		}
-		if len(st.IDs) != n || (st.Grid == nil && st.Packed == nil) || len(st.Mins) != d || len(st.Maxs) != d {
+		if len(st.IDs) != n || (st.Grid == nil && st.Packed == nil) || len(st.Mins) != g || len(st.Maxs) != g {
 			return fmt.Errorf("persist: inconsistent session state: %d ids, %d mins, %d maxs for %d points", len(st.IDs), len(st.Mins), len(st.Maxs), n)
 		}
 		if err := writeU32(cw, uint32(st.Scale)); err != nil {
@@ -215,6 +276,41 @@ func ReadSessionCheckpoint(r io.Reader) (*SessionState, error) {
 	}
 	d := int(d32)
 	st.DS = &pointset.Dataset{D: d}
+	// gd is the grid-space dimensionality of the frame and grid sections:
+	// the embedder's output dimension when the config names an embedding,
+	// d otherwise.
+	gd := d
+	if st.Config.Embedding != "" {
+		embLen, err := readU32(cr)
+		if err != nil {
+			return nil, fmt.Errorf("persist: read checkpoint embedder: %w", err)
+		}
+		if embLen > maxEmbedderBytes {
+			return nil, fmt.Errorf("persist: checkpoint embedder of %d bytes out of range", embLen)
+		}
+		if embLen == 0 {
+			if n64 > 0 {
+				return nil, fmt.Errorf("persist: checkpoint with %d points under embedding %q lacks a fitted embedder", n64, st.Config.Embedding)
+			}
+		} else {
+			blob := make([]byte, embLen)
+			if _, err := io.ReadFull(cr, blob); err != nil {
+				return nil, fmt.Errorf("persist: read checkpoint embedder: %w", err)
+			}
+			emb, err := embed.Unmarshal(blob)
+			if err != nil {
+				return nil, fmt.Errorf("persist: decode checkpoint embedder: %w", err)
+			}
+			if got := emb.Spec().String(); got != st.Config.Embedding {
+				return nil, fmt.Errorf("persist: checkpoint embedder %q disagrees with config embedding %q", got, st.Config.Embedding)
+			}
+			if n64 > 0 && emb.InDim() != d {
+				return nil, fmt.Errorf("persist: checkpoint embedder input dimension %d disagrees with %d-dimensional rows", emb.InDim(), d)
+			}
+			st.Embedder = emb
+			gd = emb.OutDim()
+		}
+	}
 	if n64 == 0 {
 		return st, finishCheckpoint(cr, br)
 	}
@@ -236,13 +332,13 @@ func ReadSessionCheckpoint(r io.Reader) (*SessionState, error) {
 		return nil, fmt.Errorf("persist: checkpoint scale %d out of range", scale)
 	}
 	st.Scale = int(scale)
-	if st.Mins, err = readFloats(cr, uint64(d)); err != nil {
+	if st.Mins, err = readFloats(cr, uint64(gd)); err != nil {
 		return nil, fmt.Errorf("persist: read checkpoint frame: %w", err)
 	}
-	if st.Maxs, err = readFloats(cr, uint64(d)); err != nil {
+	if st.Maxs, err = readFloats(cr, uint64(gd)); err != nil {
 		return nil, fmt.Errorf("persist: read checkpoint frame: %w", err)
 	}
-	for j := 0; j < d; j++ {
+	for j := 0; j < gd; j++ {
 		if math.IsNaN(st.Mins[j]) || math.IsInf(st.Mins[j], 0) ||
 			math.IsNaN(st.Maxs[j]) || math.IsInf(st.Maxs[j], 0) || st.Mins[j] > st.Maxs[j] {
 			return nil, fmt.Errorf("persist: checkpoint frame [%v, %v] invalid in dimension %d", st.Mins[j], st.Maxs[j], j)
@@ -280,8 +376,8 @@ func ReadSessionCheckpoint(r io.Reader) (*SessionState, error) {
 	if mass := g.TotalMass(); mass != float64(n) {
 		return nil, fmt.Errorf("persist: checkpoint grid mass %v disagrees with %d points", mass, n)
 	}
-	if g.Dim() != d {
-		return nil, fmt.Errorf("persist: checkpoint grid dimension %d disagrees with %d-dimensional rows", g.Dim(), d)
+	if g.Dim() != gd {
+		return nil, fmt.Errorf("persist: checkpoint grid dimension %d disagrees with the %d-dimensional quantizer frame", g.Dim(), gd)
 	}
 	return st, nil
 }

@@ -1,0 +1,213 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Scenario generators for the embedding front-end: workloads whose raw
+// dimensionality is too high (or too redundant) for direct grid clustering
+// and that become easy after a fitted linear projection.
+
+// HighDimMixture builds k Gaussian clusters living on a random rank-r
+// linear subspace of an ambient dim-dimensional space: cluster centers are
+// sampled well-separated in subspace coordinates, points scatter around
+// them inside the subspace, uniform background noise (fraction gamma) fills
+// the subspace's unit box, and every point is perturbed by small isotropic
+// ambient noise so the data only approximately spans the subspace. Direct
+// grid clustering at dim = 64 is hopeless (a single occupied cell per
+// point); after a PCA or random-projection embedding to ≈ rank dimensions
+// the mixture is a standard blobs-in-noise problem. Deterministic in seed.
+func HighDimMixture(k, perCluster, dim, rank int, gamma float64, seed int64) *Dataset {
+	if rank < 1 || rank > dim {
+		panic(fmt.Sprintf("synth: mixture rank %d outside [1, %d]", rank, dim))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	basis := orthonormalBasis(rng, rank, dim)
+	centers := separatedCenters(rng, k, rank, 0.4)
+	const (
+		clusterStd = 0.02
+		ambientStd = 0.008
+	)
+	d := &Dataset{Name: fmt.Sprintf("highd-k%d-d%d-r%d", k, dim, rank)}
+	sub := make([]float64, rank)
+	for c := 0; c < k; c++ {
+		rows := make([][]float64, perCluster)
+		for i := range rows {
+			for r := 0; r < rank; r++ {
+				sub[r] = centers[c][r] + rng.NormFloat64()*clusterStd
+			}
+			rows[i] = embedRow(rng, sub, basis, ambientStd)
+		}
+		d.append(rows, c)
+	}
+	noise := NoiseCountFor(k*perCluster, gamma)
+	rows := make([][]float64, noise)
+	for i := range rows {
+		for r := 0; r < rank; r++ {
+			sub[r] = rng.Float64()
+		}
+		rows[i] = embedRow(rng, sub, basis, ambientStd)
+	}
+	d.append(rows, NoiseLabel)
+	return d
+}
+
+// embedRow maps subspace coordinates (centered on ½) through the basis into
+// the ambient space around the box center, plus isotropic ambient noise.
+func embedRow(rng *rand.Rand, sub []float64, basis [][]float64, ambientStd float64) []float64 {
+	dim := len(basis[0])
+	row := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		v := 0.5
+		for r := range basis {
+			v += (sub[r] - 0.5) * basis[r][j]
+		}
+		row[j] = v + rng.NormFloat64()*ambientStd
+	}
+	return row
+}
+
+// orthonormalBasis returns rank orthonormal dim-dimensional vectors
+// (Gram-Schmidt over Gaussian draws).
+func orthonormalBasis(rng *rand.Rand, rank, dim int) [][]float64 {
+	basis := make([][]float64, rank)
+	for r := range basis {
+		v := make([]float64, dim)
+		for {
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			for _, u := range basis[:r] {
+				dot := 0.0
+				for j := range v {
+					dot += v[j] * u[j]
+				}
+				for j := range v {
+					v[j] -= dot * u[j]
+				}
+			}
+			norm := 0.0
+			for _, x := range v {
+				norm += x * x
+			}
+			if norm > 1e-12 {
+				norm = math.Sqrt(norm)
+				for j := range v {
+					v[j] /= norm
+				}
+				break
+			}
+		}
+		basis[r] = v
+	}
+	return basis
+}
+
+// separatedCenters samples k centers in [0.15, 0.85]^rank with pairwise
+// distance at least minDist (rejection sampling; deterministic in rng).
+func separatedCenters(rng *rand.Rand, k, rank int, minDist float64) [][]float64 {
+	centers := make([][]float64, 0, k)
+	for len(centers) < k {
+		c := make([]float64, rank)
+		for j := range c {
+			c[j] = 0.15 + 0.7*rng.Float64()
+		}
+		ok := true
+		for _, o := range centers {
+			dist := 0.0
+			for j := range c {
+				dist += (c[j] - o[j]) * (c[j] - o[j])
+			}
+			if math.Sqrt(dist) < minDist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, c)
+		}
+	}
+	return centers
+}
+
+// ImageSegmentation renders a size×size synthetic grayscale image of four
+// intensity regions (background, disk, rectangle, ellipse, with additive
+// pixel noise) and returns one feature row per pixel: intensity, local
+// window means at two scales, horizontal/vertical Haar-style details, and
+// weakly scaled pixel coordinates — the wavelet-feature pixel clustering
+// setup of Chen & Frey (arXiv 1907.03591). The intensity-derived features
+// are strongly correlated, so a PCA embedding compresses them onto a couple
+// of components while the deliberately low-variance coordinate features
+// drop out; AdaWave on the embedded rows recovers the regions. Labels are
+// the ground-truth region ids (0 = background). Deterministic in seed.
+func ImageSegmentation(size int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	// Region intensities are well separated against pixel noise of 0.02.
+	img := make([]float64, size*size)
+	lab := make([]int, size*size)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			y := (float64(i) + 0.5) / float64(size)
+			x := (float64(j) + 0.5) / float64(size)
+			region, base := 0, 0.20
+			switch {
+			case (x-0.32)*(x-0.32)+(y-0.33)*(y-0.33) < 0.18*0.18:
+				region, base = 1, 0.55
+			case x > 0.55 && x < 0.92 && y > 0.12 && y < 0.45:
+				region, base = 2, 0.85
+			case (x-0.50)*(x-0.50)/(0.30*0.30)+(y-0.76)*(y-0.76)/(0.12*0.12) < 1:
+				region, base = 3, 0.40
+			}
+			img[i*size+j] = base + rng.NormFloat64()*0.02
+			lab[i*size+j] = region
+		}
+	}
+	at := func(i, j int) float64 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= size {
+			i = size - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= size {
+			j = size - 1
+		}
+		return img[i*size+j]
+	}
+	mean := func(i, j, half int) float64 {
+		sum, cnt := 0.0, 0
+		for di := -half; di <= half; di++ {
+			for dj := -half; dj <= half; dj++ {
+				sum += at(i+di, j+dj)
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	d := &Dataset{Name: fmt.Sprintf("image-seg-%dx%d", size, size)}
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			// Haar-style window details: half-window mean differences.
+			dh := mean(i, j+1, 1) - mean(i, j-1, 1)
+			dv := mean(i+1, j, 1) - mean(i-1, j, 1)
+			row := []float64{
+				at(i, j),
+				mean(i, j, 1),
+				mean(i, j, 3),
+				dh,
+				dv,
+				// Coordinates at deliberately low variance: PCA drops them,
+				// so segmentation is driven by appearance, not position.
+				0.05 * (float64(j) + 0.5) / float64(size),
+				0.05 * (float64(i) + 0.5) / float64(size),
+			}
+			d.append([][]float64{row}, lab[i*size+j])
+		}
+	}
+	return d
+}

@@ -102,6 +102,15 @@ func WithMinClusterMass(frac float64) Option {
 	return func(s *settings) { s.cfg.MinClusterMass = frac }
 }
 
+// WithEmbedding installs a dimensionality-reduction front-end (see PCA and
+// RandomProjection) as the pipeline's first stage. The zero Embedding
+// disables it. Sessions created from the clusterer fit the embedding once on
+// their first appended batch and checkpoint the fitted parameters; restoring
+// under a different embedding spec fails with ErrEmbeddingMismatch.
+func WithEmbedding(e Embedding) Option {
+	return func(s *settings) { s.cfg.Embedding = e }
+}
+
 // WithPackedCells selects the grid representation for grids that stay
 // resident — a streaming session's live base grid and the out-of-core
 // path's merged output. true (the default) stores them block-compressed
