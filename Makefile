@@ -12,15 +12,17 @@ GO ?= go
 # the ctx-check overhead probe (Fig. 2 through the cancellable
 # ClusterDatasetContext; acceptance ≤2 % over the ctx-free path), and the
 # governance workloads (DRR scheduler fairness solo vs contended, the
-# 50k-point session evict→rehydrate round trip).
+# 50k-point session evict→rehydrate round trip), and the cluster workloads
+# (WAL frame replication throughput through a live Tailer into a
+# follower-side session + journal, and the 50k-point warm-failover handoff).
 # BENCHTIME is overridable for quicker local runs.
-BENCH_PERF = Fig2RunningExample|EmbedFig2|EmbedHighDim|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k|GridFootprint
+BENCH_PERF = Fig2RunningExample|EmbedFig2|EmbedHighDim|Fig9Roadmap|MultiResolution|AssignNoiseToNearest|SessionAppendRelabel|ColdRecluster50k|MergeThroughput|WALAppend|ColdRecovery50k|CtxOverheadFig2|SchedulerFairness|EvictRehydrate50k|GridFootprint|WALReplicationThroughput|Failover50k
 BENCHTIME ?= 100x
 
 # The committed perf-trajectory snapshot this PR writes (BENCH_$(BENCH_N).json)
 # and the previous one benchcheck gates against. Bump BENCH_N once per PR
 # that refreshes the snapshot instead of editing each filename below.
-BENCH_N ?= 9
+BENCH_N ?= 10
 BENCH_PREV = $(shell expr $(BENCH_N) - 1)
 
 .PHONY: build test race bench bench-json bench-scale profile fmt-check vet ci
@@ -37,9 +39,11 @@ test:
 # concurrent readers through a shared Session, whose crash-recovery
 # property test replays every WAL crash point, and whose evict→rehydrate
 # property test hammers two sessions ping-ponging through the residency
-# budget under concurrent readers).
+# budget under concurrent readers, and whose kill-and-promote property test
+# replicates random mutation splits to a follower and promotes it against a
+# killed primary).
 race:
-	$(GO) test -race ./internal/grid/... ./internal/core/... ./internal/pointset/... ./internal/sched/... ./internal/persist/... ./cmd/adawave-serve/... .
+	$(GO) test -race ./internal/grid/... ./internal/core/... ./internal/pointset/... ./internal/sched/... ./internal/persist/... ./internal/cluster/... ./cmd/adawave-serve/... .
 
 # The CI benchmark smoke job: one iteration of the Fig. 2 benchmarks.
 bench:

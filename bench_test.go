@@ -1110,3 +1110,117 @@ func BenchmarkEmbedHighDim(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWALReplicationThroughput measures the full replication data
+// path one streamed mutation pays on the follower side: the primary frames
+// and writes a 1 % (500-point) append, a live Tailer picks the frame up
+// through its own read fd, and the follower parses it, folds the batch into
+// its warm 50k-point session and journals the identical bytes into its own
+// WAL. This is the per-record pipeline a follower runs continuously; it is
+// off the primary's mutation hot path entirely (the primary's own cost is
+// BenchmarkWALAppend), so the number bounds replication lag under load, not
+// client-visible latency.
+func BenchmarkWALReplicationThroughput(b *testing.B) {
+	warm, delta := streamingFixture(b)
+	cfg := core.DefaultConfig()
+	sess, err := NewSession(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Append(warm); err != nil {
+		b.Fatal(err)
+	}
+	primary, err := persist.OpenWAL(filepath.Join(b.TempDir(), "primary.log"), persist.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer primary.Close()
+	follower, err := persist.OpenWAL(filepath.Join(b.TempDir(), "follower.log"), persist.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer follower.Close()
+	tail, err := primary.NewTailer(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tail.Close()
+	idx := make([]int, delta.N)
+	b.SetBytes(int64(8 * delta.N * delta.D))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := primary.AppendBatch(delta); err != nil {
+			b.Fatal(err)
+		}
+		frame, _, err := tail.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := persist.ParseFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Append(rec.Batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := follower.AppendFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+		// Keep the follower session at its 50k steady state; the removal is
+		// bookkeeping outside the measured pipeline.
+		b.StopTimer()
+		for j := range idx {
+			idx[j] = warm.N + j
+		}
+		if err := sess.Remove(idx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFailover50k measures the warm-failover handoff a promoted
+// follower pays before serving its first read: the replica session already
+// holds every streamed mutation (that is what warm means — no checkpoint
+// restore, no WAL replay at promote time), so the handoff cost is one
+// labels pass over the maintained grid with the freshly streamed tail
+// folded in. Compare BenchmarkColdRecovery50k, the same first read served
+// without a follower: checkpoint restore plus tail replay come first there.
+func BenchmarkFailover50k(b *testing.B) {
+	warm, delta := streamingFixture(b)
+	cfg := core.DefaultConfig()
+	sess, err := NewSession(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Append(warm); err != nil {
+		b.Fatal(err)
+	}
+	idx := make([]int, delta.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A follower serves no reads, so at promote time the label cache is
+		// cold and the last streamed frames are still pending; stage that
+		// state outside the measured handoff.
+		b.StopTimer()
+		if err := sess.Append(delta); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		labels, err := sess.Labels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(labels) != warm.N+delta.N {
+			b.Fatalf("labels: got %d", len(labels))
+		}
+		b.StopTimer()
+		for j := range idx {
+			idx[j] = warm.N + j
+		}
+		if err := sess.Remove(idx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

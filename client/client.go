@@ -61,11 +61,15 @@ func WithAPIKey(key string) ClientOption {
 }
 
 // WithRetry makes the client retry requests rejected with 429
-// resource_exhausted up to maxRetries times, honoring the server's
-// Retry-After hint with jittered exponential backoff capped at 30 s per
-// wait. Only replayable requests retry — a streamed CSV upload is consumed
-// by its first attempt and is returned to the caller to resend. The
-// request context bounds the whole retry loop; cancelling it aborts a
+// resource_exhausted — and idempotent requests answered 503 with a
+// Retry-After hint, which is how a cluster router signals a failover in
+// flight — up to maxRetries times, honoring the server's Retry-After hint
+// with jittered exponential backoff capped at 30 s per wait. Only
+// replayable requests retry — a streamed CSV upload is consumed by its
+// first attempt and is returned to the caller to resend — and only
+// idempotent methods retry a 503: a POST interrupted mid-proxy may have
+// been applied, so replaying it is the caller's call, not the client's.
+// The request context bounds the whole retry loop; cancelling it aborts a
 // backoff sleep immediately.
 func WithRetry(maxRetries int) ClientOption {
 	return func(c *Client) {
@@ -173,7 +177,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		err = decodeAPIError(resp)
 		resp.Body.Close()
-		if !c.shouldRetry(err, attempt) {
+		if !c.shouldRetry(method, err, attempt) {
 			return err
 		}
 		var ae *APIError
@@ -184,15 +188,39 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-// shouldRetry: only 429 resource_exhausted responses, only under WithRetry's
-// budget. Every other status is either permanent (4xx) or the server's fault
-// (5xx) — blind replay would just add load.
-func (c *Client) shouldRetry(err error, attempt int) bool {
+// shouldRetry, under WithRetry's budget: 429 responses (quota backpressure,
+// any method — the request was refused before it touched a session), and
+// 503 responses carrying a Retry-After hint for idempotent methods (a
+// cluster router mid-failover; the hint is its explicit come-back signal).
+// A 503 POST never retries here — it may have been applied by a node that
+// died before answering, and replaying it could double-apply. Every other
+// status is either permanent (4xx) or the server's fault (5xx) — blind
+// replay would just add load.
+func (c *Client) shouldRetry(method string, err error, attempt int) bool {
 	if c.retries <= 0 || attempt >= c.retries {
 		return false
 	}
 	var ae *APIError
-	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.Status {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusServiceUnavailable:
+		return ae.RetryAfter > 0 && idempotentMethod(method)
+	}
+	return false
+}
+
+// idempotentMethod reports whether a method is safe to replay blindly
+// (RFC 9110 §9.2.2).
+func idempotentMethod(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete, http.MethodOptions:
+		return true
+	}
+	return false
 }
 
 // sleepBackoff waits before attempt+1: the server's Retry-After hint when
@@ -229,6 +257,12 @@ func decodeAPIError(resp *http.Response) error {
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
 			apiErr.RetryAfter = time.Duration(secs) * time.Second
+			if apiErr.RetryAfter == 0 {
+				// RetryAfter doubles as the "hint was present" signal (zero
+				// means absent), so an explicit "retry immediately" floors
+				// at a nominal wait instead of vanishing.
+				apiErr.RetryAfter = time.Millisecond
+			}
 		}
 	}
 	return apiErr

@@ -1,0 +1,72 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// failoverStub answers n 503s (with Retry-After, the router's mid-failover
+// contract) before succeeding.
+func failoverStub(t *testing.T, fail503 int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= fail503 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"unavailable","message":"shard failing over"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		switch r.Method {
+		case http.MethodGet:
+			w.Write([]byte(`{"status":"ok","sessions":0}`))
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetryIdempotentOn503(t *testing.T) {
+	srv, calls := failoverStub(t, 2)
+	c := New(srv.URL, WithRetry(3))
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("GET through a failover window: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestNoRetryPostOn503(t *testing.T) {
+	srv, calls := failoverStub(t, 1)
+	c := New(srv.URL, WithRetry(3))
+	_, err := c.CreateSession(context.Background(), nil)
+	if err == nil {
+		t.Fatal("POST through a 503 must surface the error, not replay")
+	}
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("got %v, want the 503 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (no POST replay)", got)
+	}
+}
+
+func TestNoRetry503WithoutBudget(t *testing.T) {
+	srv, calls := failoverStub(t, 1)
+	c := New(srv.URL) // no WithRetry
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("503 without a retry budget must surface")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}

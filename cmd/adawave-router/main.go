@@ -1,0 +1,106 @@
+// Command adawave-router is the cluster front door for adawave-serve
+// nodes: it places sessions onto shards with a consistent-hash ring,
+// proxies /v1 traffic to each session's active node, and drives failover —
+// when a shard's primary stops answering, requests get 503 + Retry-After
+// while the router promotes the follower, then traffic resumes against the
+// promoted node with labels bit-identical to the lost primary's.
+//
+// Usage:
+//
+//	adawave-router -peers http://a:8321=http://a2:8321,http://b:8321=http://b2:8321
+//	               [-addr :8320] [-vnodes 128] [-probe-interval 500ms]
+//	               [-probe-timeout 2s] [-fail-threshold 2] [-retry-after 1s]
+//	               [-shutdown-timeout 10s]
+//
+// Each -peers entry is one shard as primary=follower base URLs (a bare URL
+// is a shard with no follower, and no failover). The router itself is
+// stateless: everything it knows is rebuilt from -peers at boot, so routers
+// can be restarted or load-balanced freely.
+//
+// Endpoints beyond the proxied /v1 surface:
+//
+//	GET /healthz            router liveness
+//	GET /v1/cluster/status  per-shard placement and failover state
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adawave/internal/cluster"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8320", "listen address")
+		peers           = flag.String("peers", "", "comma-separated primary=follower base-URL pairs, one per shard (required)")
+		vnodes          = flag.Int("vnodes", 128, "virtual nodes per shard on the placement ring")
+		probeInterval   = flag.Duration("probe-interval", 500*time.Millisecond, "liveness probe cadence")
+		probeTimeout    = flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+		failThreshold   = flag.Int("fail-threshold", 2, "consecutive probe misses before a failover starts")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After advertised while a failover is in flight")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	shards, err := cluster.ParseShards(*peers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adawave-router: %v\n", err)
+		os.Exit(2)
+	}
+	router, err := cluster.NewRouter(cluster.RouterOptions{
+		Shards:        shards,
+		VNodes:        *vnodes,
+		Client:        &http.Client{Timeout: *probeTimeout},
+		ProbeInterval: *probeInterval,
+		FailThreshold: *failThreshold,
+		RetryAfter:    *retryAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adawave-router: %v\n", err)
+		os.Exit(2)
+	}
+	router.Start()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("adawave-router listening on %s (%d shards, probe every %s, fail threshold %d)",
+		*addr, len(shards), *probeInterval, *failThreshold)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			router.Stop()
+			fmt.Fprintf(os.Stderr, "adawave-router: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("adawave-router: draining (up to %s)", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("adawave-router: forced close: %v", err)
+			hs.Close()
+		}
+	}
+	router.Stop()
+}

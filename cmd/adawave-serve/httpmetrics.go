@@ -120,7 +120,13 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// metricsHandler answers GET /v1/metrics.
+// metricsHandler answers GET /v1/metrics. Nodes running with a cluster
+// role also report their replication standing (per-session lag on a
+// follower), so one metrics scrape observes both traffic and replication.
 func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	resp := s.metrics.snapshot()
+	if role := s.currentRole(); role != roleStandalone {
+		resp.Replication = s.replicationOverview()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -9,12 +9,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"adawave/internal/persist"
 	"adawave/internal/sched"
 )
+
+// splitPeers parses the informational -peers list.
+func splitPeers(spec string) []string {
+	var out []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -37,6 +49,9 @@ func main() {
 		quotaQPS        = flag.Float64("quota-qps", 0, "per-tenant request-rate cap over a sliding 10s window (0 = unlimited)")
 		maxResident     = flag.Int("max-resident-sessions", 0, "most sessions resident in memory; colder ones evict to their checkpoints (0 = unbounded, requires -data-dir)")
 		maxResidentByte = flag.Int64("max-resident-bytes", 0, "resident-memory budget across sessions in bytes (0 = unbounded, requires -data-dir)")
+		role            = flag.String("role", "standalone", "cluster role: standalone, primary (serves the replication feed; requires -data-dir) or follower (replicates -follower-of until promoted; requires -data-dir)")
+		followerOf      = flag.String("follower-of", "", "base URL of the primary to replicate (required with -role=follower)")
+		peers           = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes (informational; reported in replication status)")
 	)
 	flag.Parse()
 
@@ -70,6 +85,9 @@ func main() {
 		},
 		maxResident:      *maxResident,
 		maxResidentBytes: *maxResidentByte,
+		role:             *role,
+		followerOf:       strings.TrimRight(*followerOf, "/"),
+		peers:            splitPeers(*peers),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)
@@ -87,9 +105,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	if *dataDir != "" {
-		log.Printf("adawave-serve listening on %s (request timeout %s, data dir %s, wal sync %s)", *addr, *timeout, *dataDir, policy)
-	} else {
+	switch {
+	case *role == "follower":
+		log.Printf("adawave-serve listening on %s (role follower of %s, data dir %s, wal sync %s)", *addr, *followerOf, *dataDir, policy)
+	case *dataDir != "":
+		log.Printf("adawave-serve listening on %s (role %s, request timeout %s, data dir %s, wal sync %s)", *addr, *role, *timeout, *dataDir, policy)
+	default:
 		log.Printf("adawave-serve listening on %s (request timeout %s)", *addr, *timeout)
 	}
 

@@ -78,6 +78,13 @@ func (s *server) withDeadline(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Replication streams are long-lived by design (a follower tails
+		// the WAL for the life of the connection); the request deadline
+		// would sever them every -timeout and force pointless reconnects.
+		if strings.HasPrefix(r.URL.Path, "/v1/replication/") {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))

@@ -62,6 +62,7 @@ import (
 	"mime"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -70,6 +71,7 @@ import (
 
 	"adawave"
 	"adawave/internal/api"
+	"adawave/internal/cluster"
 	"adawave/internal/core"
 	"adawave/internal/dataio"
 	"adawave/internal/grid"
@@ -100,6 +102,19 @@ type serverOptions struct {
 	quota            sched.Quota
 	maxResident      int
 	maxResidentBytes int64
+
+	// Cluster role (see replicate.go): "" or "standalone" serves alone;
+	// "primary" additionally exposes the replication feed; "follower"
+	// replicates followerOf's sessions and serves reads + replication only
+	// until promoted. peers is informational (reported in status).
+	role       string
+	followerOf string
+	peers      []string
+
+	// Replication cadence overrides (zero = the cluster package defaults of
+	// 1s poll / 500ms retry); tests tighten these to keep failover drills fast.
+	replicaPoll  time.Duration
+	replicaRetry time.Duration
 }
 
 // server holds the session registry: one adawave.Session per id, each safe
@@ -130,6 +145,15 @@ type server struct {
 	tenants          map[string]string
 	maxResident      int
 	maxResidentBytes int64
+
+	// Cluster state (see replicate.go). role is atomic because a follower
+	// flips to primary at promote time while requests are in flight;
+	// replica is the follower's replication engine (nil otherwise).
+	role       atomic.Value // string
+	followerOf string
+	peers      []string
+	replica    *cluster.ReplicaSet
+	promoteMu  sync.Mutex
 
 	mu       sync.RWMutex
 	sessions map[string]*serveSession
@@ -216,6 +240,25 @@ func newServer(opts serverOptions) (*server, error) {
 	if (opts.maxResident > 0 || opts.maxResidentBytes > 0) && opts.dataDir == "" {
 		return nil, errors.New("-max-resident-sessions/-max-resident-bytes require -data-dir (eviction parks sessions on their checkpoints)")
 	}
+	if opts.role == "" {
+		opts.role = roleStandalone
+	}
+	switch opts.role {
+	case roleStandalone:
+	case rolePrimary:
+		if opts.dataDir == "" {
+			return nil, errors.New("-role=primary requires -data-dir (replication streams the write-ahead log)")
+		}
+	case roleFollower:
+		if opts.dataDir == "" {
+			return nil, errors.New("-role=follower requires -data-dir (replicated state is journaled locally)")
+		}
+		if opts.followerOf == "" {
+			return nil, errors.New("-role=follower requires -follower-of (the primary's base URL)")
+		}
+	default:
+		return nil, fmt.Errorf("unknown -role %q (want standalone, primary or follower)", opts.role)
+	}
 	s := &server{
 		workers:          opts.workers,
 		timeout:          opts.timeout,
@@ -230,10 +273,13 @@ func newServer(opts serverOptions) (*server, error) {
 		tenants:          opts.tenants,
 		maxResident:      opts.maxResident,
 		maxResidentBytes: opts.maxResidentBytes,
+		followerOf:       opts.followerOf,
+		peers:            opts.peers,
 		stop:             make(chan struct{}),
 		sessions:         make(map[string]*serveSession),
 		metrics:          newServerMetrics(),
 	}
+	s.role.Store(opts.role)
 	if opts.dataDir != "" {
 		pers, err := openPersistence(opts.dataDir, opts.walSync)
 		if err != nil {
@@ -241,6 +287,24 @@ func newServer(opts serverOptions) (*server, error) {
 			return nil, err
 		}
 		s.pers = pers
+		if opts.role == roleFollower {
+			// The replication engine owns every session directory on a
+			// follower: it recovers them itself (so a follower restarted
+			// after its primary died can still be promoted) and keeps them
+			// current from the primary's stream. The serving registry stays
+			// empty until a promote hands the warm sessions over.
+			s.replica = cluster.NewReplicaSet(cluster.ReplicaOptions{
+				Primary: opts.followerOf,
+				Root:    filepath.Join(opts.dataDir, "sessions"),
+				Workers: opts.workers,
+				Policy:  opts.walSync,
+				Poll:    opts.replicaPoll,
+				Retry:   opts.replicaRetry,
+			})
+			s.replica.Start()
+			s.startBackground()
+			return s, nil
+		}
 		recovered, maxID := pers.recoverSessions(opts.workers)
 		s.sessions = recovered
 		s.nextID.Store(maxID)
@@ -356,6 +420,9 @@ func (s *server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.bg.Wait()
+		if s.replica != nil {
+			s.replica.Close()
+		}
 		for _, ss := range s.snapshotSessions() {
 			ss.lockWrite(context.Background())
 			if ss.files != nil {
@@ -388,7 +455,19 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.deleteSession))
 	mux.HandleFunc("GET /v1/tenants/{id}/usage", s.instrument("tenant_usage", s.tenantUsage))
 
+	// Cluster replication feed (see replicate.go): a primary serves the
+	// session list, checkpoint downloads and the long-lived WAL frame
+	// stream; a follower serves promote. All of them bypass the request
+	// deadline (the stream is long-lived by design) and the tenant QPS
+	// admission (node-to-node traffic must not consume tenant quota).
+	mux.HandleFunc("GET /v1/replication/sessions", s.instrument("replication_sessions", s.replicationSessions))
+	mux.HandleFunc("GET /v1/replication/sessions/{id}/checkpoint", s.instrument("replication_checkpoint", s.replicationCheckpoint))
+	mux.HandleFunc("GET /v1/replication/sessions/{id}/wal", s.instrument("replication_wal", s.replicationWAL))
+	mux.HandleFunc("POST /v1/replication/promote", s.instrument("replication_promote", s.promoteHandler))
+	mux.HandleFunc("GET /v1/replication/status", s.instrument("replication_status", s.replicationStatus))
+
 	var h http.Handler = mux
+	h = s.withRole(h)
 	h = s.withDeadline(h)
 	h = s.withTenant(h)
 	h = legacyShim(h)
@@ -467,7 +546,26 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := sched.TenantFrom(r.Context())
-	id := "s" + strconv.FormatUint(s.nextID.Add(1), 10)
+	// A router pins the id it placed on the ring via the session-id header,
+	// so placement happens before creation; direct clients let the server
+	// mint one.
+	id := r.Header.Get(api.HeaderSessionID)
+	if id != "" {
+		if !validSessionID(id) {
+			writeCode(w, http.StatusBadRequest, api.CodeInvalidInput,
+				fmt.Sprintf("bad %s %q (want 1-64 chars of [a-zA-Z0-9_-])", api.HeaderSessionID, id))
+			return
+		}
+		s.mu.RLock()
+		_, taken := s.sessions[id]
+		s.mu.RUnlock()
+		if taken {
+			writeCode(w, http.StatusConflict, api.CodeConflict, fmt.Sprintf("session %q already exists", id))
+			return
+		}
+	} else {
+		id = "s" + strconv.FormatUint(s.nextID.Add(1), 10)
+	}
 	ss := newServeSession(id, tenant, sess, nil, s.workers)
 	if s.pers != nil {
 		files, err := s.pers.create(id, core.ConfigFingerprint(sess.Config()), tenant)
@@ -485,6 +583,17 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 			os.RemoveAll(ss.files.dir)
 		}
 		writeCode(w, http.StatusTooManyRequests, api.CodeSessionLimit, fmt.Sprintf("session limit %d reached", s.maxSessions))
+		return
+	}
+	if _, taken := s.sessions[id]; taken {
+		// Two creates raced the same pinned id; the loser backs off. Its WAL
+		// handle is closed but the directory is left alone — it belongs to
+		// the winner now.
+		s.mu.Unlock()
+		if ss.files != nil {
+			ss.files.wal.Close()
+		}
+		writeCode(w, http.StatusConflict, api.CodeConflict, fmt.Sprintf("session %q already exists", id))
 		return
 	}
 	s.sessions[id] = ss
@@ -506,6 +615,18 @@ func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
 			Tenant: ss.tenant, Resident: ss.resident(),
 		})
 	}
+	// A follower's registry is empty; its warm replicas are the sessions it
+	// would serve after a promote, so list them.
+	if s.replica != nil {
+		for _, id := range s.replica.IDs() {
+			if sess, tenant, ok := s.replica.Lookup(id); ok {
+				rows = append(rows, api.SessionInfo{
+					ID: id, Points: sess.Len(), Dim: sess.Dim(),
+					Tenant: tenant, Resident: true,
+				})
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, api.ListSessionsResponse{Sessions: rows})
 }
 
@@ -519,8 +640,19 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 
 // sessionDetail answers GET /v1/sessions/{id}: shape, live-grid cell count
 // (pending mutations folded, cancellable via the request context) and the
-// durability state.
+// durability state. On a follower the registry is empty and the detail is
+// served from the warm replica instead — including the replication lag,
+// which is how an operator (or a test) observes a follower catching up.
 func (s *server) sessionDetail(w http.ResponseWriter, r *http.Request) {
+	if s.replica != nil {
+		s.mu.RLock()
+		_, inRegistry := s.sessions[r.PathValue("id")]
+		s.mu.RUnlock()
+		if !inRegistry {
+			s.replicaDetail(w, r)
+			return
+		}
+	}
 	ss := s.lookup(w, r)
 	if ss == nil {
 		return
@@ -549,6 +681,10 @@ func (s *server) sessionDetail(w http.ResponseWriter, r *http.Request) {
 		// long mutation holding the writer lock.
 		detail.Durable = true
 		detail.LastCheckpointSeq = ss.files.ckptSeq.Load()
+		if role, _ := s.role.Load().(string); role == rolePrimary {
+			seq := ss.files.wal.Seq()
+			detail.Replication = &api.ReplicationStatus{Role: rolePrimary, AppliedSeq: seq, PrimarySeq: seq}
+		}
 	}
 	writeJSON(w, http.StatusOK, detail)
 }

@@ -7,15 +7,12 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"adawave"
-	"adawave/internal/core"
-	"adawave/internal/embed"
-	"adawave/internal/grid"
+	"adawave/internal/cluster"
 	"adawave/internal/persist"
 	"adawave/internal/pointset"
 	"adawave/internal/sched"
@@ -45,11 +42,6 @@ import (
 // append and the checkpoint fallback both failed): the handler answers 500,
 // not a 4xx that would blame the client.
 var errDurability = errors.New("durability failure")
-
-const (
-	ckptPrefix = "checkpoint-"
-	ckptSuffix = ".awc"
-)
 
 // persistence is the server-wide durable-storage root.
 type persistence struct {
@@ -123,42 +115,10 @@ func tenantOf(dir string) string {
 }
 
 // configFromMeta rebuilds the adawave.Config a recovered session runs
-// under, then verifies it re-renders to exactly the stored fingerprint
-// through core.ConfigFingerprint — the same canonical renderer session
-// creation and checkpointing use — so the serving layer cannot drift from
-// the checkpoint format. Only threshold strategies this server can create
-// (the default) are restorable.
+// under; the session-directory layout and its fingerprint round-trip check
+// live in internal/cluster, shared with the replication path.
 func configFromMeta(m persist.ConfigMeta) (adawave.Config, error) {
-	cfg := adawave.DefaultConfig()
-	cfg.Scale = m.Scale
-	cfg.Levels = m.Levels
-	basis, err := adawave.BasisByName(m.Basis)
-	if err != nil {
-		return cfg, err
-	}
-	cfg.Basis = basis
-	switch m.Connectivity {
-	case "faces":
-		cfg.Connectivity = grid.Faces
-	case "full":
-		cfg.Connectivity = grid.Full
-	default:
-		return cfg, fmt.Errorf("unknown connectivity %q", m.Connectivity)
-	}
-	cfg.CoeffEpsilon = m.CoeffEpsilon
-	cfg.MinClusterCells = m.MinClusterCells
-	cfg.MinClusterMass = m.MinClusterMass
-	if m.Embedding != "" {
-		sp, err := embed.ParseSpec(m.Embedding)
-		if err != nil {
-			return cfg, err
-		}
-		cfg.Embedding = sp
-	}
-	if got := core.ConfigFingerprint(cfg); got != m {
-		return cfg, fmt.Errorf("config fingerprint does not round-trip (stored %+v, rebuilt %+v)", m, got)
-	}
-	return cfg, nil
+	return cluster.ConfigFromMeta(m)
 }
 
 // journalAppend logs an acknowledged append. On a WAL failure it falls back
@@ -256,20 +216,9 @@ func (ss *serveSession) checkpointLocked() (seq uint64, err error) {
 	return seq, nil
 }
 
-func ckptName(seq uint64) string {
-	return fmt.Sprintf("%s%020d%s", ckptPrefix, seq, ckptSuffix)
-}
+func ckptName(seq uint64) string { return cluster.CheckpointFileName(seq) }
 
-func ckptSeqOf(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
-		return 0, false
-	}
-	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix), 10, 64)
-	if err != nil {
-		return 0, false
-	}
-	return seq, true
-}
+func ckptSeqOf(name string) (uint64, bool) { return cluster.CheckpointSeqOf(name) }
 
 // syncDir fsyncs a directory so a just-renamed checkpoint survives power
 // loss; best-effort (some filesystems refuse directory fsync).
@@ -280,93 +229,17 @@ func syncDir(dir string) {
 	}
 }
 
-// loadSessionDir recovers one session directory: fingerprint → engine,
-// newest restorable checkpoint → warm session, WAL tail replay (records
-// above the checkpoint's sequence; a torn trailing record is discarded).
-// It returns the live session ready to serve, with its reopened WAL.
+// loadSessionDir recovers one session directory through the shared layout
+// code in internal/cluster (fingerprint → engine, newest restorable
+// checkpoint → warm session, WAL tail replay with the torn trailing record
+// discarded), adapting the result to the serving layer's sessionFiles.
 func loadSessionDir(dir string, workers int, policy persist.SyncPolicy) (*adawave.Session, *sessionFiles, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, "config.json"))
+	sess, disk, err := cluster.LoadSessionDir(dir, workers, policy)
 	if err != nil {
 		return nil, nil, err
 	}
-	var meta persist.ConfigMeta
-	if err := json.Unmarshal(raw, &meta); err != nil {
-		return nil, nil, fmt.Errorf("config.json: %w", err)
-	}
-	cfg, err := configFromMeta(meta)
-	if err != nil {
-		return nil, nil, fmt.Errorf("config.json: %w", err)
-	}
-
-	// Newest checkpoint first; on a restore failure fall back to older ones
-	// (normally at most one exists — older files mean a crash interrupted
-	// the post-checkpoint sweep).
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, err
-	}
-	type ckpt struct {
-		name string
-		seq  uint64
-	}
-	var ckpts []ckpt
-	for _, e := range entries {
-		if seq, ok := ckptSeqOf(e.Name()); ok {
-			ckpts = append(ckpts, ckpt{e.Name(), seq})
-		}
-	}
-	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a].seq > ckpts[b].seq })
-
-	var sess *adawave.Session
-	var ckptSeq, newestSeq uint64
-	if len(ckpts) > 0 {
-		newestSeq = ckpts[0].seq
-	}
-	for _, c := range ckpts {
-		f, err := os.Open(filepath.Join(dir, c.name))
-		if err != nil {
-			continue
-		}
-		restored, rerr := adawave.RestoreSession(f, cfg, workers)
-		f.Close()
-		if rerr != nil {
-			log.Printf("adawave-serve: checkpoint %s unrestorable: %v", c.name, rerr)
-			continue
-		}
-		sess, ckptSeq = restored, c.seq
-		break
-	}
-	if sess == nil {
-		// No (restorable) checkpoint: an empty session replays the whole log.
-		if sess, err = adawave.NewSession(cfg, workers); err != nil {
-			return nil, nil, err
-		}
-	}
-
-	walPath := filepath.Join(dir, "wal.log")
-	lastSeq, _, err := persist.ReplayInto(walPath, ckptSeq, sess)
-	if err != nil {
-		return nil, nil, fmt.Errorf("wal replay: %w", err)
-	}
-	// If recovery had to fall back past the newest checkpoint (it existed
-	// but would not restore), the WAL must still cover every sequence the
-	// newest checkpoint had folded in — otherwise mutations this server
-	// acknowledged are gone, and serving the stale state as if it were
-	// current would be a silent data loss. Refuse instead; the directory is
-	// left untouched for inspection.
-	if ckptSeq < newestSeq && lastSeq < newestSeq {
-		return nil, nil, fmt.Errorf("newest checkpoint (seq %d) unrestorable and wal ends at seq %d: acknowledged state missing", newestSeq, lastSeq)
-	}
-	wal, err := persist.OpenWAL(walPath, policy)
-	if err != nil {
-		return nil, nil, err
-	}
-	// A fresh log (no checkpoint, no records — or a log orphaned by a
-	// crash before its first record) must not restart sequences below an
-	// existing checkpoint's.
-	wal.SkipTo(ckptSeq)
-	files := &sessionFiles{dir: dir, wal: wal}
-	files.ckptSeq.Store(ckptSeq)
+	files := &sessionFiles{dir: disk.Dir, wal: disk.WAL}
+	files.ckptSeq.Store(disk.CkptSeq)
 	return sess, files, nil
 }
 

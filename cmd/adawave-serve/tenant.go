@@ -75,7 +75,11 @@ func (s *server) withTenant(next http.Handler) http.Handler {
 		}
 		ctx := sched.WithTenant(sched.WithPool(r.Context(), s.pool), tenant)
 		r = r.WithContext(ctx)
-		if r.URL.Path != "/healthz" {
+		// /healthz and the node-to-node replication endpoints are exempt
+		// from admission: a liveness probe must not be rate-limited into
+		// flapping, and a follower catching up must not consume the quota
+		// of the tenants whose data it replicates.
+		if r.URL.Path != "/healthz" && !strings.HasPrefix(r.URL.Path, "/v1/replication/") {
 			if qe := s.gov.AdmitRequest(tenant); qe != nil {
 				s.writeQuotaErr(w, qe)
 				return

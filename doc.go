@@ -203,6 +203,24 @@
 // including cancellation. The Result is bit-identical to ClusterDataset
 // on the same rows, a property tested across random chunk/spill budgets.
 //
+// # Cluster mode
+//
+// For availability beyond one process, cmd/adawave-serve takes a -role
+// flag: a primary exposes its sessions' write-ahead logs as a streaming
+// replication feed, and a follower (-follower-of) seeds each session
+// from a checkpoint snapshot, tails the CRC-framed WAL records over
+// long-lived HTTP, journals them to its own data-dir and applies them to
+// warm in-memory sessions, reporting applied sequence and lag. The thin
+// cmd/adawave-router binary places sessions on a consistent-hash ring
+// over static primary=follower shard pairs, proxies /v1 traffic to each
+// session's active node, probes liveness, and on primary death answers
+// 503 + Retry-After (absorbed by the client's WithRetry for idempotent
+// requests) while promoting the follower — a role flip over already-live
+// sessions, so failover cost is the first label read, not a replay. The
+// promoted node's labels are bit-identical to the lost primary's; the
+// internal/cluster package holds the ring, failure detector and
+// replication engine.
+//
 // The package also exposes the substrate the paper builds on (wavelet
 // bases, threshold strategies, multi-resolution clustering), the
 // evaluation metric the paper uses (adjusted mutual information), and the

@@ -11,6 +11,8 @@
 // beside /v1, never mutate v1.
 package api
 
+import "adawave/internal/persist"
+
 // Version is the wire-contract version these DTOs describe, as mounted in
 // the URL space.
 const Version = "v1"
@@ -88,6 +90,10 @@ type SessionDetail struct {
 	// Embedding echoes the session's embedding front-end; omitted when the
 	// session runs without one.
 	Embedding *EmbeddingSpec `json:"embedding,omitempty"`
+	// Replication reports this node's replication standing for the session
+	// (primary's WAL position, or a follower's applied position and lag);
+	// omitted on a standalone node.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // AppendRequest is the JSON body of POST /v1/sessions/{id}/points (the
@@ -190,6 +196,10 @@ type RouteMetrics struct {
 type MetricsResponse struct {
 	UptimeSeconds float64                 `json:"uptimeSeconds"`
 	Routes        map[string]RouteMetrics `json:"routes"`
+	// Replication is present on nodes running with a cluster role: the
+	// node's role and, per session, the replication standing (on a follower,
+	// the observable lag).
+	Replication *ReplicationStatusResponse `json:"replication,omitempty"`
 }
 
 // NDJSON label streaming (GET /v1/sessions/{id}/labels with
@@ -213,4 +223,93 @@ type LabelsMeta struct {
 type LabelsChunk struct {
 	Offset int   `json:"offset"`
 	Labels []int `json:"labels"`
+}
+
+// Cluster mode (see internal/cluster): a primary exposes its sessions'
+// checkpoints and WAL frames under /v1/replication/, a follower streams
+// them into warm replicas, and the router promotes the follower when the
+// primary dies. The DTOs below are that control plane's wire surface.
+
+// Wire headers of the cluster surface.
+const (
+	// HeaderSessionID lets the router pin a new session's id on
+	// POST /v1/sessions so placement (consistent hash of the id) is decided
+	// before the session exists.
+	HeaderSessionID = "X-Adawave-Session-Id"
+	// HeaderCheckpointSeq carries the WAL sequence a streamed checkpoint
+	// folds in (GET /v1/replication/sessions/{id}/checkpoint).
+	HeaderCheckpointSeq = "X-Adawave-Checkpoint-Seq"
+	// HeaderWALSeq carries the primary's last WAL sequence at the moment a
+	// frame stream opens (GET /v1/replication/sessions/{id}/wal).
+	HeaderWALSeq = "X-Adawave-Wal-Seq"
+)
+
+// ReplicationStatus is one session's replication standing on one node. On a
+// primary, AppliedSeq and PrimarySeq are both the session's WAL position;
+// on a follower, AppliedSeq is the last sequence applied locally,
+// PrimarySeq the last position learned from the primary, and Lag their
+// difference.
+type ReplicationStatus struct {
+	Role       string `json:"role"` // "primary" or "follower"
+	Primary    string `json:"primary,omitempty"`
+	AppliedSeq uint64 `json:"appliedSeq"`
+	PrimarySeq uint64 `json:"primarySeq"`
+	Lag        uint64 `json:"lag"`
+	Connected  bool   `json:"connected"`
+	LastError  string `json:"lastError,omitempty"`
+}
+
+// ReplicationSessionInfo is one row of GET /v1/replication/sessions — what a
+// follower needs to provision a replica: the identity, the exact
+// configuration fingerprint (round-tripped through the same canonical
+// renderer as config.json), and the primary's durable positions.
+type ReplicationSessionInfo struct {
+	ID            string             `json:"id"`
+	Tenant        string             `json:"tenant,omitempty"`
+	Config        persist.ConfigMeta `json:"config"`
+	CheckpointSeq uint64             `json:"checkpointSeq"`
+	WALSeq        uint64             `json:"walSeq"`
+	Points        int                `json:"points"`
+	Dim           int                `json:"dim"`
+}
+
+// ReplicationSessionsResponse answers GET /v1/replication/sessions.
+type ReplicationSessionsResponse struct {
+	Role     string                   `json:"role"`
+	Sessions []ReplicationSessionInfo `json:"sessions"`
+}
+
+// ReplicationStatusResponse answers GET /v1/replication/status and is
+// embedded in /v1/metrics: the node's role, the primary it follows (if
+// any), its configured peers, and the per-session standing.
+type ReplicationStatusResponse struct {
+	Role     string                       `json:"role"`
+	Primary  string                       `json:"primary,omitempty"`
+	Peers    []string                     `json:"peers,omitempty"`
+	Sessions map[string]ReplicationStatus `json:"sessions,omitempty"`
+}
+
+// PromoteResponse answers POST /v1/replication/promote: the follower
+// adopted its warm replicas into the serving registry and now answers as a
+// primary.
+type PromoteResponse struct {
+	Role     string   `json:"role"`
+	Promoted int      `json:"promoted"`
+	Sessions []string `json:"sessions,omitempty"`
+}
+
+// ShardStatus is one shard's standing in the router's GET /v1/cluster/status:
+// the configured pair, the node currently serving the shard's traffic, and
+// the state machine position ("healthy", "failover" while promotion is in
+// flight — traffic answers 503 + Retry-After — or "promoted").
+type ShardStatus struct {
+	Primary  string `json:"primary"`
+	Follower string `json:"follower"`
+	Active   string `json:"active"`
+	State    string `json:"state"`
+}
+
+// RouterStatusResponse answers the router's GET /v1/cluster/status.
+type RouterStatusResponse struct {
+	Shards []ShardStatus `json:"shards"`
 }

@@ -58,6 +58,20 @@ const (
 	// the machine-readable standing (see QuotaDetails). Nothing executed —
 	// resend the identical request after the hint.
 	CodeResourceExhausted = "resource_exhausted"
+	// CodeNotPrimary: the request landed on a cluster follower, which only
+	// serves reads of its replicated state; mutations and label reads belong
+	// on the primary (or on this node after a promote). Rendered as 409.
+	CodeNotPrimary = "not_primary"
+	// CodeUnavailable: the router cannot reach a healthy node for this
+	// session's shard right now (a failover is in progress). Rendered as 503
+	// with a Retry-After header; resend the identical request after the
+	// hint — idempotent requests are safe to retry automatically.
+	CodeUnavailable = "unavailable"
+	// CodeReplicationRestart: a follower asked for the WAL stream from a
+	// sequence the primary has already folded into a checkpoint (the log was
+	// truncated underneath the subscription). Rendered as 409; the follower
+	// must re-sync from the current checkpoint and resubscribe.
+	CodeReplicationRestart = "replication_restart"
 	// CodeInternal: an engine invariant or IO failure — the server's fault.
 	CodeInternal = "internal"
 )

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Membership tracks the liveness of a static node set by probing each
+// node's /healthz on a fixed cadence. There is no gossip and no dynamic
+// join — the member list is the -peers flag, and the only question answered
+// is "did this node respond recently". A node flips dead after Threshold
+// consecutive probe failures (so one dropped packet does not trigger a
+// failover) and flips back alive on the first success.
+type Membership struct {
+	nodes     []string
+	client    *http.Client
+	interval  time.Duration
+	threshold int
+
+	mu     sync.RWMutex
+	misses map[string]int
+	alive  map[string]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMembership builds a prober over the node base URLs. interval <= 0
+// selects 500ms, threshold <= 0 selects 2 consecutive failures, client nil
+// selects a 2s-timeout default. Nodes start alive (a cluster boots
+// optimistic; the first failed probes correct it).
+func NewMembership(nodes []string, interval time.Duration, threshold int, client *http.Client) *Membership {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if threshold <= 0 {
+		threshold = 2
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	m := &Membership{
+		nodes:     append([]string(nil), nodes...),
+		client:    client,
+		interval:  interval,
+		threshold: threshold,
+		misses:    make(map[string]int, len(nodes)),
+		alive:     make(map[string]bool, len(nodes)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, n := range m.nodes {
+		m.alive[n] = true
+	}
+	return m
+}
+
+// Start launches the probe loop; Stop ends it.
+func (m *Membership) Start() {
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				for _, n := range m.nodes {
+					m.Observe(n, Probe(m.client, n))
+				}
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Probe performs one liveness check against a node base URL: a 200 from
+// /healthz within the client's timeout.
+func Probe(client *http.Client, node string) bool {
+	resp, err := client.Get(strings.TrimRight(node, "/") + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Observe folds one probe outcome into the liveness state — the probe loop
+// calls it, and so can a caller that learned about a node out of band (the
+// router feeds proxy failures in, so a dead primary is detected at request
+// speed, not probe speed).
+func (m *Membership) Observe(node string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.misses[node] = 0
+		m.alive[node] = true
+		return
+	}
+	m.misses[node]++
+	if m.misses[node] >= m.threshold {
+		m.alive[node] = false
+	}
+}
+
+// Alive reports whether the node answered a recent probe. Unknown nodes are
+// dead.
+func (m *Membership) Alive(node string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.alive[node]
+}
+
+// Snapshot returns the liveness of every member.
+func (m *Membership) Snapshot() map[string]bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]bool, len(m.alive))
+	for n, a := range m.alive {
+		out[n] = a
+	}
+	return out
+}
+
+// Nodes returns the static member list.
+func (m *Membership) Nodes() []string { return append([]string(nil), m.nodes...) }
+
+func (m *Membership) String() string {
+	snap := m.Snapshot()
+	parts := make([]string, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		parts = append(parts, fmt.Sprintf("%s:%v", n, snap[n]))
+	}
+	return strings.Join(parts, " ")
+}

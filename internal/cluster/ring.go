@@ -1,0 +1,120 @@
+// Package cluster turns adawave-serve nodes into a shardable, replicated
+// cluster with zero dependencies beyond the standard library:
+//
+//   - Placement: a consistent-hash ring with virtual nodes (ring.go) maps
+//     session ids onto shards — primary/follower node pairs — and a static
+//     membership prober (membership.go) tracks node liveness via /healthz.
+//   - Replication: a follower pulls each primary session's checkpoint and
+//     then tails its WAL frames over a long-lived HTTP stream (replica.go),
+//     journaling the same bytes into its own data dir and applying them to
+//     a warm in-memory session, so promotion needs no cold recovery.
+//   - Failover: the router (proxy.go, mounted by cmd/adawave-router)
+//     proxies /v1 traffic to each shard's active node, answers 503 +
+//     Retry-After while a failover is in flight, and promotes the follower
+//     when the primary stops answering probes.
+//
+// The correctness anchor is the engine's determinism: a replica that
+// replays the same mutation sequence — and the WAL frames are shipped
+// verbatim, byte for byte — converges to labels bit-identical to the
+// primary's, which is what the kill-and-promote property test in
+// cmd/adawave-serve proves end to end.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring: each member is hashed onto the circle at
+// vnodes points, and a key is owned by the first member point clockwise of
+// the key's hash. Adding or removing one member moves only the keys of its
+// own arcs — the property that keeps session placement stable as a cluster
+// grows. A Ring is immutable after construction and safe for concurrent
+// lookups.
+type Ring struct {
+	members []string
+	hashes  []uint64 // sorted vnode positions
+	owner   []int    // owner[i] = index into members of hashes[i]
+}
+
+// NewRing builds a ring over the given members (any non-empty, distinct
+// strings — the router uses shard names) with the given number of virtual
+// nodes per member; vnodes <= 0 selects 128, enough to keep the expected
+// per-member load imbalance in the low percents.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, errors.New("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{members: append([]string(nil), members...)}
+	for mi, m := range r.members {
+		if m == "" {
+			return nil, errors.New("cluster: empty ring member")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+		seen[m] = true
+		for v := 0; v < vnodes; v++ {
+			r.hashes = append(r.hashes, ringHash(fmt.Sprintf("%s#%d", m, v)))
+			r.owner = append(r.owner, mi)
+		}
+	}
+	sort.Sort(byHash{r})
+	return r, nil
+}
+
+// ringHash must be deterministic across processes (every router must agree
+// on placement), which rules out seeded hashes. Raw FNV-64a clusters badly
+// on the short sequential "member#i" vnode keys — neighbouring keys land on
+// neighbouring circle positions and whole arcs collapse onto one member —
+// so the sum is pushed through a SplitMix64 finalizer to scatter it.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// byHash co-sorts hashes and owner.
+type byHash struct{ r *Ring }
+
+func (s byHash) Len() int           { return len(s.r.hashes) }
+func (s byHash) Less(a, b int) bool { return s.r.hashes[a] < s.r.hashes[b] }
+func (s byHash) Swap(a, b int) {
+	s.r.hashes[a], s.r.hashes[b] = s.r.hashes[b], s.r.hashes[a]
+	s.r.owner[a], s.r.owner[b] = s.r.owner[b], s.r.owner[a]
+}
+
+// Members returns the ring's members in construction order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Lookup maps a key to its owning member (the key's primary placement) and
+// the next distinct member clockwise (the natural follower placement).
+// With a single member the follower is empty.
+func (r *Ring) Lookup(key string) (primary, follower string) {
+	h := ringHash(key)
+	i := sort.Search(len(r.hashes), func(j int) bool { return r.hashes[j] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	first := r.owner[i]
+	primary = r.members[first]
+	for step := 1; step <= len(r.hashes); step++ {
+		o := r.owner[(i+step)%len(r.hashes)]
+		if o != first {
+			return primary, r.members[o]
+		}
+	}
+	return primary, ""
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"adawave/internal/pointset"
 )
@@ -83,15 +84,18 @@ func (p SyncPolicy) String() string {
 }
 
 // WAL is an open write-ahead log. It is safe for concurrent use (one
-// writer's appends interleaved with a background Sync ticker).
+// writer's appends interleaved with a background Sync ticker and any number
+// of replication Tailers reading the file through their own descriptors).
 type WAL struct {
 	mu      sync.Mutex
 	f       *os.File
 	bw      *bufio.Writer
+	path    string
 	policy  SyncPolicy
 	seq     uint64 // last sequence number written (or recovered)
 	records uint64 // records appended since the last Reset
 	size    int64  // valid bytes (magic + intact records)
+	gen     atomic.Uint64
 }
 
 // OpenWAL opens (creating if absent) the log at path. An existing log is
@@ -104,7 +108,7 @@ func OpenWAL(path string, policy SyncPolicy) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
-	w := &WAL{f: f, policy: policy, size: int64(len(walMagic))}
+	w := &WAL{f: f, path: path, policy: policy, size: int64(len(walMagic))}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -125,7 +129,7 @@ func OpenWAL(path string, policy SyncPolicy) (*WAL, error) {
 			return nil, fmt.Errorf("persist: init wal: %w", err)
 		}
 	} else {
-		lastSeq, validOff, records, _, err := scanWAL(f, 0, nil)
+		lastSeq, validOff, records, _, _, err := scanWAL(f, 0, nil)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -285,6 +289,10 @@ func (w *WAL) Reset() error {
 	}
 	w.size = int64(len(walMagic))
 	w.records = 0
+	// The truncation invalidates every Tailer's file offset; bumping the
+	// generation (after the truncate, still under the lock) makes them
+	// surface ErrWALReset instead of reading past a moved tail.
+	w.gen.Add(1)
 	return nil
 }
 
@@ -343,7 +351,7 @@ func ReplayWAL(path string, fromSeq uint64, fn func(Record) error) (lastSeq uint
 		return 0, 0, fmt.Errorf("persist: replay wal: %w", err)
 	}
 	defer f.Close()
-	lastSeq, _, _, replayed, err = scanWAL(f, fromSeq, fn)
+	lastSeq, _, _, replayed, _, err = scanWAL(f, fromSeq, fn)
 	return lastSeq, replayed, err
 }
 
@@ -363,33 +371,44 @@ func ReplayInto(path string, fromSeq uint64, t Target) (lastSeq uint64, replayed
 // scanWAL validates the magic and walks records until the first torn or
 // corrupt one, returning the last intact sequence, the byte offset of the
 // valid prefix, and the intact record count. Records with Seq > fromSeq are
-// handed to fn (when non-nil); fn errors abort the scan.
-func scanWAL(r io.Reader, fromSeq uint64, fn func(Record) error) (lastSeq uint64, validOff int64, records uint64, applied int, err error) {
+// handed to fn (when non-nil); fn errors abort the scan. A scan that stops
+// anywhere other than a clean record boundary additionally describes the
+// tear (tear non-nil): crash recovery (OpenWAL, ReplayWAL) discards it as
+// the unacknowledged tail, while the replication paths (ReplayWALStrict,
+// the stream readers) surface it so a follower resuming from a mid-record
+// offset is told the stream is incomplete instead of silently short.
+func scanWAL(r io.Reader, fromSeq uint64, fn func(Record) error) (lastSeq uint64, validOff int64, records uint64, applied int, tear *TornRecordError, err error) {
 	if seeker, ok := r.(io.Seeker); ok {
 		if _, err := seeker.Seek(0, io.SeekStart); err != nil {
-			return 0, 0, 0, 0, fmt.Errorf("persist: scan wal: %w", err)
+			return 0, 0, 0, 0, nil, fmt.Errorf("persist: scan wal: %w", err)
 		}
+	}
+	torn := func(reason string) *TornRecordError {
+		return &TornRecordError{Offset: validOff, LastSeq: lastSeq, Reason: reason}
 	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, 0, 0, 0, fmt.Errorf("persist: wal too short for magic: %w", err)
+		return 0, 0, 0, 0, nil, fmt.Errorf("persist: wal too short for magic: %w", err)
 	}
 	if string(magic) != walMagic {
-		return 0, 0, 0, 0, fmt.Errorf("persist: bad wal magic %q", magic)
+		return 0, 0, 0, 0, nil, fmt.Errorf("persist: bad wal magic %q", magic)
 	}
 	validOff = int64(len(walMagic))
 	var payload []byte
 	for {
 		var hdr [walHeaderLen]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return lastSeq, validOff, records, applied, nil // clean end or torn header
+			if err == io.EOF {
+				return lastSeq, validOff, records, applied, nil, nil // clean end
+			}
+			return lastSeq, validOff, records, applied, torn("torn header"), nil
 		}
 		length := le.Uint32(hdr[0:4])
 		typ := hdr[4]
 		seq := le.Uint64(hdr[5:13])
 		if length > maxWALRecord || (typ != recAppend && typ != recRemove) || seq <= lastSeq {
-			return lastSeq, validOff, records, applied, nil // corrupt tail
+			return lastSeq, validOff, records, applied, torn("corrupt header"), nil
 		}
 		// Read the payload in bounded chunks so a corrupt length that
 		// passed the cap still only allocates what the file really holds.
@@ -403,30 +422,30 @@ func scanWAL(r io.Reader, fromSeq uint64, fn func(Record) error) (lastSeq uint64
 				payload = append(payload[:read], make([]byte, n)...)[:read]
 			}
 			if _, err := io.ReadFull(br, payload[read:read+n]); err != nil {
-				return lastSeq, validOff, records, applied, nil // torn payload
+				return lastSeq, validOff, records, applied, torn("torn payload"), nil
 			}
 			payload = payload[:read+n]
 			read += n
 		}
 		wantCRC, err := readU32(br)
 		if err != nil {
-			return lastSeq, validOff, records, applied, nil // torn trailer
+			return lastSeq, validOff, records, applied, torn("torn trailer"), nil
 		}
 		crc := crc32.Update(0, castagnoli, hdr[:])
 		crc = crc32.Update(crc, castagnoli, payload)
 		if crc != wantCRC {
-			return lastSeq, validOff, records, applied, nil // corrupt record
+			return lastSeq, validOff, records, applied, torn("crc mismatch"), nil
 		}
 		rec, ok := parseRecord(typ, seq, payload)
 		if !ok {
-			return lastSeq, validOff, records, applied, nil // CRC-valid but malformed
+			return lastSeq, validOff, records, applied, torn("malformed record"), nil
 		}
 		lastSeq = seq
 		validOff += int64(walHeaderLen + int(length) + 4)
 		records++
 		if fn != nil && seq > fromSeq {
 			if err := fn(rec); err != nil {
-				return lastSeq, validOff, records, applied, err
+				return lastSeq, validOff, records, applied, nil, err
 			}
 			applied++
 		}
