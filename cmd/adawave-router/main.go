@@ -10,7 +10,7 @@
 //	adawave-router -peers http://a:8321=http://a2:8321,http://b:8321=http://b2:8321
 //	               [-addr :8320] [-vnodes 128] [-probe-interval 500ms]
 //	               [-probe-timeout 2s] [-fail-threshold 2] [-retry-after 1s]
-//	               [-shutdown-timeout 10s]
+//	               [-shutdown-timeout 10s] [-cluster-secret SECRET]
 //
 // Each -peers entry is one shard as primary=follower base URLs (a bare URL
 // is a shard with no follower, and no failover). The router itself is
@@ -48,6 +48,7 @@ func main() {
 		failThreshold   = flag.Int("fail-threshold", 2, "consecutive probe misses before a failover starts")
 		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After advertised while a failover is in flight")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+		clusterSecret   = flag.String("cluster-secret", "", "shared secret sent on promote calls to nodes running with the same -cluster-secret")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		ProbeInterval: *probeInterval,
 		FailThreshold: *failThreshold,
 		RetryAfter:    *retryAfter,
+		ClusterSecret: *clusterSecret,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adawave-router: %v\n", err)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"net/http/httputil"
 	"net/url"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -362,4 +363,245 @@ func TestFollowerRoleGate(t *testing.T) {
 
 	doJSON(t, follower, "POST", "/v1/replication/promote", "", nil, http.StatusOK, nil)
 	doJSON(t, follower, "GET", "/v1/sessions/"+created.ID+"/labels", "", nil, http.StatusOK, nil)
+}
+
+// TestFollowerDetectsPrimaryHistoryRewrite: a primary that lost its WAL
+// tail (crash under -wal-sync=interval, disk restored from backup) restarts
+// with a log ending BELOW the follower's applied sequence, then re-issues
+// the same sequence numbers for new, different mutations. The follower must
+// treat the regressed stream-open header as a divergence signal and rebuild
+// from a fresh checkpoint instead of silently applying divergent frames
+// that pass the contiguity check. The rewrite is simulated by a proxy that
+// answers one WAL subscription with a doctored (regressed) sequence header.
+func TestFollowerDetectsPrimaryHistoryRewrite(t *testing.T) {
+	srvP := mustServer(t, serverOptions{
+		workers: 1, timeout: 60 * time.Second,
+		dataDir: filepath.Join(t.TempDir(), "data"),
+		walSync: persist.SyncNever, role: rolePrimary,
+	})
+	primary := httptest.NewServer(srvP.handler())
+	defer primary.Close()
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, primary, "POST", "/sessions", "", nil, http.StatusCreated, &created)
+	base := "/sessions/" + created.ID
+	data := adawave.SyntheticEvaluation(90, 0.5, 11)
+	post := func(pts [][]float64) {
+		body, err := json.Marshal(map[string]any{"points": pts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doJSON(t, primary, "POST", base+"/points", "application/json", body, http.StatusOK, nil)
+	}
+	post(data.Points[:300])
+	post(data.Points[300:600])
+
+	pu, err := url.Parse(primary.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := httputil.NewSingleHostReverseProxy(pu)
+	pass.FlushInterval = -1
+	var doctor atomic.Bool
+	var ckptFetches atomic.Int32
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/checkpoint") {
+			ckptFetches.Add(1)
+		}
+		if strings.HasSuffix(r.URL.Path, "/wal") && doctor.CompareAndSwap(true, false) {
+			// One stream open impersonating the rewritten primary: the log
+			// now claims to end at seq 1 while the follower applied 2.
+			w.Header().Set(api.HeaderWALSeq, "1")
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		pass.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	srvF := followerOfURL(t, 1, proxy.URL)
+	follower := httptest.NewServer(srvF.handler())
+	defer follower.Close()
+
+	waitCaughtUp(t, follower, created.ID, 2)
+	baseFetches := ckptFetches.Load()
+
+	// Tear the live stream; the reconnect lands on the doctored header.
+	doctor.Store(true)
+	proxy.CloseClientConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for ckptFetches.Load() == baseFetches && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ckptFetches.Load() == baseFetches {
+		t.Fatal("follower never re-synced from a checkpoint after the sequence regression")
+	}
+
+	// The rebuilt replica converges on the real primary's state and is
+	// promotable with the correct labels.
+	wantLabels, wantClusters := getLabels(t, primary, base)
+	waitCaughtUp(t, follower, created.ID, primaryWALSeq(t, primary, created.ID))
+	var prom api.PromoteResponse
+	doJSON(t, follower, "POST", "/v1/replication/promote", "", nil, http.StatusOK, &prom)
+	if prom.Promoted != 1 {
+		t.Fatalf("promote: %+v", prom)
+	}
+	gotLabels, gotClusters := getLabels(t, follower, base)
+	if gotClusters != wantClusters || len(gotLabels) != len(wantLabels) {
+		t.Fatalf("promoted: %d clusters / %d labels, want %d / %d",
+			gotClusters, len(gotLabels), wantClusters, len(wantLabels))
+	}
+	for i := range wantLabels {
+		if gotLabels[i] != wantLabels[i] {
+			t.Fatalf("label %d: got %d, want %d", i, gotLabels[i], wantLabels[i])
+		}
+	}
+}
+
+// TestReplicationAuthGate: with -cluster-secret set, every /v1/replication/
+// endpoint refuses requests without the credential (the feed hands out full
+// session data; promote rewires the topology), while a follower and a
+// router carrying the same secret work end to end.
+func TestReplicationAuthGate(t *testing.T) {
+	const secret = "s3cret-drill"
+	srvP := mustServer(t, serverOptions{
+		workers: 1, timeout: 60 * time.Second,
+		dataDir: filepath.Join(t.TempDir(), "data"),
+		walSync: persist.SyncNever, role: rolePrimary,
+		clusterSecret: secret,
+	})
+	primary := httptest.NewServer(srvP.handler())
+	defer primary.Close()
+
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/replication/sessions"},
+		{"GET", "/v1/replication/status"},
+		{"POST", "/v1/replication/promote"},
+	} {
+		var env api.ErrorResponse
+		doJSON(t, primary, probe.method, probe.path, "", nil, http.StatusUnauthorized, &env)
+		if env.Error.Code != api.CodeUnauthorized {
+			t.Fatalf("%s %s: code %q, want %q", probe.method, probe.path, env.Error.Code, api.CodeUnauthorized)
+		}
+	}
+	// A wrong secret is as refused as a missing one.
+	req, err := http.NewRequest("GET", primary.URL+"/v1/replication/sessions", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.HeaderClusterSecret, "wrong")
+	resp, err := primary.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong secret answered %d, want 401", resp.StatusCode)
+	}
+
+	// Tenant traffic is untouched by the gate.
+	var created struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, primary, "POST", "/sessions", "", nil, http.StatusCreated, &created)
+	doJSON(t, primary, "POST", "/sessions/"+created.ID+"/points", "application/json",
+		[]byte(`{"points":[[1,2],[3,4],[5,6]]}`), http.StatusOK, nil)
+
+	// A follower started with the matching secret replicates end to end…
+	srvF := mustServer(t, serverOptions{
+		workers: 1, timeout: 60 * time.Second,
+		dataDir: filepath.Join(t.TempDir(), "data"),
+		walSync: persist.SyncNever, role: roleFollower,
+		followerOf:  primary.URL,
+		replicaPoll: 50 * time.Millisecond, replicaRetry: 25 * time.Millisecond,
+		clusterSecret: secret,
+	})
+	follower := httptest.NewServer(srvF.handler())
+	defer follower.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var detail api.SessionDetail
+	for time.Now().Before(deadline) {
+		r, err := http.Get(follower.URL + "/v1/sessions/" + created.ID)
+		if err == nil {
+			err = json.NewDecoder(r.Body).Decode(&detail)
+			r.Body.Close()
+			if err == nil && detail.Points == 3 && detail.Replication != nil && detail.Replication.Lag == 0 {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if detail.Points != 3 {
+		t.Fatalf("authed follower never replicated the session: %+v", detail)
+	}
+
+	// …and the authed promote (what the router sends under -cluster-secret)
+	// succeeds where the bare one was refused.
+	preq, err := http.NewRequest("POST", follower.URL+"/v1/replication/promote", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set(api.HeaderClusterSecret, secret)
+	presp, err := follower.Client().Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom api.PromoteResponse
+	err = json.NewDecoder(presp.Body).Decode(&prom)
+	presp.Body.Close()
+	if err != nil || presp.StatusCode != http.StatusOK || prom.Promoted != 1 {
+		t.Fatalf("authed promote: status %d, %+v, %v", presp.StatusCode, prom, err)
+	}
+}
+
+// TestDroppedReplicaQuarantined: when the primary's session list omits a
+// replicated id the follower drops the replica — but parks its directory
+// under sessions/.quarantine instead of deleting it, because an omitted id
+// is also what a primary restarted against a fresh data dir looks like, and
+// then the follower holds the only surviving copy.
+func TestDroppedReplicaQuarantined(t *testing.T) {
+	primary, follower, _, srvF := clusterPair(t, 1)
+	var created struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, primary, "POST", "/sessions", "", nil, http.StatusCreated, &created)
+	doJSON(t, primary, "POST", "/sessions/"+created.ID+"/points", "application/json",
+		[]byte(`{"points":[[1,2],[3,4],[5,6]]}`), http.StatusOK, nil)
+	waitCaughtUp(t, follower, created.ID, 1)
+
+	doJSON(t, primary, "DELETE", "/v1/sessions/"+created.ID, "", nil, http.StatusNoContent, nil)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var listed api.ListSessionsResponse
+		doJSON(t, follower, "GET", "/v1/sessions", "", nil, http.StatusOK, &listed)
+		if len(listed.Sessions) == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	live := filepath.Join(srvF.pers.root, "sessions", created.ID)
+	quarantined := filepath.Join(srvF.pers.root, "sessions", ".quarantine", created.ID)
+	if _, err := os.Stat(live); !os.IsNotExist(err) {
+		t.Fatalf("dropped replica's live directory still present (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(quarantined, "wal.log")); err != nil {
+		t.Fatalf("quarantined journal missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(quarantined, "config.json")); err != nil {
+		t.Fatalf("quarantined config missing: %v", err)
+	}
+
+	// A promote after the drop must not resurrect the session.
+	var prom api.PromoteResponse
+	doJSON(t, follower, "POST", "/v1/replication/promote", "", nil, http.StatusOK, &prom)
+	if prom.Promoted != 0 {
+		t.Fatalf("promote resurrected a dropped session: %+v", prom)
+	}
 }

@@ -52,6 +52,7 @@ func main() {
 		role            = flag.String("role", "standalone", "cluster role: standalone, primary (serves the replication feed; requires -data-dir) or follower (replicates -follower-of until promoted; requires -data-dir)")
 		followerOf      = flag.String("follower-of", "", "base URL of the primary to replicate (required with -role=follower)")
 		peers           = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes (informational; reported in replication status)")
+		clusterSecret   = flag.String("cluster-secret", "", "shared secret required on every /v1/replication/ request and sent on replication feed calls; empty leaves the endpoints open (single-trust-domain deployments only)")
 	)
 	flag.Parse()
 
@@ -88,6 +89,7 @@ func main() {
 		role:             *role,
 		followerOf:       strings.TrimRight(*followerOf, "/"),
 		peers:            splitPeers(*peers),
+		clusterSecret:    *clusterSecret,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adawave-serve: %v\n", err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"io"
@@ -52,6 +53,24 @@ func validSessionID(id string) bool {
 		}
 	}
 	return true
+}
+
+// clusterAuth gates a /v1/replication/ handler behind the shared cluster
+// secret: the feed hands out every tenant's full session data and promote
+// permanently rewires replication, so with -cluster-secret set no request
+// is served without the matching credential. With no secret configured the
+// endpoints stay open — a single-trust-domain deployment — which the
+// cluster quickstart documents alongside the flag.
+func (s *server) clusterAuth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.clusterSecret != "" &&
+			subtle.ConstantTimeCompare([]byte(r.Header.Get(api.HeaderClusterSecret)), []byte(s.clusterSecret)) != 1 {
+			writeCode(w, http.StatusUnauthorized, api.CodeUnauthorized,
+				fmt.Sprintf("missing or wrong %s (this node runs with -cluster-secret)", api.HeaderClusterSecret))
+			return
+		}
+		next(w, r)
+	}
 }
 
 func (s *server) currentRole() string {

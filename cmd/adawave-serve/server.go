@@ -107,9 +107,14 @@ type serverOptions struct {
 	// "primary" additionally exposes the replication feed; "follower"
 	// replicates followerOf's sessions and serves reads + replication only
 	// until promoted. peers is informational (reported in status).
-	role       string
-	followerOf string
-	peers      []string
+	// clusterSecret, when set, is required (constant-time compared) on every
+	// /v1/replication/ request and sent on every feed request this node
+	// makes — the feed hands out full session data and promote mutates the
+	// topology, so neither may be open to arbitrary callers.
+	role          string
+	followerOf    string
+	peers         []string
+	clusterSecret string
 
 	// Replication cadence overrides (zero = the cluster package defaults of
 	// 1s poll / 500ms retry); tests tighten these to keep failover drills fast.
@@ -149,11 +154,12 @@ type server struct {
 	// Cluster state (see replicate.go). role is atomic because a follower
 	// flips to primary at promote time while requests are in flight;
 	// replica is the follower's replication engine (nil otherwise).
-	role       atomic.Value // string
-	followerOf string
-	peers      []string
-	replica    *cluster.ReplicaSet
-	promoteMu  sync.Mutex
+	role          atomic.Value // string
+	followerOf    string
+	peers         []string
+	clusterSecret string
+	replica       *cluster.ReplicaSet
+	promoteMu     sync.Mutex
 
 	mu       sync.RWMutex
 	sessions map[string]*serveSession
@@ -275,6 +281,7 @@ func newServer(opts serverOptions) (*server, error) {
 		maxResidentBytes: opts.maxResidentBytes,
 		followerOf:       opts.followerOf,
 		peers:            opts.peers,
+		clusterSecret:    opts.clusterSecret,
 		stop:             make(chan struct{}),
 		sessions:         make(map[string]*serveSession),
 		metrics:          newServerMetrics(),
@@ -300,6 +307,7 @@ func newServer(opts serverOptions) (*server, error) {
 				Policy:  opts.walSync,
 				Poll:    opts.replicaPoll,
 				Retry:   opts.replicaRetry,
+				Secret:  opts.clusterSecret,
 			})
 			s.replica.Start()
 			s.startBackground()
@@ -459,12 +467,14 @@ func (s *server) handler() http.Handler {
 	// session list, checkpoint downloads and the long-lived WAL frame
 	// stream; a follower serves promote. All of them bypass the request
 	// deadline (the stream is long-lived by design) and the tenant QPS
-	// admission (node-to-node traffic must not consume tenant quota).
-	mux.HandleFunc("GET /v1/replication/sessions", s.instrument("replication_sessions", s.replicationSessions))
-	mux.HandleFunc("GET /v1/replication/sessions/{id}/checkpoint", s.instrument("replication_checkpoint", s.replicationCheckpoint))
-	mux.HandleFunc("GET /v1/replication/sessions/{id}/wal", s.instrument("replication_wal", s.replicationWAL))
-	mux.HandleFunc("POST /v1/replication/promote", s.instrument("replication_promote", s.promoteHandler))
-	mux.HandleFunc("GET /v1/replication/status", s.instrument("replication_status", s.replicationStatus))
+	// admission (node-to-node traffic must not consume tenant quota) — and
+	// all of them sit behind the cluster secret when one is configured,
+	// since they hand out full session data and rewire the topology.
+	mux.HandleFunc("GET /v1/replication/sessions", s.instrument("replication_sessions", s.clusterAuth(s.replicationSessions)))
+	mux.HandleFunc("GET /v1/replication/sessions/{id}/checkpoint", s.instrument("replication_checkpoint", s.clusterAuth(s.replicationCheckpoint)))
+	mux.HandleFunc("GET /v1/replication/sessions/{id}/wal", s.instrument("replication_wal", s.clusterAuth(s.replicationWAL)))
+	mux.HandleFunc("POST /v1/replication/promote", s.instrument("replication_promote", s.clusterAuth(s.promoteHandler)))
+	mux.HandleFunc("GET /v1/replication/status", s.instrument("replication_status", s.clusterAuth(s.replicationStatus)))
 
 	var h http.Handler = mux
 	h = s.withRole(h)

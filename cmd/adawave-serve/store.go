@@ -256,7 +256,9 @@ func (p *persistence) recoverSessions(workers int) (map[string]*serveSession, ui
 		return out, 0
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			// Dot-dirs hold quarantined replica state (see
+			// internal/cluster), never live sessions.
 			continue
 		}
 		id := e.Name()

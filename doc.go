@@ -219,7 +219,12 @@
 // sessions, so failover cost is the first label read, not a replay. The
 // promoted node's labels are bit-identical to the lost primary's; the
 // internal/cluster package holds the ring, failure detector and
-// replication engine.
+// replication engine. A shared -cluster-secret gates the replication
+// endpoints (followers and routers send it automatically), a feed whose
+// sequence regresses below the follower's applied point triggers a full
+// checkpoint re-sync instead of splicing divergent histories, and
+// replicas dropped because the primary no longer lists them are
+// quarantined on disk rather than deleted.
 //
 // The package also exposes the substrate the paper builds on (wavelet
 // bases, threshold strategies, multi-resolution clustering), the

@@ -242,6 +242,11 @@ const (
 	// HeaderWALSeq carries the primary's last WAL sequence at the moment a
 	// frame stream opens (GET /v1/replication/sessions/{id}/wal).
 	HeaderWALSeq = "X-Adawave-Wal-Seq"
+	// HeaderClusterSecret carries the shared cluster credential on
+	// node-to-node traffic: every /v1/replication/ request (the feed hands
+	// out full session data, and promote mutates the cluster topology) must
+	// present the -cluster-secret the receiving node was started with.
+	HeaderClusterSecret = "X-Adawave-Cluster-Secret"
 )
 
 // ReplicationStatus is one session's replication standing on one node. On a

@@ -67,6 +67,10 @@ const (
 	// with a Retry-After header; resend the identical request after the
 	// hint — idempotent requests are safe to retry automatically.
 	CodeUnavailable = "unavailable"
+	// CodeUnauthorized: a /v1/replication/ request without the cluster
+	// secret the node was started with (see HeaderClusterSecret). Rendered
+	// as 401.
+	CodeUnauthorized = "unauthorized"
 	// CodeReplicationRestart: a follower asked for the WAL stream from a
 	// sequence the primary has already folded into a checkpoint (the log was
 	// truncated underneath the subscription). Rendered as 409; the follower

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -376,5 +379,120 @@ func TestRouterPinsSessionIDOnCreate(t *testing.T) {
 	}
 	if rt.Place(id) != node.URL {
 		t.Fatalf("minted id %q does not place on its shard", id)
+	}
+}
+
+// TestRouterIgnoresClientAborts: httputil invokes ErrorHandler for
+// client-side aborts too (the caller hung up or timed out mid-proxy);
+// those must not count as liveness misses, or two impatient clients within
+// one probe window would fence a perfectly healthy primary.
+func TestRouterIgnoresClientAborts(t *testing.T) {
+	rt, err := NewRouter(RouterOptions{
+		Shards:        []Shard{{Primary: "http://127.0.0.1:1", Follower: "http://127.0.0.1:2"}},
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := rt.shards["http://127.0.0.1:1"]
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	aborted := httptest.NewRequest(http.MethodGet, "/v1/sessions/s1", nil).
+		WithContext(context.WithValue(canceled, ctxShard, ss))
+	for i := 0; i < 3; i++ {
+		rt.proxy.ErrorHandler(httptest.NewRecorder(), aborted, context.Canceled)
+	}
+	ss.mu.Lock()
+	misses, state := ss.misses, ss.state
+	ss.mu.Unlock()
+	if misses != 0 || state != ShardHealthy {
+		t.Fatalf("client aborts counted as misses: misses=%d state=%s", misses, state)
+	}
+
+	// A genuine upstream failure (live request context) still counts —
+	// request-speed failure detection stays intact.
+	live := httptest.NewRequest(http.MethodGet, "/v1/sessions/s1", nil).
+		WithContext(context.WithValue(context.Background(), ctxShard, ss))
+	rt.proxy.ErrorHandler(httptest.NewRecorder(), live, errors.New("dial tcp 127.0.0.1:1: connection refused"))
+	ss.mu.Lock()
+	misses = ss.misses
+	ss.mu.Unlock()
+	if misses != 1 {
+		t.Fatalf("genuine upstream failure not observed: misses=%d", misses)
+	}
+}
+
+// TestRouterDownShardRecovers: a shard with no follower whose primary dies
+// goes down — and must come back on its own when the primary answers
+// probes again, instead of blackholing the shard until a router restart.
+func TestRouterDownShardRecovers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	node := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Write([]byte(`{"node":"primary"}`))
+	})
+	hs := &http.Server{Handler: node}
+	go hs.Serve(ln)
+
+	rt, err := NewRouter(RouterOptions{
+		Shards:        []Shard{{Primary: "http://" + addr}},
+		ProbeInterval: 10 * time.Millisecond,
+		FailThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	waitShardState := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := rt.Status(); st[0].State == want {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("shard state %q, want %q", rt.Status()[0].State, want)
+	}
+
+	hs.Close()
+	waitShardState(ShardDown)
+
+	// The node returns on the same address (same node, same data: no
+	// promotion ever happened) and the router folds it back in.
+	var ln2 net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hs2 := &http.Server{Handler: node}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+	waitShardState(ShardHealthy)
+
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/v1/sessions/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered shard answered %d", resp.StatusCode)
 	}
 }

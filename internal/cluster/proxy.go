@@ -67,9 +67,13 @@ func ParseShards(spec string) ([]Shard, error) {
 // enters failover (requests answered 503 + Retry-After while the router
 // promotes the follower); a successful promote moves it to promoted
 // (traffic to the follower). A shard whose active node dies with no
-// follower left to promote is down. A returning old primary is NOT folded
-// back in automatically — re-joining a node that may have diverged is an
-// operator decision (wipe its data dir and restart it as the follower).
+// follower left to promote is down; the router keeps probing its primary
+// and folds it back to healthy on the first answered probe — no promotion
+// happened, so the returning node is the same node with the same data, and
+// a transient blip must not blackhole the shard until a router restart.
+// After a PROMOTION the old primary is NOT folded back in automatically —
+// re-joining a node that may have diverged is an operator decision (wipe
+// its data dir and restart it as the follower).
 const (
 	ShardHealthy  = "healthy"
 	ShardFailover = "failover"
@@ -93,6 +97,9 @@ type RouterOptions struct {
 	// RetryAfter is the window advertised to clients while a failover is in
 	// flight (default 1s) — the retrying client pairs with it.
 	RetryAfter time.Duration
+	// ClusterSecret authenticates the router's promote calls to nodes
+	// started with the same -cluster-secret; empty sends no credential.
+	ClusterSecret string
 }
 
 // Router is the cluster's stateless front door: it owns placement (the
@@ -182,9 +189,15 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		ErrorHandler: func(w http.ResponseWriter, req *http.Request, err error) {
 			// A proxy failure is a liveness observation: feed it into the
 			// same miss counter the probe loop uses, so a dead primary is
-			// detected at request speed.
-			if ss, ok := req.Context().Value(ctxShard).(*shardState); ok {
-				r.observe(ss, false)
+			// detected at request speed. But httputil routes CLIENT-side
+			// aborts here too (the caller disconnected or its deadline
+			// expired mid-proxy), and those say nothing about the upstream's
+			// health — counting them would let two impatient clients fence a
+			// perfectly healthy primary within one probe window.
+			if req.Context().Err() == nil && !errors.Is(err, context.Canceled) {
+				if ss, ok := req.Context().Value(ctxShard).(*shardState); ok {
+					r.observe(ss, false)
+				}
 			}
 			r.unavailable(w, "upstream unreachable: "+err.Error())
 		},
@@ -207,7 +220,14 @@ func (r *Router) Start() {
 					ss := r.shards[key]
 					active := ss.activeURL()
 					if active == nil {
-						continue // down, nothing to probe
+						// Mid-failover the promote loop owns the shard. A down
+						// shard (no follower to promote) keeps its primary
+						// probed so a transient outage heals without a restart.
+						if ss.isDown() && Probe(r.opts.Client, ss.primaryURL.String()) {
+							ss.revive()
+							log.Printf("cluster: shard %s primary answering again, back in service", ss.cfg.Primary)
+						}
+						continue
 					}
 					r.observe(ss, Probe(r.opts.Client, active.String()))
 				}
@@ -234,6 +254,22 @@ func (ss *shardState) activeURL() *url.URL {
 		return ss.follower
 	}
 	return nil
+}
+
+func (ss *shardState) isDown() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.state == ShardDown
+}
+
+// revive puts a down shard back in service against its configured primary.
+// Safe because a shard only reaches down with no follower promoted: the
+// answering node is the same node with the same data.
+func (ss *shardState) revive() {
+	ss.mu.Lock()
+	ss.state = ShardHealthy
+	ss.misses = 0
+	ss.mu.Unlock()
 }
 
 // observe folds one liveness observation of a shard's active node in, and
@@ -281,6 +317,9 @@ func (r *Router) promote(ss *shardState) {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ss.cfg.Follower+"/v1/replication/promote", nil)
 		if err == nil {
+			if r.opts.ClusterSecret != "" {
+				req.Header.Set(api.HeaderClusterSecret, r.opts.ClusterSecret)
+			}
 			var resp *http.Response
 			if resp, err = r.opts.Client.Do(req); err == nil {
 				var pr api.PromoteResponse

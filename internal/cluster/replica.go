@@ -44,6 +44,10 @@ type ReplicaOptions struct {
 	// Retry is the reconnect backoff after a failed or torn stream
 	// (default 500ms).
 	Retry time.Duration
+	// Secret is the shared cluster credential sent on every request to the
+	// primary's replication feed (see api.HeaderClusterSecret); empty sends
+	// none.
+	Secret string
 	// CheckpointEvery bounds the local WAL: after this many journaled
 	// frames the replica folds them into a local checkpoint (default 8192;
 	// negative disables).
@@ -155,8 +159,8 @@ func (rs *ReplicaSet) recoverLocal() {
 		return
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue // dot-dirs hold quarantined state, never live sessions
 		}
 		id := e.Name()
 		dir := filepath.Join(rs.opts.Root, id)
@@ -209,10 +213,23 @@ func (rs *ReplicaSet) pollLoop() {
 	}
 }
 
+// feedRequest builds a GET against the primary's replication surface,
+// attaching the shared cluster secret when one is configured.
+func (rs *ReplicaSet) feedRequest(ctx context.Context, path string) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.opts.Primary+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rs.opts.Secret != "" {
+		req.Header.Set(api.HeaderClusterSecret, rs.opts.Secret)
+	}
+	return req, nil
+}
+
 func (rs *ReplicaSet) pollOnce() {
 	ctx, cancel := context.WithTimeout(rs.ctx, rs.opts.Poll*3+time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.opts.Primary+"/v1/replication/sessions", nil)
+	req, err := rs.feedRequest(ctx, "/v1/replication/sessions")
 	if err != nil {
 		return
 	}
@@ -254,7 +271,11 @@ func (rs *ReplicaSet) pollOnce() {
 		rs.startReplica(r)
 	}
 	// A session the primary no longer lists was deleted there; drop the
-	// replica and its local state so a promote cannot resurrect it.
+	// replica so a promote cannot resurrect it. The on-disk state is
+	// quarantined, not deleted: an omitted id is also what a primary
+	// restarted against a fresh or swapped data dir looks like, and in that
+	// case this follower holds the only surviving copy of the session —
+	// exactly the data a failover exists to protect.
 	for id, r := range rs.replicas {
 		if listed[id] {
 			continue
@@ -263,9 +284,42 @@ func (rs *ReplicaSet) pollOnce() {
 			r.cancel()
 		}
 		delete(rs.replicas, id)
-		os.RemoveAll(r.dir)
-		log.Printf("cluster: replica %s dropped (deleted on primary)", id)
+		rs.quarantine(r)
 	}
+}
+
+// quarantineDir is where dropped replicas' session directories are parked
+// under Root. The leading dot keeps every recovery scan (this package's and
+// the serving layer's) from picking them up; reclaiming the space — or the
+// data — is an operator decision.
+const quarantineDir = ".quarantine"
+
+// quarantine closes a dropped replica's journal and moves its directory
+// aside instead of deleting it.
+func (rs *ReplicaSet) quarantine(r *Replica) {
+	r.mu.Lock()
+	if r.wal != nil {
+		r.wal.Close()
+	}
+	r.sess, r.wal = nil, nil
+	r.mu.Unlock()
+	trash := filepath.Join(rs.opts.Root, quarantineDir)
+	if err := os.MkdirAll(trash, 0o755); err != nil {
+		log.Printf("cluster: replica %s dropped (absent on primary); quarantine failed, directory left in place: %v", r.ID, err)
+		return
+	}
+	dst := filepath.Join(trash, r.ID)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(trash, fmt.Sprintf("%s.%d", r.ID, i))
+	}
+	if err := os.Rename(r.dir, dst); err != nil {
+		log.Printf("cluster: replica %s dropped (absent on primary); quarantine failed, directory left in place: %v", r.ID, err)
+		return
+	}
+	log.Printf("cluster: replica %s dropped (absent on primary); state quarantined at %s", r.ID, dst)
 }
 
 // startReplica launches one session's stream loop. Caller holds rs.mu (or
@@ -373,8 +427,7 @@ func (rs *ReplicaSet) provision(ctx context.Context, r *Replica) error {
 		return err
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		rs.opts.Primary+"/v1/replication/sessions/"+url.PathEscape(r.ID)+"/checkpoint", nil)
+	req, err := rs.feedRequest(ctx, "/v1/replication/sessions/"+url.PathEscape(r.ID)+"/checkpoint")
 	if err != nil {
 		return err
 	}
@@ -459,8 +512,7 @@ func (rs *ReplicaSet) provision(ctx context.Context, r *Replica) error {
 // its checkpoint: return errResync.
 func (rs *ReplicaSet) stream(ctx context.Context, r *Replica) error {
 	from := r.applied.Load()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		rs.opts.Primary+"/v1/replication/sessions/"+url.PathEscape(r.ID)+"/wal?from="+strconv.FormatUint(from, 10), nil)
+	req, err := rs.feedRequest(ctx, "/v1/replication/sessions/"+url.PathEscape(r.ID)+"/wal?from="+strconv.FormatUint(from, 10))
 	if err != nil {
 		return err
 	}
@@ -480,8 +532,19 @@ func (rs *ReplicaSet) stream(ctx context.Context, r *Replica) error {
 	default:
 		return fmt.Errorf("wal stream: primary answered %d", resp.StatusCode)
 	}
-	if seq, err := strconv.ParseUint(resp.Header.Get(api.HeaderWALSeq), 10, 64); err == nil && seq > r.primarySeq.Load() {
-		r.primarySeq.Store(seq)
+	if seq, err := strconv.ParseUint(resp.Header.Get(api.HeaderWALSeq), 10, 64); err == nil {
+		// Session sequences are monotone across checkpoints, so the primary's
+		// log ending BELOW our applied position means its history was
+		// rewritten (it lost the WAL tail in a crash, or was restored from a
+		// backup) and it will re-issue the sequences we already hold for new,
+		// different mutations. Resuming would silently apply divergent frames
+		// that pass the contiguity check; rebuild from its checkpoint instead.
+		if applied := r.applied.Load(); seq < applied {
+			return fmt.Errorf("%w (primary wal seq %d behind applied %d: primary history rewritten)", errResync, seq, applied)
+		}
+		if seq > r.primarySeq.Load() {
+			r.primarySeq.Store(seq)
+		}
 	}
 	r.connected.Store(true)
 	r.lastErr.Store("")
